@@ -1,0 +1,28 @@
+//! Figure 3 bench: icount1 under Pin vs SuperPin across the suite.
+//!
+//! Criterion measures harness wall time; the *figure data* (virtual-time
+//! ratios) is printed once at startup. Run the `reproduce` binary at
+//! `--scale medium` for the full-fidelity series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_bench::{figures, render};
+use superpin_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let series = figures::fig3_icount1(Scale::Tiny, 4);
+    println!(
+        "{}",
+        render::render_series("Figure 3 (tiny scale): icount1 vs native", &series)
+    );
+    assert!(series.rows.iter().all(|row| row.counts_ok));
+
+    let mut group = c.benchmark_group("fig3_icount1");
+    group.sample_size(10);
+    group.bench_function("suite_tiny", |b| {
+        b.iter(|| figures::fig3_icount1(Scale::Tiny, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4 bench: SuperPin speedup over Pin for icount1 (single
+//! benchmark, to keep the bench loop tight; the full series comes from
+//! the shared Fig. 3 data in the `reproduce` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_bench::runs::{figure_config, run_triple, IcountKind};
+use superpin_workloads::{find, Scale};
+
+fn bench(c: &mut Criterion) {
+    let spec = find("swim").expect("swim in catalog");
+    let cfg = figure_config(2000, Scale::Tiny);
+    let triple = run_triple(spec, Scale::Tiny, &cfg, IcountKind::Icount1);
+    println!(
+        "Figure 4 sample (tiny): swim speedup {:.2}x (pin {:.0}%, superpin {:.0}%)",
+        triple.speedup(),
+        triple.pin_pct(),
+        triple.superpin_pct()
+    );
+    assert!(triple.counts_agree());
+
+    let mut group = c.benchmark_group("fig4_speedup");
+    group.sample_size(10);
+    group.bench_function("swim_triple_tiny", |b| {
+        b.iter(|| run_triple(spec, Scale::Tiny, &cfg, IcountKind::Icount1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

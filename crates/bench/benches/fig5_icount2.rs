@@ -1,0 +1,24 @@
+//! Figure 5 bench: icount2 under Pin vs SuperPin across the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_bench::{figures, render};
+use superpin_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let series = figures::fig5_icount2(Scale::Tiny, 4);
+    println!(
+        "{}",
+        render::render_series("Figure 5 (tiny scale): icount2 vs native", &series)
+    );
+    assert!(series.rows.iter().all(|row| row.counts_ok));
+
+    let mut group = c.benchmark_group("fig5_icount2");
+    group.sample_size(10);
+    group.bench_function("suite_tiny", |b| {
+        b.iter(|| figures::fig5_icount2(Scale::Tiny, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

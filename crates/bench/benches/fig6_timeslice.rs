@@ -1,0 +1,21 @@
+//! Figure 6 bench: gcc runtime vs timeslice interval with the
+//! native / fork&others / sleep / pipeline breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_bench::{figures, render};
+use superpin_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = figures::fig6_timeslice(Scale::Small, &[500, 1000, 2000, 4000]);
+    println!("{}", render::render_fig6(&rows));
+
+    let mut group = c.benchmark_group("fig6_timeslice");
+    group.sample_size(10);
+    group.bench_function("gcc_sweep_small", |b| {
+        b.iter(|| figures::fig6_timeslice(Scale::Small, &[1000, 2000]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 7 bench: gcc runtime vs the max-running-slices limit on the
+//! hyperthreaded 16-virtual-CPU machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_bench::{figures, render};
+use superpin_workloads::Scale;
+
+fn bench(c: &mut Criterion) {
+    let rows = figures::fig7_parallelism(Scale::Small, &[1, 2, 4, 8, 12, 16]);
+    println!("{}", render::render_fig7(&rows));
+
+    let mut group = c.benchmark_group("fig7_parallelism");
+    group.sample_size(10);
+    group.bench_function("gcc_spmp_sweep_small", |b| {
+        b.iter(|| figures::fig7_parallelism(Scale::Small, &[2, 8]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

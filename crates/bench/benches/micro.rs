@@ -1,0 +1,95 @@
+//! Substrate micro-benchmarks: raw host-side costs of the building
+//! blocks (interpreter throughput, COW fork, signature capture, trace
+//! compilation, slice spawn). These measure the *simulator's* speed, not
+//! virtual time — useful when optimizing the reproduction itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use superpin::bubble::Bubble;
+use superpin::signature::Signature;
+use superpin::slice::SliceRuntime;
+use superpin::SuperPinConfig;
+use superpin_dbi::{discover_trace, Engine, NullTool};
+use superpin_isa::asm::assemble;
+use superpin_tools::ICount2;
+use superpin_vm::process::Process;
+use superpin_workloads::{find, Scale};
+
+fn bench(c: &mut Criterion) {
+    let loop_src =
+        "main:\n li r1, 10000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+    let loop_program = assemble(loop_src).expect("assemble");
+
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+
+    // Interpreter throughput: ~20k instructions per iteration.
+    group.bench_function("interp_20k_insts", |b| {
+        b.iter_batched(
+            || Process::load(1, &loop_program).expect("load"),
+            |mut process| process.run(u64::MAX, 0).expect("run"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Engine (instrumented) throughput over the same program.
+    group.bench_function("engine_icount2_20k_insts", |b| {
+        b.iter_batched(
+            || {
+                let shared = superpin::SharedMem::new();
+                Engine::new(
+                    Process::load(1, &loop_program).expect("load"),
+                    ICount2::new(&shared),
+                )
+            },
+            |mut engine| engine.run_to_exit().expect("run"),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // COW fork of a gcc-sized process image.
+    let gcc = find("gcc").expect("gcc").build(Scale::Tiny);
+    let mut gcc_process = Process::load(1, &gcc).expect("load");
+    gcc_process.run_until_syscall(5_000).expect("warm up");
+    group.bench_function("cow_fork_gcc_image", |b| {
+        b.iter(|| std::hint::black_box(gcc_process.fork(2)))
+    });
+
+    // Signature capture (registers + 100 stack words + quick-reg scan).
+    group.bench_function("signature_capture", |b| {
+        b.iter(|| std::hint::black_box(Signature::capture(&gcc_process)))
+    });
+
+    // Trace discovery on gcc's entry.
+    group.bench_function("trace_discovery", |b| {
+        b.iter(|| discover_trace(&gcc_process.mem, gcc.entry()).expect("trace"))
+    });
+
+    // Full slice spawn (fork + trampoline + bubble + engine setup).
+    let mut master = Process::load(1, &gcc).expect("load");
+    let bubble = Bubble::reserve(&mut master.mem).expect("bubble");
+    let cfg = SuperPinConfig::paper_default();
+    let shared = superpin::SharedMem::new();
+    let tool = ICount2::new(&shared);
+    group.bench_function("slice_spawn", |b| {
+        b.iter(|| {
+            SliceRuntime::spawn(1, &master, &tool, &bubble, &cfg, 0).expect("spawn")
+        })
+    });
+
+    // Null-tool engine startup cost (cold JIT of the whole loop).
+    group.bench_function("engine_cold_start", |b| {
+        b.iter_batched(
+            || Process::load(1, &loop_program).expect("load"),
+            |process| {
+                let mut engine = Engine::new(process, NullTool);
+                engine.run(5_000).expect("run")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

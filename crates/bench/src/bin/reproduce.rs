@@ -1,0 +1,195 @@
+//! Regenerates every table and figure from the paper's evaluation (§6).
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [fig3|fig4|fig5|fig6|fig7|sigstats|pipeline|overhead|ablation|all]
+//!           [--scale tiny|small|medium|large] [--threads N] [--json]
+//! ```
+//!
+//! Build with `--release`; `medium` (the default) simulates ~10⁸ guest
+//! instructions across the suite.
+
+use superpin_bench::{figures, json, render};
+use superpin_workloads::Scale;
+
+fn parse_scale(text: &str) -> Scale {
+    match text {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => {
+            eprintln!("unknown scale `{other}` (tiny|small|medium|large)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_owned();
+    let mut scale = Scale::Medium;
+    let mut as_json = false;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = parse_scale(iter.next().map(String::as_str).unwrap_or(""));
+            }
+            "--json" => as_json = true,
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .unwrap_or(threads);
+            }
+            other if !other.starts_with('-') => what = other.to_owned(),
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match what.as_str() {
+        "fig3" => {
+            let series = figures::fig3_icount1(scale, threads);
+            if as_json {
+                println!("{}", json::series_to_json(&series));
+            } else {
+                print!(
+                    "{}",
+                    render::render_series(
+                        "Figure 3: icount1 — Pin and SuperPin runtime relative to native",
+                        &series
+                    )
+                );
+            }
+        }
+        "fig4" => {
+            let series = figures::fig3_icount1(scale, threads);
+            print!(
+                "{}",
+                render::render_series(
+                    "Figure 4: icount1 — SuperPin speedup over Pin (same data as Fig. 3)",
+                    &series
+                )
+            );
+        }
+        "fig5" => {
+            let series = figures::fig5_icount2(scale, threads);
+            if as_json {
+                println!("{}", json::series_to_json(&series));
+            } else {
+                print!(
+                    "{}",
+                    render::render_series(
+                        "Figure 5: icount2 — Pin and SuperPin runtime relative to native",
+                        &series
+                    )
+                );
+            }
+        }
+        "fig6" => {
+            let rows = figures::fig6_timeslice(scale, &[500, 1000, 2000, 4000]);
+            if as_json {
+                println!("{}", json::fig6_to_json(&rows));
+            } else {
+                print!("{}", render::render_fig6(&rows));
+            }
+        }
+        "fig7" => {
+            let rows = figures::fig7_parallelism(scale, &[1, 2, 4, 8, 12, 16]);
+            if as_json {
+                println!("{}", json::fig7_to_json(&rows));
+            } else {
+                print!("{}", render::render_fig7(&rows));
+            }
+        }
+        "sigstats" => {
+            let summary = figures::signature_stats(scale, threads);
+            if as_json {
+                println!("{}", json::sigstats_to_json(&summary));
+            } else {
+                print!("{}", render::render_sigstats(&summary));
+            }
+        }
+        "pipeline" => {
+            let checks = figures::pipeline_model(scale, &[1000, 2000, 4000]);
+            print!("{}", render::render_pipeline(&checks));
+        }
+        "overhead" => {
+            let report = figures::overhead_breakdown(scale);
+            print!("{}", render::render_overhead(&report));
+        }
+        "ablation" => {
+            let rows = figures::ablations(scale);
+            print!("{}", render::render_ablations(&rows));
+        }
+        "all" => {
+            let icount1 = figures::fig3_icount1(scale, threads);
+            print!(
+                "{}",
+                render::render_series(
+                    "Figure 3: icount1 — Pin and SuperPin runtime relative to native",
+                    &icount1
+                )
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_series(
+                    "Figure 4: icount1 — SuperPin speedup over Pin (same data)",
+                    &icount1
+                )
+            );
+            println!();
+            let icount2 = figures::fig5_icount2(scale, threads);
+            print!(
+                "{}",
+                render::render_series(
+                    "Figure 5: icount2 — Pin and SuperPin runtime relative to native",
+                    &icount2
+                )
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_fig6(&figures::fig6_timeslice(scale, &[500, 1000, 2000, 4000]))
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_fig7(&figures::fig7_parallelism(scale, &[1, 2, 4, 8, 12, 16]))
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_sigstats(&figures::signature_stats(scale, threads))
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_pipeline(&figures::pipeline_model(scale, &[1000, 2000, 4000]))
+            );
+            println!();
+            print!(
+                "{}",
+                render::render_overhead(&figures::overhead_breakdown(scale))
+            );
+            println!();
+            print!("{}", render::render_ablations(&figures::ablations(scale)));
+        }
+        other => {
+            eprintln!(
+                "unknown figure `{other}` (fig3|fig4|fig5|fig6|fig7|sigstats|pipeline|overhead|ablation|all)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! A Pin-style command line for the reproduction, mirroring the paper's
+//! invocation and switches (§2.2, §5):
+//!
+//! ```text
+//! superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N]
+//!          -t icount1|icount2|dcache|itrace|branch|mem|sampler
+//!          -- <benchmark> [tiny|small|medium|large]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! superpin -t icount2 -- gzip small
+//! superpin -sp 1 -spmsec 500 -spmp 16 -t icount1 -- gcc medium
+//! superpin -sp 0 -t dcache -- mcf small        # traditional Pin mode
+//! ```
+
+use superpin::baseline::run_pin;
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
+use superpin_bench::runs::time_scale_for;
+use superpin_tools::{
+    BranchProfile, DCache, DCacheConfig, ICount1, ICount2, ITrace, MemProfile, Sampler,
+};
+use superpin_vm::process::Process;
+use superpin_workloads::{find, Scale};
+
+struct Options {
+    sp: bool,
+    gantt: bool,
+    spmsec: u64,
+    spmp: usize,
+    spsysrecs: usize,
+    tool: String,
+    benchmark: String,
+    scale: Scale,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-gantt] \
+         -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
+         tools: icount1 icount2 dcache dcache-assoc icache bblcount insmix itrace branch mem sampler"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        sp: true,
+        gantt: false,
+        spmsec: 1000,
+        spmp: 8,
+        spsysrecs: 1000,
+        tool: String::new(),
+        benchmark: String::new(),
+        scale: Scale::Small,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter().peekable();
+    let mut after_dashes = Vec::new();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-sp" => match iter.next() {
+                Some(v) => options.sp = v != "0",
+                None => usage(),
+            },
+            "-spmsec" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.spmsec = v,
+                None => usage(),
+            },
+            "-spmp" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.spmp = v,
+                None => usage(),
+            },
+            "-spsysrecs" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.spsysrecs = v,
+                None => usage(),
+            },
+            "-gantt" => options.gantt = true,
+            "-t" => match iter.next() {
+                Some(v) => options.tool = v.clone(),
+                None => usage(),
+            },
+            "--" => {
+                after_dashes.extend(iter.by_ref().cloned());
+            }
+            _ => usage(),
+        }
+    }
+    if after_dashes.is_empty() || options.tool.is_empty() {
+        usage();
+    }
+    options.benchmark = after_dashes[0].clone();
+    if let Some(scale) = after_dashes.get(1) {
+        options.scale = match scale.as_str() {
+            "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
+            "medium" => Scale::Medium,
+            "large" => Scale::Large,
+            _ => usage(),
+        };
+    }
+    options
+}
+
+fn run_super<T: SuperTool>(
+    program: &superpin_isa::Program,
+    tool: T,
+    shared: &SharedMem,
+    options: &Options,
+) -> superpin::SuperPinReport {
+    let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
+        .with_max_slices(options.spmp)
+        .with_max_sysrecs(options.spsysrecs);
+    let present = cfg.clone();
+    let report = SuperPinRunner::new(
+        Process::load(1, program).expect("load"),
+        tool,
+        shared.clone(),
+        cfg,
+    )
+    .expect("setup")
+    .run()
+    .expect("run");
+    println!(
+        "superpin: {} slices ({} timer, {} syscall), {} stalls",
+        report.slice_count(),
+        report.forks_on_timeout,
+        report.forks_on_syscall,
+        report.stall_events
+    );
+    println!(
+        "runtime {:.2}s presented ({} cycles); breakdown: native {:.2}s, fork&others {:.2}s, sleep {:.2}s, pipeline {:.2}s",
+        present.present_secs(report.total_cycles),
+        report.total_cycles,
+        present.present_secs(report.breakdown.native_cycles),
+        present.present_secs(report.breakdown.fork_other_cycles),
+        present.present_secs(report.breakdown.sleep_cycles),
+        present.present_secs(report.breakdown.pipeline_cycles),
+    );
+    if options.gantt {
+        print!("{}", superpin_bench::render::render_gantt(&report, 100));
+    }
+    report
+}
+
+fn main() {
+    let options = parse_args();
+    let Some(spec) = find(&options.benchmark) else {
+        eprintln!("unknown benchmark `{}`", options.benchmark);
+        std::process::exit(2);
+    };
+    let program = spec.build(options.scale);
+    println!(
+        "{} @ {:?}: {} static instructions",
+        spec.name,
+        options.scale,
+        program.static_inst_count()
+    );
+
+    // The tool zoo. Each arm constructs, runs (SuperPin or plain Pin per
+    // -sp), and prints its result.
+    match options.tool.as_str() {
+        "icount1" => {
+            let shared = SharedMem::new();
+            let tool = ICount1::new(&shared);
+            if options.sp {
+                let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
+                    .with_max_slices(options.spmp)
+                    .with_max_sysrecs(options.spsysrecs);
+                SuperPinRunner::new(
+                    Process::load(1, &program).expect("load"),
+                    tool.clone(),
+                    shared.clone(),
+                    cfg,
+                )
+                .expect("setup")
+                .run()
+                .expect("run");
+                println!("Total Count: {}", tool.total(&shared));
+            } else {
+                let pin = run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                println!("Total Count: {}", pin.tool.local_count());
+            }
+        }
+        "icount2" => {
+            let shared = SharedMem::new();
+            let tool = ICount2::new(&shared);
+            if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                println!("Total Count: {}", tool.total(&shared));
+            } else {
+                let pin = run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                println!("Total Count: {}", pin.tool.local_count());
+            }
+        }
+        "dcache" => {
+            let shared = SharedMem::new();
+            let tool = DCache::new(&shared, DCacheConfig::small());
+            let result = if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_result(&shared)
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_result()
+            };
+            println!(
+                "dcache: {} hits, {} misses (miss ratio {:.2}%)",
+                result.hits,
+                result.misses,
+                100.0 * result.miss_ratio()
+            );
+        }
+        "dcache-assoc" => {
+            use superpin_tools::{AssocDCache, AssocDCacheConfig};
+            let shared = SharedMem::new();
+            let tool = AssocDCache::new(&shared, AssocDCacheConfig::small());
+            let result = if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_result(&shared)
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_result()
+            };
+            println!(
+                "dcache-assoc (2-way LRU): {} hits, {} misses (miss ratio {:.2}%)",
+                result.hits,
+                result.misses,
+                100.0 * result.miss_ratio()
+            );
+        }
+        "icache" => {
+            use superpin_tools::ICache;
+            let shared = SharedMem::new();
+            let tool = ICache::new(&shared, DCacheConfig::small());
+            let result = if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_result(&shared)
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_result()
+            };
+            println!(
+                "icache: {} hits, {} misses (miss ratio {:.2}%)",
+                result.hits,
+                result.misses,
+                100.0 * result.miss_ratio()
+            );
+        }
+        "bblcount" => {
+            use superpin_tools::BblCount;
+            let tool = BblCount::new();
+            let hottest = if options.sp {
+                let shared = SharedMem::new();
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.hottest(5)
+            } else {
+                let pin =
+                    run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                let mut blocks: Vec<(u64, u64)> =
+                    pin.tool.local_blocks().iter().map(|(&a, &c)| (a, c)).collect();
+                blocks.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+                blocks.truncate(5);
+                blocks
+            };
+            println!("bblcount: hottest blocks:");
+            for (addr, count) in hottest {
+                let name = program
+                    .symbol_for_addr(addr)
+                    .map(|sym| sym.name.as_str())
+                    .unwrap_or("?");
+                println!("  {addr:#08x} [{name:<10}] {count:>8} executions");
+            }
+        }
+        "insmix" => {
+            use superpin_tools::{InsMix, MixCategory};
+            let shared = SharedMem::new();
+            let tool = InsMix::new(&shared);
+            let counts = if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_counts(&shared)
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_counts()
+            };
+            println!("insmix ({} instructions):", counts.total());
+            for category in MixCategory::ALL {
+                println!(
+                    "  {:<8} {:>12} ({:>5.1}%)",
+                    category.label(),
+                    counts.get(category),
+                    100.0 * counts.fraction(category)
+                );
+            }
+        }
+        "itrace" => {
+            let shared = SharedMem::new();
+            let tool = ITrace::new();
+            let trace = if options.sp {
+                run_super(&program, tool, &shared, &options);
+                ITrace::merged_trace(&shared)
+            } else {
+                let pin =
+                    run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                ITrace::decode(pin.tool.local_buffer())
+            };
+            println!("itrace: {} instructions traced", trace.len());
+        }
+        "branch" => {
+            let tool = BranchProfile::new();
+            let sites = if options.sp {
+                let shared = SharedMem::new();
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_sites()
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_sites()
+                    .clone()
+            };
+            println!("branch: {} sites profiled", sites.len());
+        }
+        "mem" => {
+            let shared = SharedMem::new();
+            let tool = MemProfile::new(&shared);
+            let totals = if options.sp {
+                run_super(&program, tool.clone(), &shared, &options);
+                tool.merged_totals(&shared)
+            } else {
+                run_pin(Process::load(1, &program).expect("load"), tool)
+                    .expect("pin")
+                    .tool
+                    .local_totals()
+            };
+            println!(
+                "mem: {} loads ({} B), {} stores ({} B)",
+                totals.loads, totals.bytes_read, totals.stores, totals.bytes_written
+            );
+        }
+        "sampler" => {
+            let tool = Sampler::new(500);
+            if options.sp {
+                let shared = SharedMem::new();
+                run_super(&program, tool.clone(), &shared, &options);
+                println!("sampler: {} samples", tool.merged_samples());
+            } else {
+                eprintln!("sampler requires -sp 1 (it is a SuperPin tool)");
+                std::process::exit(2);
+            }
+        }
+        other => {
+            eprintln!("unknown tool `{other}`");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal JSON emission for figure data.
+//!
+//! The workspace's dependency policy does not include a JSON crate, and
+//! the figure records are flat, so a small hand-rolled emitter keeps the
+//! output machine-readable (for plotting scripts) without a new
+//! dependency.
+
+use crate::figures::{Fig6Row, Fig7Row, FigSeries, SigStatsSummary};
+use std::fmt::Write as _;
+
+fn push_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:.4}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes a Figure 3/5 series.
+pub fn series_to_json(series: &FigSeries) -> String {
+    let mut out = String::from("{\"rows\":[");
+    for (i, row) in series.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"benchmark\":\"{}\",\"pin_pct\":",
+            row.benchmark
+        );
+        push_f64(&mut out, row.pin_pct);
+        out.push_str(",\"superpin_pct\":");
+        push_f64(&mut out, row.superpin_pct);
+        out.push_str(",\"speedup\":");
+        push_f64(&mut out, row.speedup);
+        let _ = write!(
+            out,
+            ",\"slices\":{},\"counts_ok\":{}}}",
+            row.slices, row.counts_ok
+        );
+    }
+    out.push_str("],\"avg_pin_pct\":");
+    push_f64(&mut out, series.avg_pin_pct);
+    out.push_str(",\"avg_superpin_pct\":");
+    push_f64(&mut out, series.avg_superpin_pct);
+    out.push_str(",\"avg_speedup\":");
+    push_f64(&mut out, series.avg_speedup);
+    out.push('}');
+    out
+}
+
+/// Serializes Figure 6 rows.
+pub fn fig6_to_json(rows: &[Fig6Row]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"timeslice_secs\":");
+        push_f64(&mut out, row.timeslice_secs);
+        out.push_str(",\"native_secs\":");
+        push_f64(&mut out, row.native_secs);
+        out.push_str(",\"fork_other_secs\":");
+        push_f64(&mut out, row.fork_other_secs);
+        out.push_str(",\"sleep_secs\":");
+        push_f64(&mut out, row.sleep_secs);
+        out.push_str(",\"pipeline_secs\":");
+        push_f64(&mut out, row.pipeline_secs);
+        out.push_str(",\"total_secs\":");
+        push_f64(&mut out, row.total_secs);
+        let _ = write!(out, ",\"slices\":{}}}", row.slices);
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes Figure 7 rows.
+pub fn fig7_to_json(rows: &[Fig7Row]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"max_slices\":{},\"runtime_secs\":", row.max_slices);
+        push_f64(&mut out, row.runtime_secs);
+        let _ = write!(out, ",\"stall_events\":{}}}", row.stall_events);
+    }
+    out.push(']');
+    out
+}
+
+/// Serializes the §4.4 signature statistics.
+pub fn sigstats_to_json(summary: &SigStatsSummary) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"quick_checks\":{},\"full_checks\":{},\"stack_checks\":{},\"detections\":{},\"full_check_rate\":",
+        summary.stats.quick_checks,
+        summary.stats.full_checks,
+        summary.stats.stack_checks,
+        summary.stats.detections,
+    );
+    push_f64(&mut out, summary.full_check_rate);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::FigRow;
+
+    #[test]
+    fn series_json_is_well_formed() {
+        let series = FigSeries {
+            rows: vec![FigRow {
+                benchmark: "gcc",
+                pin_pct: 896.0,
+                superpin_pct: 217.5,
+                speedup: 4.12,
+                slices: 85,
+                counts_ok: true,
+            }],
+            avg_pin_pct: 896.0,
+            avg_superpin_pct: 217.5,
+            avg_speedup: 4.12,
+        };
+        let json = series_to_json(&series);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"benchmark\":\"gcc\""));
+        assert!(json.contains("\"pin_pct\":896.0000"));
+        assert!(json.contains("\"counts_ok\":true"));
+        // Balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn fig6_and_fig7_json_shapes() {
+        let f6 = fig6_to_json(&[Fig6Row {
+            timeslice_secs: 0.5,
+            native_secs: 98.2,
+            fork_other_secs: 100.0,
+            sleep_secs: 111.5,
+            pipeline_secs: 5.1,
+            total_secs: 314.8,
+            slices: 397,
+        }]);
+        assert!(f6.starts_with('[') && f6.ends_with(']'));
+        assert!(f6.contains("\"sleep_secs\":111.5000"));
+
+        let f7 = fig7_to_json(&[Fig7Row {
+            max_slices: 8,
+            runtime_secs: 190.4,
+            stall_events: 67,
+        }]);
+        assert!(f7.contains("\"max_slices\":8"));
+        assert!(f7.contains("\"stall_events\":67"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,180 @@
+//! SuperPin configuration (the paper's command-line switches, §5).
+
+use superpin_dbi::{CostModel, CYCLES_PER_SEC};
+use superpin_sched::{Machine, Policy};
+
+/// Configuration for a SuperPin run.
+///
+/// Mirrors the paper's switches:
+///
+/// * `-sp 1` → [`enabled`](SuperPinConfig::enabled)
+/// * `-spmsec` → [`timeslice_cycles`](SuperPinConfig::timeslice_cycles)
+///   (default 1000 ms)
+/// * `-spmp` → [`max_slices`](SuperPinConfig::max_slices) (default 8)
+/// * `-spsysrecs` → [`max_sysrecs`](SuperPinConfig::max_sysrecs)
+///   (default 1000; 0 disables recording so every recordable syscall
+///   forces a new slice)
+///
+/// # Time scaling
+///
+/// The paper's workloads run for ~100 wall-clock seconds; simulating
+/// 2.2 × 10¹¹ instructions per benchmark is infeasible, so the harness
+/// runs workloads scaled down by [`time_scale`](SuperPinConfig::time_scale)
+/// and shrinks the timeslice by the same factor. All *ratios* (slice
+/// count, pipeline-delay fraction, fork-overhead fraction) are preserved;
+/// reports multiply back up when presenting "seconds".
+#[derive(Clone, Debug)]
+pub struct SuperPinConfig {
+    /// Run in SuperPin mode (`-sp 1`); `false` means traditional Pin.
+    pub enabled: bool,
+    /// Timeslice interval in cycles (`-spmsec`, after time scaling).
+    pub timeslice_cycles: u64,
+    /// Maximum simultaneously running slices (`-spmp`).
+    pub max_slices: usize,
+    /// Maximum syscall records per slice; 0 disables recording
+    /// (`-spsysrecs`).
+    pub max_sysrecs: usize,
+    /// The machine model to schedule on.
+    pub machine: Machine,
+    /// Scheduling policy (fair share reproduces the paper).
+    pub policy: Policy,
+    /// DBI cost model for slices.
+    pub cost: CostModel,
+    /// Per-slice code-cache capacity in instructions.
+    pub cache_capacity: usize,
+    /// Simulation quantum in cycles (must be well below the timeslice).
+    pub quantum_cycles: u64,
+    /// Presented-time multiplier (see struct docs).
+    pub time_scale: f64,
+    /// Paper §8 extension: when `Some(estimated_total_cycles)`, the
+    /// timeslice is throttled down toward the end of execution so the
+    /// final slices are short and the pipeline delay shrinks.
+    pub adaptive_estimate: Option<u64>,
+    /// Paper §8 extension: share the code cache across all timeslices.
+    /// A slice compiling a trace another slice already compiled pays a
+    /// consistency-check cost instead of the full JIT cost.
+    pub shared_code_cache: bool,
+}
+
+impl SuperPinConfig {
+    /// The paper's defaults: SuperPin on, 1000 ms timeslice, 8 slices,
+    /// 1000 syscall records, 8-way SMP without hyperthreading.
+    pub fn paper_default() -> SuperPinConfig {
+        SuperPinConfig {
+            enabled: true,
+            timeslice_cycles: CYCLES_PER_SEC, // 1000 ms
+            max_slices: 8,
+            max_sysrecs: 1000,
+            machine: Machine::smp(8),
+            policy: Policy::FairShare,
+            cost: CostModel::paper_default(),
+            cache_capacity: superpin_dbi::cache::DEFAULT_CAPACITY_INSTS,
+            quantum_cycles: CYCLES_PER_SEC / 1000, // 1 ms
+            time_scale: 1.0,
+            adaptive_estimate: None,
+            shared_code_cache: false,
+        }
+    }
+
+    /// A configuration whose timeslice is `paper_msec` of *paper* time,
+    /// scaled down by `time_scale` for simulation feasibility. The
+    /// quantum is set to timeslice/50 so timer forks stay well-resolved.
+    pub fn scaled(paper_msec: u64, time_scale: f64) -> SuperPinConfig {
+        let timeslice_cycles =
+            ((paper_msec as f64 / 1000.0) * CYCLES_PER_SEC as f64 / time_scale) as u64;
+        let timeslice_cycles = timeslice_cycles.max(1000);
+        SuperPinConfig {
+            timeslice_cycles,
+            quantum_cycles: (timeslice_cycles / 50).max(500),
+            time_scale,
+            ..SuperPinConfig::paper_default()
+        }
+    }
+
+    /// Sets the maximum number of running slices (`-spmp`).
+    pub fn with_max_slices(mut self, max_slices: usize) -> SuperPinConfig {
+        self.max_slices = max_slices.max(1);
+        self
+    }
+
+    /// Sets the machine model.
+    pub fn with_machine(mut self, machine: Machine) -> SuperPinConfig {
+        self.machine = machine;
+        self
+    }
+
+    /// Sets the syscall-record budget (`-spsysrecs`).
+    pub fn with_max_sysrecs(mut self, max_sysrecs: usize) -> SuperPinConfig {
+        self.max_sysrecs = max_sysrecs;
+        self
+    }
+
+    /// Converts cycles to presented (paper-equivalent) seconds.
+    pub fn present_secs(&self, cycles: u64) -> f64 {
+        superpin_dbi::cycles_to_secs(cycles) * self.time_scale
+    }
+
+    /// The timeslice to use at virtual time `now_cycles`, honouring the
+    /// adaptive-throttling extension when configured (paper §8: "decrease
+    /// the timeslice size toward the end of application execution").
+    pub fn effective_timeslice(&self, now_cycles: u64) -> u64 {
+        match self.adaptive_estimate {
+            None => self.timeslice_cycles,
+            Some(estimate) => {
+                let remaining = estimate.saturating_sub(now_cycles);
+                let floor = (self.timeslice_cycles / 8).max(self.quantum_cycles);
+                self.timeslice_cycles.min(remaining.max(floor))
+            }
+        }
+    }
+}
+
+impl Default for SuperPinConfig {
+    fn default() -> SuperPinConfig {
+        SuperPinConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_switch_documentation() {
+        let cfg = SuperPinConfig::paper_default();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.timeslice_cycles, CYCLES_PER_SEC);
+        assert_eq!(cfg.max_slices, 8);
+        assert_eq!(cfg.max_sysrecs, 1000);
+    }
+
+    #[test]
+    fn scaled_preserves_ratio() {
+        let cfg = SuperPinConfig::scaled(2000, 10_000.0);
+        // 2 s of paper time at scale 10⁴ = 200 µs of simulated time.
+        let expected = (2.0 * CYCLES_PER_SEC as f64 / 10_000.0) as u64;
+        assert_eq!(cfg.timeslice_cycles, expected);
+        assert!(cfg.quantum_cycles * 10 <= cfg.timeslice_cycles);
+        // Presenting the timeslice recovers ~2 s.
+        let presented = cfg.present_secs(cfg.timeslice_cycles);
+        assert!((presented - 2.0).abs() < 0.01, "presented {presented}");
+    }
+
+    #[test]
+    fn adaptive_timeslice_shrinks_near_estimate() {
+        let mut cfg = SuperPinConfig::scaled(1000, 1000.0);
+        let base = cfg.timeslice_cycles;
+        cfg.adaptive_estimate = Some(10 * base);
+        assert_eq!(cfg.effective_timeslice(0), base);
+        // Near the end, the timeslice throttles down.
+        let near_end = cfg.effective_timeslice(10 * base - base / 4);
+        assert!(near_end < base);
+        assert!(near_end >= cfg.quantum_cycles);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let cfg = SuperPinConfig::paper_default().with_max_slices(0);
+        assert_eq!(cfg.max_slices, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! SuperPin error type.
+
+use std::fmt;
+use superpin_vm::mem::MemError;
+use superpin_vm::VmError;
+
+/// Errors surfaced by the SuperPin runtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpError {
+    /// A guest-execution error in the master or a slice.
+    Vm(VmError),
+    /// A memory-management error while setting up a slice (bubble,
+    /// trampoline, private stack).
+    Mem(MemError),
+    /// A slice reached a syscall the master never recorded for its span —
+    /// master/slice divergence, which indicates a signature false
+    /// positive or a replay bug.
+    SliceDiverged {
+        /// The diverging slice number.
+        slice: u32,
+        /// Guest pc of the unexpected syscall.
+        pc: u64,
+    },
+    /// A slice's next recorded syscall does not match the syscall the
+    /// slice actually reached.
+    RecordMismatch {
+        /// The diverging slice number.
+        slice: u32,
+        /// Guest pc of the syscall.
+        pc: u64,
+        /// Syscall number recorded by the master.
+        recorded: u64,
+        /// Syscall number the slice issued.
+        actual: u64,
+    },
+    /// The simulation made no forward progress (internal scheduling bug
+    /// guard).
+    NoProgress,
+}
+
+impl fmt::Display for SpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpError::Vm(err) => write!(f, "guest execution error: {err}"),
+            SpError::Mem(err) => write!(f, "slice setup memory error: {err}"),
+            SpError::SliceDiverged { slice, pc } => {
+                write!(f, "slice {slice} diverged: unrecorded syscall at {pc:#x}")
+            }
+            SpError::RecordMismatch {
+                slice,
+                pc,
+                recorded,
+                actual,
+            } => write!(
+                f,
+                "slice {slice} record mismatch at {pc:#x}: recorded syscall {recorded}, got {actual}"
+            ),
+            SpError::NoProgress => write!(f, "simulation made no forward progress"),
+        }
+    }
+}
+
+impl std::error::Error for SpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpError::Vm(err) => Some(err),
+            SpError::Mem(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for SpError {
+    fn from(err: VmError) -> SpError {
+        SpError::Vm(err)
+    }
+}
+
+impl From<MemError> for SpError {
+    fn from(err: MemError) -> SpError {
+        SpError::Mem(err)
+    }
+}

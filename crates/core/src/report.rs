@@ -1,0 +1,102 @@
+//! Run reports: the data behind every figure in the paper's §6.
+
+use crate::signature::SignatureStats;
+use crate::slice::SliceEnd;
+use serde::Serialize;
+use superpin_dbi::{CacheStats, EngineStats};
+use superpin_vm::ptrace::PtraceStats;
+
+/// Per-slice results.
+#[derive(Clone, Debug)]
+pub struct SliceReport {
+    /// Slice number (fork order, 1-based).
+    pub num: u32,
+    /// Dynamic instructions the slice executed/played back.
+    pub insts: u64,
+    /// Syscall records played back.
+    pub records_played: u64,
+    /// How the slice ended.
+    pub end: SliceEnd,
+    /// Fork time (cycles).
+    pub start_cycles: u64,
+    /// Time the slice woke — its boundary became known (cycles).
+    pub wake_cycles: u64,
+    /// Completion time (cycles).
+    pub end_cycles: u64,
+    /// Engine statistics (cycle breakdown, calls, …).
+    pub engine: EngineStats,
+    /// Code-cache statistics (per-slice cold-start compilation).
+    pub cache: CacheStats,
+    /// Copy-on-write page copies taken by the slice.
+    pub cow_copies: u64,
+}
+
+/// The master's run-time decomposition, matching Figure 6's stacking:
+/// `total = native + fork&other + sleep + pipeline`.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct TimeBreakdown {
+    /// Pure native work: `master instructions × native CPI`.
+    pub native_cycles: u64,
+    /// Residual master overhead while running: forking, COW faults,
+    /// ptrace stops, syscalls, and SMP/HT contention ("fork & others").
+    pub fork_other_cycles: u64,
+    /// Master stalls waiting for a free slice slot ("sleep").
+    pub sleep_cycles: u64,
+    /// Time after master exit until the last slice completed
+    /// ("pipeline delay", paper §3/§6.3).
+    pub pipeline_cycles: u64,
+}
+
+impl TimeBreakdown {
+    /// Total wall time of the run.
+    pub fn total_cycles(&self) -> u64 {
+        self.native_cycles + self.fork_other_cycles + self.sleep_cycles + self.pipeline_cycles
+    }
+}
+
+/// Complete results of one SuperPin run.
+#[derive(Clone, Debug)]
+pub struct SuperPinReport {
+    /// Wall time until the last slice merged (cycles).
+    pub total_cycles: u64,
+    /// Wall time at master exit (cycles).
+    pub master_exit_cycles: u64,
+    /// The Figure 6 decomposition.
+    pub breakdown: TimeBreakdown,
+    /// Master's dynamic instruction count.
+    pub master_insts: u64,
+    /// Master syscalls serviced.
+    pub master_syscalls: u64,
+    /// Ptrace stop statistics (paper §6.3 "Ptrace Overhead").
+    pub ptrace: PtraceStats,
+    /// Per-slice reports, in slice order.
+    pub slices: Vec<SliceReport>,
+    /// Aggregated signature-detection statistics (paper §4.4).
+    pub sig_stats: SignatureStats,
+    /// Slices created on timer expiry.
+    pub forks_on_timeout: u64,
+    /// Slices created because a syscall forced a boundary.
+    pub forks_on_syscall: u64,
+    /// Times the master stalled on the max-slice limit.
+    pub stall_events: u64,
+    /// Master COW page copies (fork overhead, paper §6.3).
+    pub master_cow_copies: u64,
+}
+
+impl SuperPinReport {
+    /// Sum of instructions across all slices — must equal
+    /// [`master_insts`](SuperPinReport::master_insts) for a correct run.
+    pub fn slice_inst_total(&self) -> u64 {
+        self.slices.iter().map(|slice| slice.insts).sum()
+    }
+
+    /// Number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Slowdown of this run relative to a native run of `native_cycles`.
+    pub fn slowdown_vs(&self, native_cycles: u64) -> f64 {
+        self.total_cycles as f64 / native_cycles.max(1) as f64
+    }
+}

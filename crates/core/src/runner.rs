@@ -1,0 +1,368 @@
+//! The SuperPin runner: co-simulates the native master, the control
+//! process, and every instrumented slice on the machine model.
+//!
+//! This is the top of the system — the analogue of running
+//! `pin -sp 1 -t tool -- app` on the paper's 8-way Xeon. Virtual time
+//! advances in quanta; each quantum the runnable tasks (master + running
+//! slices) receive fair shares of the machine (`superpin-sched`), the
+//! master runs natively under ptrace-style control, slices execute
+//! instrumented code with record playback and signature detection, and
+//! completed slices merge **in slice order** (paper §4.5).
+
+use crate::api::SuperTool;
+use crate::bubble::Bubble;
+use crate::config::SuperPinConfig;
+use crate::error::SpError;
+use crate::master::{MasterEvent, MasterRuntime};
+use crate::report::{SliceReport, SuperPinReport, TimeBreakdown};
+use crate::shared::SharedMem;
+use crate::signature::{Signature, SignatureStats};
+use crate::slice::{Boundary, SliceRuntime, SliceState};
+use std::collections::VecDeque;
+use superpin_sched::{QuantumScheduler, Timeline};
+use superpin_vm::process::Process;
+
+/// Why the runner wants to fork while no slot is free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PendingFork {
+    Timer,
+    Syscall,
+}
+
+/// Drives one complete SuperPin run. See the crate docs for an example.
+pub struct SuperPinRunner<T: SuperTool> {
+    cfg: SuperPinConfig,
+    scheduler: QuantumScheduler,
+    master: MasterRuntime,
+    bubble: Bubble,
+    tool_template: T,
+    shared: SharedMem,
+    /// Live slices in fork order (front = oldest unmerged).
+    live: VecDeque<SliceRuntime<T>>,
+    finished: Vec<SliceReport>,
+    sig_stats: SignatureStats,
+    now: u64,
+    last_fork: u64,
+    master_insts_at_last_fork: u64,
+    master_debt: u64,
+    master_timeline: Timeline,
+    master_exit_cycles: Option<u64>,
+    next_slice_num: u32,
+    forks_on_timeout: u64,
+    forks_on_syscall: u64,
+    stall_events: u64,
+    stalled: Option<PendingFork>,
+    /// Shared compiled-trace index across slices (paper §8 extension).
+    shared_traces: Option<std::sync::Arc<std::sync::Mutex<std::collections::HashSet<u64>>>>,
+}
+
+impl<T: SuperTool> SuperPinRunner<T> {
+    /// Prepares a run: reserves the memory bubble in the master and wires
+    /// up the scheduler. The `process` must be freshly loaded (the first
+    /// slice forks from its initial state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError::Mem`] if the bubble range is occupied.
+    pub fn new(
+        process: Process,
+        tool: T,
+        shared: SharedMem,
+        cfg: SuperPinConfig,
+    ) -> Result<SuperPinRunner<T>, SpError> {
+        let mut master_process = process;
+        let bubble = Bubble::reserve(&mut master_process.mem)?;
+        let scheduler = QuantumScheduler::new(cfg.machine, cfg.policy);
+        let shared_traces = cfg
+            .shared_code_cache
+            .then(|| std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new())));
+        Ok(SuperPinRunner {
+            cfg,
+            scheduler,
+            master: MasterRuntime::new(master_process),
+            bubble,
+            tool_template: tool,
+            shared,
+            live: VecDeque::new(),
+            finished: Vec::new(),
+            sig_stats: SignatureStats::default(),
+            now: 0,
+            last_fork: 0,
+            master_insts_at_last_fork: 0,
+            master_debt: 0,
+            master_timeline: Timeline::new(),
+            master_exit_cycles: None,
+            next_slice_num: 1,
+            forks_on_timeout: 0,
+            forks_on_syscall: 0,
+            stall_events: 0,
+            stalled: None,
+            shared_traces,
+        })
+    }
+
+    fn running_count(&self) -> usize {
+        self.live
+            .iter()
+            .filter(|slice| slice.state() == SliceState::Running)
+            .count()
+    }
+
+    /// A fork wakes the previously sleeping slice, so the running count
+    /// grows by one; the limit is the `-spmp` maximum of running slices.
+    fn can_fork(&self) -> bool {
+        self.running_count() < self.cfg.max_slices
+    }
+
+    /// Forks a new slice from the master's current state and wakes the
+    /// previous slice with `boundary` + the span's records.
+    fn fork_slice(&mut self, boundary: Option<Boundary>) -> Result<(), SpError> {
+        let num = self.next_slice_num;
+        self.next_slice_num += 1;
+        let mut slice = SliceRuntime::spawn(
+            num,
+            self.master.process(),
+            &self.tool_template,
+            &self.bubble,
+            &self.cfg,
+            self.now,
+        )?;
+        if let Some(index) = &self.shared_traces {
+            slice.set_shared_trace_index(std::sync::Arc::clone(index));
+        }
+        let records = self.master.take_span_records();
+        if let Some(prev) = self.live.back_mut() {
+            let boundary = boundary.expect("boundary required when a slice is sleeping");
+            prev.wake(boundary, records, self.now);
+        }
+        self.live.push_back(slice);
+        self.last_fork = self.now;
+        self.master_insts_at_last_fork = self.master.process().inst_count();
+        self.master_debt += self.cfg.cost.fork_base;
+        Ok(())
+    }
+
+    /// Delivers the final boundary to the last sleeping slice when the
+    /// master exits.
+    fn deliver_final_boundary(&mut self) {
+        let records = self.master.take_span_records();
+        if let Some(last) = self.live.back_mut() {
+            if last.state() == SliceState::Sleeping {
+                last.wake(Boundary::ProgramExit, records, self.now);
+            }
+        }
+    }
+
+    /// Merges completed slices in slice order, reaping their runtimes.
+    fn merge_ready(&mut self) {
+        while let Some(front) = self.live.front() {
+            if front.state() != SliceState::Done {
+                break;
+            }
+            let mut slice = self.live.pop_front().expect("front exists");
+            let num = slice.num();
+            slice
+                .tool_mut()
+                .inner
+                .on_slice_end(num, &self.shared);
+            slice.set_merged();
+            self.sig_stats.absorb(&slice.tool().sig_stats);
+            self.finished.push(SliceReport {
+                num,
+                insts: slice.engine().process().inst_count(),
+                wake_cycles: slice.wake_cycles().unwrap_or(slice.start_cycles()),
+                records_played: slice.records_played(),
+                end: slice.end_reason().expect("done slice has a reason"),
+                start_cycles: slice.start_cycles(),
+                end_cycles: slice.end_cycles().expect("done slice has an end"),
+                engine: slice.engine().stats(),
+                cache: slice.engine().cache_stats(),
+                cow_copies: slice.engine().process().mem.stats().cow_copies,
+            });
+        }
+    }
+
+    /// Handles fork triggers at a quantum boundary: resolves a pending
+    /// forced-fork syscall, or performs a timer fork, stalling the master
+    /// when no slot is free.
+    fn control_step(&mut self) -> Result<(), SpError> {
+        if self.master.exited() {
+            self.stalled = None;
+            return Ok(());
+        }
+        if self.master.pending_force() {
+            if self.can_fork() {
+                if self.stalled.take().is_some() {
+                    // Stall just ended.
+                }
+                let cycles = self.master.resolve_forced_syscall(self.now, &self.cfg)?;
+                self.master_debt += cycles;
+                self.forks_on_syscall += 1;
+                self.fork_slice(Some(Boundary::SyscallEnd))?;
+                if self.master.exited() {
+                    self.note_master_exit();
+                }
+            } else {
+                if self.stalled.is_none() {
+                    self.stall_events += 1;
+                }
+                self.stalled = Some(PendingFork::Syscall);
+            }
+            return Ok(());
+        }
+        let timeslice = self.cfg.effective_timeslice(self.now);
+        // The timer only creates a slice once the master has made forward
+        // progress since the last fork — a zero-length slice would be
+        // pure overhead (and its boundary state would equal its start
+        // state).
+        let progressed = self.master.process().inst_count() > self.master_insts_at_last_fork;
+        if progressed && self.now.saturating_sub(self.last_fork) >= timeslice {
+            if self.can_fork() {
+                self.stalled = None;
+                let signature = Signature::capture(self.master.process());
+                self.forks_on_timeout += 1;
+                self.fork_slice(Some(Boundary::Signature(Box::new(signature))))?;
+            } else {
+                if self.stalled.is_none() {
+                    self.stall_events += 1;
+                }
+                self.stalled = Some(PendingFork::Timer);
+            }
+        } else {
+            self.stalled = None;
+        }
+        Ok(())
+    }
+
+    fn note_master_exit(&mut self) {
+        if self.master_exit_cycles.is_none() {
+            self.master_exit_cycles = Some(self.now + self.cfg.quantum_cycles);
+            self.deliver_final_boundary();
+        }
+    }
+
+    /// Runs the full simulation to completion and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors and slice-divergence detections.
+    pub fn run(mut self) -> Result<SuperPinReport, SpError> {
+        // "At the start of execution, the application forks off its first
+        // instrumented timeslice" (paper §3).
+        self.fork_slice(None)?;
+
+        let quantum = self.cfg.quantum_cycles.max(1);
+        loop {
+            self.control_step()?;
+
+            // Build the runnable set: master (task 0) + running slices.
+            let master_runnable =
+                !self.master.exited() && self.stalled.is_none() && !self.master.pending_force();
+            let mut runnable: Vec<u64> = Vec::new();
+            if master_runnable {
+                runnable.push(0);
+            }
+            let running: Vec<u32> = self
+                .live
+                .iter()
+                .filter(|slice| slice.state() == SliceState::Running)
+                .map(SliceRuntime::num)
+                .collect();
+            runnable.extend(running.iter().map(|&num| num as u64));
+
+            if runnable.is_empty() {
+                if self.master.exited() && self.live.is_empty() {
+                    break;
+                }
+                // Master stalled with zero running slices would be a
+                // logic error (a slot must be free then); a sleeping-only
+                // queue after exit likewise.
+                return Err(SpError::NoProgress);
+            }
+
+            let shares = self.scheduler.shares(&runnable);
+            let mut master_ran = false;
+            for share in shares {
+                let budget = ((quantum as f64) * share.throughput).max(1.0) as u64;
+                if share.task == 0 {
+                    master_ran = true;
+                    // Pay fork/ptrace debt out of this quantum first.
+                    let pay = self.master_debt.min(budget);
+                    self.master_debt -= pay;
+                    let remaining = budget - pay;
+                    if remaining > 0 {
+                        let (used, event) =
+                            self.master.advance(remaining, self.now, &self.cfg)?;
+                        // Overshoot (a serviced syscall may exceed the
+                        // budget) is owed to future quanta.
+                        self.master_debt += used.saturating_sub(remaining);
+                        if event == MasterEvent::Exited {
+                            self.note_master_exit();
+                        }
+                        // NeedForkAtSyscall is resolved by the next
+                        // quantum's control step.
+                    }
+                } else {
+                    let num = share.task as u32;
+                    let slice = self
+                        .live
+                        .iter_mut()
+                        .find(|slice| slice.num() == num)
+                        .expect("runnable slice is live");
+                    slice.advance(budget, self.now + quantum)?;
+                }
+            }
+
+            // Master timeline for the Figure 6 decomposition.
+            if self.master_exit_cycles.is_none() {
+                let label = if master_ran { "run" } else { "sleep" };
+                self.master_timeline.push(self.now, self.now + quantum, label);
+            }
+
+            self.now += quantum;
+            self.merge_ready();
+        }
+
+        // All slices merged: render the final result.
+        let mut fin = self.tool_template.clone();
+        fin.fini_shared(&self.shared);
+
+        let master_exit_cycles = self.master_exit_cycles.unwrap_or(self.now);
+        let native_cycles = self.master.process().inst_count() * self.cfg.cost.native_cpi;
+        let sleep_cycles = self.master_timeline.total("sleep");
+        let fork_other_cycles = master_exit_cycles
+            .saturating_sub(native_cycles)
+            .saturating_sub(sleep_cycles);
+        let breakdown = TimeBreakdown {
+            native_cycles,
+            fork_other_cycles,
+            sleep_cycles,
+            pipeline_cycles: self.now.saturating_sub(master_exit_cycles),
+        };
+
+        Ok(SuperPinReport {
+            total_cycles: self.now,
+            master_exit_cycles,
+            breakdown,
+            master_insts: self.master.process().inst_count(),
+            master_syscalls: self.master.syscall_count(),
+            ptrace: self.master.ptrace_stats(),
+            slices: self.finished,
+            sig_stats: self.sig_stats,
+            forks_on_timeout: self.forks_on_timeout,
+            forks_on_syscall: self.forks_on_syscall,
+            stall_events: self.stall_events,
+            master_cow_copies: self.master.process().mem.stats().cow_copies,
+        })
+    }
+}
+
+impl<T: SuperTool> std::fmt::Debug for SuperPinRunner<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuperPinRunner")
+            .field("now", &self.now)
+            .field("live_slices", &self.live.len())
+            .field("finished", &self.finished.len())
+            .finish()
+    }
+}

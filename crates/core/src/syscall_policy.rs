@@ -1,0 +1,90 @@
+//! Per-syscall slicing policy (paper §4.2).
+//!
+//! "After each system call, SuperPin must either (a) force a new slice or
+//! (b) record the effects of the system call and play them back in the
+//! slices. On some system calls, we perform custom emulation actions."
+
+use superpin_vm::kernel::SyscallNo;
+
+/// What the control process does about a syscall observed in the master.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyscallAction {
+    /// The call "can be duplicated without any adverse side effects"
+    /// (paper's `brk` example; anonymous `mmap` "can be repeated given
+    /// the same address"). Replayed from its address-space operations and
+    /// charged **no** record-budget space.
+    Duplicate,
+    /// Record register results and memory modifications; slices play them
+    /// back. Counts against the `-spsysrecs` budget.
+    RecordReplay,
+    /// Unknown or unsafe: fork a new timeslice at this syscall.
+    ForceSlice,
+}
+
+/// Classifies a syscall. `recording_enabled` is false when
+/// `-spsysrecs 0`, which "disable\[s\] system call recording" — every
+/// recordable syscall then forces a new slice.
+pub fn classify(number: SyscallNo, recording_enabled: bool) -> SyscallAction {
+    match number {
+        // Custom emulation actions: pure address-space effects.
+        SyscallNo::Brk | SyscallNo::Mmap | SyscallNo::Munmap => SyscallAction::Duplicate,
+        // Exit terminates the run; it is always delivered to the final
+        // slice as its last record.
+        SyscallNo::Exit => SyscallAction::RecordReplay,
+        // Data-bearing calls.
+        SyscallNo::Read
+        | SyscallNo::Write
+        | SyscallNo::Open
+        | SyscallNo::Close
+        | SyscallNo::GetTime
+        | SyscallNo::GetPid
+        | SyscallNo::GetRandom
+        // Signal installation, delivery, and return are fully captured
+        // by their records (stack frame writes + register/pc effects),
+        // so slices replay them exactly.
+        | SyscallNo::SigAction
+        | SyscallNo::Raise
+        | SyscallNo::SigReturn => {
+            if recording_enabled {
+                SyscallAction::RecordReplay
+            } else {
+                SyscallAction::ForceSlice
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_calls_are_duplicated() {
+        for no in [SyscallNo::Brk, SyscallNo::Mmap, SyscallNo::Munmap] {
+            assert_eq!(classify(no, true), SyscallAction::Duplicate);
+            assert_eq!(
+                classify(no, false),
+                SyscallAction::Duplicate,
+                "duplication needs no record budget"
+            );
+        }
+    }
+
+    #[test]
+    fn data_calls_record_when_enabled() {
+        assert_eq!(classify(SyscallNo::Read, true), SyscallAction::RecordReplay);
+        assert_eq!(classify(SyscallNo::GetTime, true), SyscallAction::RecordReplay);
+    }
+
+    #[test]
+    fn disabling_recording_forces_slices() {
+        assert_eq!(classify(SyscallNo::Read, false), SyscallAction::ForceSlice);
+        assert_eq!(classify(SyscallNo::Write, false), SyscallAction::ForceSlice);
+    }
+
+    #[test]
+    fn exit_is_always_deliverable() {
+        assert_eq!(classify(SyscallNo::Exit, true), SyscallAction::RecordReplay);
+        assert_eq!(classify(SyscallNo::Exit, false), SyscallAction::RecordReplay);
+    }
+}

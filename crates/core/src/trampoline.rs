@@ -1,0 +1,123 @@
+//! The slice-entry trampoline (paper §4.1).
+//!
+//! "When the control process determines that a new timeslice would be
+//! beneficial, it modifies the program counter to jump to a special
+//! trampoline. This trampoline changes the stack pointer to a private
+//! stack, then branches into the Pin VM, passing along information about
+//! the original program counter and stack."
+//!
+//! In the reproduction the "Pin VM" is host-side, so the trampoline's job
+//! reduces to the transparency-critical parts: capture the original
+//! `(pc, sp)`, give the instrumentation runtime a private stack mapped
+//! away from application memory, and restore the original context exactly
+//! before instrumented execution begins.
+
+use superpin_vm::mem::{MemError, RegionKind};
+use superpin_vm::process::Process;
+use superpin_isa::Reg;
+
+/// Base address of the private VM stack mapped into slices.
+pub const PRIVATE_STACK_BASE: u64 = 0x7000_0000;
+
+/// Size of the private VM stack.
+pub const PRIVATE_STACK_LEN: u64 = 64 << 10;
+
+/// The saved application context while the runtime is on its private
+/// stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrampolineFrame {
+    /// Application program counter at slice-spawn time.
+    pub orig_pc: u64,
+    /// Application stack pointer at slice-spawn time.
+    pub orig_sp: u64,
+}
+
+/// Redirects a freshly forked slice through the trampoline: saves the
+/// application `(pc, sp)`, maps the private VM stack, and parks the CPU
+/// on it.
+///
+/// # Errors
+///
+/// Returns a memory error if the private-stack range is occupied (which
+/// would indicate the application mapped memory there — a transparency
+/// violation the caller must surface).
+pub fn enter(process: &mut Process) -> Result<TrampolineFrame, MemError> {
+    let frame = TrampolineFrame {
+        orig_pc: process.cpu.pc,
+        orig_sp: process.cpu.regs.get(Reg::SP),
+    };
+    process
+        .mem
+        .map_region(PRIVATE_STACK_BASE, PRIVATE_STACK_LEN, RegionKind::Mmap)?;
+    process
+        .cpu
+        .regs
+        .set(Reg::SP, PRIVATE_STACK_BASE + PRIVATE_STACK_LEN - 64);
+    Ok(frame)
+}
+
+/// Returns from the trampoline: restores the application context exactly
+/// and releases the private stack, leaving the slice indistinguishable
+/// from the master at the fork point.
+///
+/// # Errors
+///
+/// Returns a memory error on double-resume (private stack not mapped).
+pub fn resume(process: &mut Process, frame: TrampolineFrame) -> Result<(), MemError> {
+    process.mem.unmap(PRIVATE_STACK_BASE)?;
+    process.cpu.pc = frame.orig_pc;
+    process.cpu.regs.set(Reg::SP, frame.orig_sp);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superpin_isa::asm::assemble;
+
+    fn process() -> Process {
+        let program = assemble("main:\n li r1, 1\n exit 0\n").expect("assemble");
+        let mut p = Process::load(1, &program).expect("load");
+        p.run_until_syscall(1).expect("advance");
+        p
+    }
+
+    #[test]
+    fn round_trip_restores_context_exactly() {
+        let mut p = process();
+        let before_cpu = p.cpu;
+        let before_digest = p.mem.content_digest();
+
+        let frame = enter(&mut p).expect("enter");
+        assert_ne!(p.cpu.regs.get(Reg::SP), before_cpu.regs.get(Reg::SP));
+        // Runtime work happens on the private stack without touching the
+        // application stack.
+        let vm_sp = p.cpu.regs.get(Reg::SP);
+        p.mem.write_u64(vm_sp - 8, 0xdead).expect("vm push");
+
+        resume(&mut p, frame).expect("resume");
+        assert_eq!(p.cpu, before_cpu);
+        assert_eq!(
+            p.mem.content_digest(),
+            before_digest,
+            "application memory must be untouched after the trampoline"
+        );
+    }
+
+    #[test]
+    fn enter_fails_if_application_occupies_the_range() {
+        let mut p = process();
+        p.mem
+            .map_anonymous(Some(PRIVATE_STACK_BASE), 4096)
+            .expect("squat");
+        assert!(enter(&mut p).is_err());
+    }
+
+    #[test]
+    fn double_resume_is_an_error() {
+        let mut p = process();
+        let frame = enter(&mut p).expect("enter");
+        resume(&mut p, frame).expect("resume");
+        assert!(resume(&mut p, frame).is_err());
+    }
+}

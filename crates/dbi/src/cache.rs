@@ -1,0 +1,298 @@
+//! The code cache: compiled, instrumented traces keyed by entry address.
+
+use crate::inserter::{Call, IPoint, Inserter};
+use crate::trace::Trace;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use superpin_isa::Inst;
+
+/// Default cache capacity in cached instructions. Workloads whose hot
+/// footprint exceeds this (the paper repeatedly calls out gcc's "large
+/// code footprint") take wholesale flushes and recompile, raising their
+/// compilation overhead exactly as in the paper.
+pub const DEFAULT_CAPACITY_INSTS: usize = 65_536;
+
+/// One instruction of a compiled trace with its attached analysis calls.
+pub struct CompiledInst<T> {
+    /// Guest address.
+    pub addr: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Encoded size in bytes.
+    pub size: u64,
+    /// Calls to run before the instruction.
+    pub before: Vec<Call<T>>,
+    /// Calls to run after the instruction.
+    pub after: Vec<Call<T>>,
+}
+
+impl<T> fmt::Debug for CompiledInst<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledInst")
+            .field("addr", &format_args!("{:#x}", self.addr))
+            .field("inst", &self.inst)
+            .field("before", &self.before.len())
+            .field("after", &self.after.len())
+            .finish()
+    }
+}
+
+/// A compiled trace ready for execution.
+pub struct CompiledTrace<T> {
+    /// Entry address (cache key).
+    pub entry: u64,
+    /// The trace's instructions with instrumentation attached.
+    pub insts: Vec<CompiledInst<T>>,
+    /// Continuation address if the last instruction falls through.
+    pub fallthrough: u64,
+    /// Number of basic blocks the source trace had.
+    pub num_bbls: usize,
+}
+
+impl<T> fmt::Debug for CompiledTrace<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledTrace")
+            .field("entry", &format_args!("{:#x}", self.entry))
+            .field("insts", &self.insts.len())
+            .field("num_bbls", &self.num_bbls)
+            .finish()
+    }
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Trace lookups.
+    pub lookups: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Traces compiled (== misses).
+    pub traces_compiled: u64,
+    /// Instructions compiled across all traces.
+    pub insts_compiled: u64,
+    /// Wholesale cache flushes due to capacity pressure.
+    pub flushes: u64,
+    /// Flushes forced by self-modifying code (a guest write into its own
+    /// code region invalidates all translations).
+    pub smc_flushes: u64,
+}
+
+/// The code cache. Starts *cold*: every SuperPin slice gets a fresh one,
+/// which is the source of the paper's per-slice "compilation slowdown"
+/// (§6.3: "each slice has its own copy of the code cache, and it starts
+/// in a clean state").
+pub struct CodeCache<T> {
+    traces: HashMap<u64, Arc<CompiledTrace<T>>>,
+    resident_insts: usize,
+    capacity_insts: usize,
+    stats: CacheStats,
+}
+
+impl<T> fmt::Debug for CodeCache<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodeCache")
+            .field("traces", &self.traces.len())
+            .field("resident_insts", &self.resident_insts)
+            .field("capacity_insts", &self.capacity_insts)
+            .finish()
+    }
+}
+
+impl<T> Default for CodeCache<T> {
+    fn default() -> CodeCache<T> {
+        CodeCache::new()
+    }
+}
+
+impl<T> CodeCache<T> {
+    /// An empty cache with the default capacity.
+    pub fn new() -> CodeCache<T> {
+        CodeCache::with_capacity(DEFAULT_CAPACITY_INSTS)
+    }
+
+    /// An empty cache bounded at `capacity_insts` cached instructions.
+    pub fn with_capacity(capacity_insts: usize) -> CodeCache<T> {
+        CodeCache {
+            traces: HashMap::new(),
+            resident_insts: 0,
+            capacity_insts: capacity_insts.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Drops every cached trace (self-modifying code detected).
+    pub fn flush_for_smc(&mut self) {
+        self.traces.clear();
+        self.resident_insts = 0;
+        self.stats.smc_flushes += 1;
+    }
+
+    /// Looks up the compiled trace entered at `entry`.
+    pub fn lookup(&mut self, entry: u64) -> Option<Arc<CompiledTrace<T>>> {
+        self.stats.lookups += 1;
+        let hit = self.traces.get(&entry).cloned();
+        if hit.is_some() {
+            self.stats.hits += 1;
+        }
+        hit
+    }
+
+    /// Compiles a discovered trace plus the tool's collected
+    /// instrumentation and inserts it. Returns the compiled trace and the
+    /// number of instructions compiled (for JIT cost accounting).
+    ///
+    /// If inserting would exceed capacity, the whole cache is flushed
+    /// first (Pin's wholesale-flush policy).
+    pub fn compile(
+        &mut self,
+        trace: &Trace,
+        inserter: Inserter<T>,
+    ) -> (Arc<CompiledTrace<T>>, usize)
+    where
+        T: 'static,
+    {
+        let mut insts: Vec<CompiledInst<T>> = trace
+            .insts()
+            .map(|iref| CompiledInst {
+                addr: iref.addr,
+                inst: iref.inst,
+                size: iref.size,
+                before: Vec::new(),
+                after: Vec::new(),
+            })
+            .collect();
+
+        for (addr, point, call) in inserter.into_calls() {
+            if let Some(slot) = insts.iter_mut().find(|slot| slot.addr == addr) {
+                match point {
+                    IPoint::Before => slot.before.push(call),
+                    IPoint::After => slot.after.push(call),
+                }
+            }
+            // Calls aimed at addresses outside the trace are dropped,
+            // mirroring Pin: instrumentation only applies to the trace
+            // being compiled.
+        }
+
+        let count = insts.len();
+        // Recompiling an entry (e.g. after a mid-trace resume) replaces
+        // the old trace; release its accounting first.
+        if let Some(old) = self.traces.remove(&trace.entry()) {
+            self.resident_insts -= old.insts.len();
+        }
+        if self.resident_insts + count > self.capacity_insts {
+            self.traces.clear();
+            self.resident_insts = 0;
+            self.stats.flushes += 1;
+        }
+
+        let compiled = Arc::new(CompiledTrace {
+            entry: trace.entry(),
+            insts,
+            fallthrough: trace.fallthrough(),
+            num_bbls: trace.bbls().len(),
+        });
+        self.traces.insert(trace.entry(), Arc::clone(&compiled));
+        self.resident_insts += count;
+        self.stats.traces_compiled += 1;
+        self.stats.insts_compiled += count as u64;
+        (compiled, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inserter::IPoint;
+    use crate::trace::discover_trace;
+    use superpin_isa::asm::assemble;
+    use superpin_vm::process::Process;
+
+    fn trace_for(src: &str) -> Trace {
+        let program = assemble(src).expect("assemble");
+        let process = Process::load(1, &program).expect("load");
+        discover_trace(&process.mem, program.entry()).expect("trace")
+    }
+
+    #[test]
+    fn compile_attaches_calls_to_addresses() {
+        let trace = trace_for("main:\n nop\n nop\n jmp main\n");
+        let mut inserter: Inserter<u64> = Inserter::new();
+        let second = trace.entry() + 8;
+        inserter.insert_call(second, IPoint::Before, |t, _, _| *t += 1, vec![]);
+        inserter.insert_call(second, IPoint::After, |t, _, _| *t += 1, vec![]);
+        // Out-of-trace address: dropped.
+        inserter.insert_call(0xdead, IPoint::Before, |t, _, _| *t += 1, vec![]);
+
+        let mut cache: CodeCache<u64> = CodeCache::new();
+        let (compiled, count) = cache.compile(&trace, inserter);
+        assert_eq!(count, 3);
+        assert_eq!(compiled.insts[1].before.len(), 1);
+        assert_eq!(compiled.insts[1].after.len(), 1);
+        assert_eq!(compiled.insts[0].before.len(), 0);
+    }
+
+    #[test]
+    fn lookup_hits_after_compile() {
+        let trace = trace_for("main:\n jmp main\n");
+        let mut cache: CodeCache<u64> = CodeCache::new();
+        assert!(cache.lookup(trace.entry()).is_none());
+        cache.compile(&trace, Inserter::new());
+        assert!(cache.lookup(trace.entry()).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.traces_compiled, 1);
+    }
+
+    #[test]
+    fn capacity_pressure_flushes_wholesale() {
+        // Two traces at distinct entries within one program.
+        let src = "main:\n nop\n nop\n nop\n jmp second\nsecond:\n nop\n jmp main\n";
+        let program = assemble(src).expect("assemble");
+        let process = Process::load(1, &program).expect("load");
+        let t1 = discover_trace(&process.mem, program.entry()).expect("t1"); // 4 insts
+        let t2 = discover_trace(&process.mem, program.entry() + 32).expect("t2"); // 2 insts
+
+        let mut cache: CodeCache<u64> = CodeCache::with_capacity(6);
+        cache.compile(&t1, Inserter::new()); // 4 resident
+        cache.compile(&t2, Inserter::new()); // 6 resident
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().flushes, 0);
+        // Recompiling t1 releases its 4 first (6-4+4 = 6 fits, no flush)...
+        cache.compile(&t1, Inserter::new());
+        assert_eq!(cache.stats().flushes, 0);
+        assert_eq!(cache.len(), 2);
+        // ...but a brand-new 4-inst trace exceeds capacity → flush.
+        let t3 = discover_trace(&process.mem, program.entry() + 8).expect("t3");
+        assert_eq!(t3.num_insts(), 3);
+        cache.compile(&t3, Inserter::new());
+        assert_eq!(cache.stats().flushes, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fallthrough_and_bbl_metadata() {
+        let trace = trace_for("main:\n beq r1, r2, main\n nop\n jmp main\n");
+        let mut cache: CodeCache<u64> = CodeCache::new();
+        let (compiled, _) = cache.compile(&trace, Inserter::new());
+        assert_eq!(compiled.num_bbls, 2);
+        assert_eq!(compiled.fallthrough, trace.fallthrough());
+    }
+}

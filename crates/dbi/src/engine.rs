@@ -1,0 +1,903 @@
+//! The instrumentation engine: dispatcher + JIT loop over a guest process.
+
+use crate::cache::{CodeCache, CompiledInst, CompiledTrace, DEFAULT_CAPACITY_INSTS};
+use crate::cost::CostModel;
+use crate::inserter::{Call, CallCtx, EngineCtl, IArg, Inserter};
+use crate::tool::Pintool;
+use std::fmt;
+use std::sync::Arc;
+use superpin_isa::Inst;
+use superpin_vm::cpu::ExecOutcome;
+use superpin_vm::kernel::SyscallRecord;
+use superpin_vm::process::Process;
+use superpin_vm::VmError;
+
+/// Where the engine's cycles went (paper §6.3's overhead taxonomy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Application instructions executed out of the code cache.
+    pub app: u64,
+    /// Inserted analysis calls, their arguments, and tool-charged extras.
+    pub analysis: u64,
+    /// JIT compilation ("compilation slowdown").
+    pub jit: u64,
+    /// Per-trace dispatch.
+    pub dispatch: u64,
+    /// Syscall servicing / playback.
+    pub syscall: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.app + self.analysis + self.jit + self.dispatch + self.syscall
+    }
+}
+
+/// Execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Cycle accounting.
+    pub cycles: CycleBreakdown,
+    /// Instructions executed under instrumentation.
+    pub insts_executed: u64,
+    /// Trace dispatches.
+    pub traces_executed: u64,
+    /// Plain analysis calls invoked.
+    pub analysis_calls: u64,
+    /// Inlined if-checks evaluated.
+    pub if_checks: u64,
+    /// Then-calls triggered by a true if-check.
+    pub then_calls: u64,
+    /// Compilations that adopted a shared-cache trace at the cheaper
+    /// consistency-check rate (paper §8 extension).
+    pub shared_cache_adoptions: u64,
+}
+
+/// Why [`Engine::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineStop {
+    /// The cycle budget was consumed; call `run` again to continue.
+    BudgetExhausted,
+    /// Parked at a syscall: service with [`Engine::service_syscall`] or
+    /// replay with [`Engine::playback_syscall`].
+    SyscallEntry,
+    /// The guest exited with this code.
+    Exited(i64),
+    /// An analysis routine requested a stop (`SP_EndSlice`, signature
+    /// detection). The pending instruction has *not* executed if the stop
+    /// came from a before-call.
+    ToolStop,
+    /// The guest executed `halt`.
+    Halted,
+}
+
+/// Result of one [`Engine::run`] invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunResult {
+    /// Why the engine stopped.
+    pub stop: EngineStop,
+    /// Cycles consumed during this invocation.
+    pub cycles: u64,
+}
+
+enum TraceExit {
+    Continue,
+    Stop(EngineStop),
+}
+
+/// A Pin-like execution engine: owns the guest [`Process`], the tool, and
+/// a (cold) code cache.
+///
+/// # Example
+///
+/// ```
+/// use superpin_dbi::{Engine, NullTool};
+/// use superpin_isa::asm::assemble;
+///
+/// let program = assemble("main:\n li r1, 3\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")?;
+/// let process = superpin_vm::process::Process::load(1, &program)?;
+/// let mut engine = Engine::new(process, NullTool);
+/// let (code, cycles) = engine.run_to_exit()?;
+/// assert_eq!(code, 0);
+/// assert!(cycles > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine<T: Pintool> {
+    process: Process,
+    tool: T,
+    cache: CodeCache<T>,
+    cost: CostModel,
+    stats: EngineStats,
+    fini_done: bool,
+    /// Trace formation ends just before this address (SuperPin slice
+    /// boundaries; see [`crate::trace::discover_trace_split`]).
+    split_point: Option<u64>,
+    /// Shared index of trace entries some engine has already compiled.
+    /// When present, compiling an already-indexed trace charges
+    /// [`CostModel::shared_cache_check`] per instruction instead of the
+    /// full JIT cost (paper §8's shared code cache).
+    shared_traces: Option<Arc<std::sync::Mutex<std::collections::HashSet<u64>>>>,
+    /// The guest code version last observed; a mismatch means the guest
+    /// wrote into its code region (self-modifying code) and every
+    /// translation must be discarded.
+    code_version_seen: u64,
+    /// Whether the next trace entry goes through the dispatcher. Direct
+    /// branches between cached traces are *linked* (as in Pin) and skip
+    /// the dispatcher; indirect transfers and re-entries after
+    /// syscalls/stops pay [`CostModel::dispatch_per_trace`].
+    pending_dispatch: bool,
+}
+
+impl<T: Pintool> fmt::Debug for Engine<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("pid", &self.process.pid())
+            .field("tool", &self.tool.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<T: Pintool + 'static> Engine<T> {
+    /// Creates an engine with the default cost model and cache capacity.
+    pub fn new(process: Process, tool: T) -> Engine<T> {
+        Engine::with_config(process, tool, CostModel::default(), DEFAULT_CAPACITY_INSTS)
+    }
+
+    /// Creates an engine with an explicit cost model and cache capacity.
+    pub fn with_config(
+        process: Process,
+        tool: T,
+        cost: CostModel,
+        cache_capacity_insts: usize,
+    ) -> Engine<T> {
+        let code_version_seen = process.mem.code_version();
+        Engine {
+            process,
+            tool,
+            cache: CodeCache::with_capacity(cache_capacity_insts),
+            cost,
+            stats: EngineStats::default(),
+            fini_done: false,
+            split_point: None,
+            shared_traces: None,
+            code_version_seen,
+            pending_dispatch: true,
+        }
+    }
+
+    /// Sets the trace split point. Must be set before the affected code
+    /// compiles (SuperPin sets it when a slice wakes, while the slice's
+    /// cache is still cold).
+    pub fn set_split_point(&mut self, split: Option<u64>) {
+        self.split_point = split;
+    }
+
+    /// Installs a shared compiled-trace index (paper §8's shared code
+    /// cache): traces another engine already compiled are adopted at the
+    /// consistency-check rate rather than recompiled from scratch.
+    pub fn set_shared_trace_index(
+        &mut self,
+        index: Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
+    ) {
+        self.shared_traces = Some(index);
+    }
+
+    /// The guest process.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Mutable access to the guest process.
+    pub fn process_mut(&mut self) -> &mut Process {
+        &mut self.process
+    }
+
+    /// The tool.
+    pub fn tool(&self) -> &T {
+        &self.tool
+    }
+
+    /// Mutable access to the tool.
+    pub fn tool_mut(&mut self) -> &mut T {
+        &mut self.tool
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Execution statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Code-cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Consumes the engine, returning the process and tool.
+    pub fn into_parts(self) -> (Process, T) {
+        (self.process, self.tool)
+    }
+
+    /// Runs instrumented code for approximately `budget` cycles.
+    ///
+    /// The budget is a soft target: a trace always completes once
+    /// entered, so the engine may overshoot by up to one trace's cost
+    /// (bounded by [`crate::trace::MAX_INSTS_PER_TRACE`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest execution errors.
+    pub fn run(&mut self, budget: u64) -> Result<RunResult, VmError> {
+        if let Some(code) = self.process.exited() {
+            return Ok(RunResult {
+                stop: EngineStop::Exited(code),
+                cycles: 0,
+            });
+        }
+        let mut spent = 0u64;
+        // Resuming after a stop always re-enters through the dispatcher.
+        self.pending_dispatch = true;
+        loop {
+            // Self-modifying code: any write into the code region since
+            // the last dispatch invalidates every translation.
+            let code_version = self.process.mem.code_version();
+            if code_version != self.code_version_seen {
+                self.code_version_seen = code_version;
+                self.cache.flush_for_smc();
+                self.pending_dispatch = true;
+            }
+            let pc = self.process.cpu.pc;
+            let trace = self.lookup_or_compile(pc, &mut spent)?;
+            if self.pending_dispatch {
+                self.stats.cycles.dispatch += self.cost.dispatch_per_trace;
+                spent += self.cost.dispatch_per_trace;
+                self.pending_dispatch = false;
+            }
+            self.stats.traces_executed += 1;
+
+            match self.exec_trace(&trace, &mut spent)? {
+                TraceExit::Stop(stop) => {
+                    if let EngineStop::Exited(_) = stop {
+                        self.run_fini();
+                    }
+                    return Ok(RunResult { stop, cycles: spent });
+                }
+                TraceExit::Continue => {
+                    if spent >= budget {
+                        return Ok(RunResult {
+                            stop: EngineStop::BudgetExhausted,
+                            cycles: spent,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn lookup_or_compile(
+        &mut self,
+        pc: u64,
+        spent: &mut u64,
+    ) -> Result<Arc<CompiledTrace<T>>, VmError> {
+        if let Some(compiled) = self.cache.lookup(pc) {
+            return Ok(compiled);
+        }
+        // A miss always routes through the dispatcher into the JIT.
+        self.pending_dispatch = true;
+        let trace =
+            crate::trace::discover_trace_split(&self.process.mem, pc, self.split_point)?;
+        let mut inserter = Inserter::new();
+        self.tool.instrument_trace(&trace, &mut inserter);
+        let (compiled, count) = self.cache.compile(&trace, inserter);
+        let per_inst = match &self.shared_traces {
+            Some(index) => {
+                let mut index = index.lock().expect("shared trace index lock");
+                if index.insert(pc) {
+                    // First compiler of this trace pays full price.
+                    self.cost.compile_per_inst
+                } else {
+                    // Someone already shared it: consistency check only.
+                    self.stats.shared_cache_adoptions += 1;
+                    self.cost.shared_cache_check
+                }
+            }
+            None => self.cost.compile_per_inst,
+        };
+        let jit = count as u64 * per_inst;
+        self.stats.cycles.jit += jit;
+        *spent += jit;
+        Ok(compiled)
+    }
+
+    fn exec_trace(
+        &mut self,
+        trace: &CompiledTrace<T>,
+        spent: &mut u64,
+    ) -> Result<TraceExit, VmError> {
+        let mut index = 0usize;
+        while index < trace.insts.len() {
+            let slot = &trace.insts[index];
+            debug_assert_eq!(slot.addr, self.process.cpu.pc, "trace desync");
+
+            // Effective address is computed from pre-execution registers
+            // for both before- and after-calls.
+            let mem_ea = mem_effective_address(&self.process, slot.inst);
+
+            // Before-calls.
+            if !slot.before.is_empty()
+                && self.run_calls(&slot.before, slot, mem_ea, None, spent)?
+            {
+                // Stop requested before execution: the instruction is NOT
+                // executed; pc stays at the boundary (paper §4.4 — the
+                // boundary instruction belongs to the next slice).
+                return Ok(TraceExit::Stop(EngineStop::ToolStop));
+            }
+
+            // The guest instruction itself.
+            let outcome = self.process.exec_decoded(slot.inst, slot.size)?;
+            match outcome {
+                ExecOutcome::Syscall => {
+                    return Ok(TraceExit::Stop(EngineStop::SyscallEntry));
+                }
+                ExecOutcome::Halt => {
+                    return Ok(TraceExit::Stop(EngineStop::Halted));
+                }
+                ExecOutcome::Next | ExecOutcome::Jumped => {
+                    self.stats.cycles.app += self.cost.cached_cpi;
+                    *spent += self.cost.cached_cpi;
+                    self.stats.insts_executed += 1;
+                }
+            }
+            let taken = outcome == ExecOutcome::Jumped;
+
+            // After-calls.
+            if !slot.after.is_empty()
+                && self.run_calls(&slot.after, slot, mem_ea, Some(taken), spent)?
+            {
+                return Ok(TraceExit::Stop(EngineStop::ToolStop));
+            }
+
+            if taken {
+                // Indirect transfers cannot be trace-linked: they pay the
+                // dispatcher on re-entry. Direct branches are linked.
+                if matches!(slot.inst, Inst::Jalr { .. }) {
+                    self.pending_dispatch = true;
+                }
+                // Control left the straight line unless the target happens
+                // to be the next slot (branch to fall-through).
+                let next_matches = trace
+                    .insts
+                    .get(index + 1)
+                    .is_some_and(|next| next.addr == self.process.cpu.pc);
+                if !next_matches {
+                    return Ok(TraceExit::Continue);
+                }
+            }
+            index += 1;
+        }
+        // The budget is only checked *between* traces (see `run`): a
+        // trace always completes once entered. Preempting mid-trace would
+        // re-enter the block through a side trace and re-run its
+        // block-granularity instrumentation — real Pin never re-instruments
+        // on a context switch, and block-counting tools (icount2) rely on
+        // block entry firing exactly once per block execution.
+        Ok(TraceExit::Continue)
+    }
+
+    /// Runs a call list; returns `true` if a stop was requested.
+    ///
+    /// A stop request short-circuits the remaining calls in the list:
+    /// when SuperPin's signature detector (inserted ahead of the user
+    /// tool's calls) fires at a slice boundary, the user tool must not
+    /// observe the boundary instruction — it belongs to the next slice.
+    fn run_calls(
+        &mut self,
+        calls: &[Call<T>],
+        slot: &CompiledInst<T>,
+        mem_ea: Option<(u64, u64)>,
+        taken: Option<bool>,
+        spent: &mut u64,
+    ) -> Result<bool, VmError> {
+        let mut stop = false;
+        for call in calls {
+            if stop {
+                break;
+            }
+            match call {
+                Call::Plain { func, args } => {
+                    let values = self.eval_args(args, slot, mem_ea, taken);
+                    let cost =
+                        self.cost.analysis_call + args.len() as u64 * self.cost.analysis_arg;
+                    let mut ctl = EngineCtl::default();
+                    let ctx = CallCtx {
+                        pc: slot.addr,
+                        args: &values,
+                    };
+                    func(&mut self.tool, &ctx, &mut ctl);
+                    let charged = cost + ctl.extra_cycles();
+                    self.stats.cycles.analysis += charged;
+                    *spent += charged;
+                    self.stats.analysis_calls += 1;
+                    stop |= ctl.stop_requested();
+                }
+                Call::IfThen {
+                    pred,
+                    pred_args,
+                    then,
+                    then_args,
+                } => {
+                    let pred_values = self.eval_args(pred_args, slot, mem_ea, taken);
+                    let mut charged = self.cost.inline_if_check
+                        + pred_args.len() as u64 * self.cost.analysis_arg;
+                    self.stats.if_checks += 1;
+                    let ctx = CallCtx {
+                        pc: slot.addr,
+                        args: &pred_values,
+                    };
+                    if pred(&mut self.tool, &ctx) {
+                        let then_values = self.eval_args(then_args, slot, mem_ea, taken);
+                        let mut ctl = EngineCtl::default();
+                        let then_ctx = CallCtx {
+                            pc: slot.addr,
+                            args: &then_values,
+                        };
+                        then(&mut self.tool, &then_ctx, &mut ctl);
+                        charged += self.cost.analysis_call
+                            + then_args.len() as u64 * self.cost.analysis_arg
+                            + ctl.extra_cycles();
+                        self.stats.then_calls += 1;
+                        stop |= ctl.stop_requested();
+                    }
+                    self.stats.cycles.analysis += charged;
+                    *spent += charged;
+                }
+            }
+        }
+        Ok(stop)
+    }
+
+    fn eval_args(
+        &self,
+        args: &[IArg],
+        slot: &CompiledInst<T>,
+        mem_ea: Option<(u64, u64)>,
+        taken: Option<bool>,
+    ) -> Vec<u64> {
+        args.iter()
+            .map(|arg| match *arg {
+                IArg::InstPtr => slot.addr,
+                IArg::UInt(value) => value,
+                IArg::MemAddr => mem_ea.map(|(ea, _)| ea).unwrap_or(0),
+                IArg::MemSize => mem_ea.map(|(_, size)| size).unwrap_or(0),
+                IArg::IsMemWrite => u64::from(slot.inst.is_mem_write()),
+                IArg::BranchTaken => u64::from(taken.unwrap_or(false)),
+                IArg::RegValue(reg) => self.process.cpu.regs.get(reg),
+                IArg::StackWord(i) => {
+                    let sp = self.process.cpu.regs.get(superpin_isa::Reg::SP);
+                    self.process
+                        .mem
+                        .read_u64(sp.wrapping_add(8 * i as u64))
+                        .unwrap_or(0)
+                }
+                IArg::FallthroughAddr => slot.addr + slot.size,
+            })
+            .collect()
+    }
+
+    /// Services the syscall the guest is parked at, charging syscall cost
+    /// and notifying the tool. Returns the record plus cycles charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn service_syscall(&mut self, now_ns: u64) -> Result<(SyscallRecord, u64), VmError> {
+        let record = self.process.do_syscall(now_ns)?;
+        self.stats.cycles.syscall += self.cost.syscall;
+        self.tool.on_syscall(&record);
+        if record.exited.is_some() {
+            self.run_fini();
+        }
+        Ok((record, self.cost.syscall))
+    }
+
+    /// Plays back a recorded syscall instead of executing it (SuperPin
+    /// slices, paper §4.2), charging syscall cost and notifying the tool.
+    /// Returns cycles charged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors from re-applying the record.
+    pub fn playback_syscall(&mut self, record: &SyscallRecord) -> Result<u64, VmError> {
+        self.process.playback_syscall(record)?;
+        self.stats.cycles.syscall += self.cost.syscall;
+        self.tool.on_syscall(record);
+        if record.exited.is_some() {
+            self.run_fini();
+        }
+        Ok(self.cost.syscall)
+    }
+
+    fn run_fini(&mut self) {
+        if !self.fini_done {
+            self.fini_done = true;
+            self.tool.fini();
+        }
+    }
+
+    /// Runs the guest to completion in standalone "Pin mode", servicing
+    /// syscalls inline. The virtual `gettime` clock is derived from the
+    /// cycles this engine has consumed. Returns the exit code and total
+    /// cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors; `halt` surfaces as
+    /// [`VmError::UnexpectedHalt`].
+    pub fn run_to_exit(&mut self) -> Result<(i64, u64), VmError> {
+        let mut total = 0u64;
+        loop {
+            let result = self.run(u64::MAX / 4)?;
+            total += result.cycles;
+            match result.stop {
+                EngineStop::SyscallEntry => {
+                    let now_ns = cycles_to_ns(self.stats.cycles.total());
+                    let (record, cycles) = self.service_syscall(now_ns)?;
+                    total += cycles;
+                    if let Some(code) = record.exited {
+                        return Ok((code, total));
+                    }
+                }
+                EngineStop::Exited(code) => return Ok((code, total)),
+                EngineStop::Halted => {
+                    return Err(VmError::UnexpectedHalt {
+                        pc: self.process.cpu.pc,
+                    })
+                }
+                EngineStop::ToolStop => {
+                    // Standalone mode has no slice supervisor; a tool stop
+                    // simply continues.
+                }
+                EngineStop::BudgetExhausted => {}
+            }
+        }
+    }
+}
+
+/// Converts 2.2 GHz cycles to virtual nanoseconds.
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    ((cycles as u128) * 10 / 22) as u64
+}
+
+fn mem_effective_address(process: &Process, inst: Inst) -> Option<(u64, u64)> {
+    match inst {
+        Inst::Ld {
+            base,
+            offset,
+            width,
+            ..
+        }
+        | Inst::St {
+            base,
+            offset,
+            width,
+            ..
+        } => {
+            let ea = process.cpu.regs.get(base).wrapping_add(offset as i64 as u64);
+            Some((ea, width.bytes() as u64))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inserter::IPoint;
+    use crate::tool::NullTool;
+    use crate::trace::Trace;
+    use superpin_isa::asm::assemble;
+
+    fn process_for(src: &str) -> Process {
+        Process::load(1, &assemble(src).expect("assemble")).expect("load")
+    }
+
+    const LOOP_100: &str =
+        "main:\n li r1, 100\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+
+    #[derive(Clone, Default)]
+    struct ICount1 {
+        count: u64,
+    }
+
+    impl Pintool for ICount1 {
+        fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+            for iref in trace.insts() {
+                inserter.insert_call(
+                    iref.addr,
+                    IPoint::Before,
+                    |tool, _, _| tool.count += 1,
+                    vec![],
+                );
+            }
+        }
+        fn name(&self) -> &'static str {
+            "icount1-test"
+        }
+    }
+
+    #[test]
+    fn null_tool_matches_native_count() {
+        let mut native = process_for(LOOP_100);
+        native.run(u64::MAX, 0).expect("native");
+        let truth = native.inst_count();
+
+        let mut engine = Engine::new(process_for(LOOP_100), NullTool);
+        let (code, _) = engine.run_to_exit().expect("run");
+        assert_eq!(code, 0);
+        assert_eq!(engine.process().inst_count(), truth);
+    }
+
+    #[test]
+    fn icount_tool_counts_every_instruction() {
+        let mut engine = Engine::new(process_for(LOOP_100), ICount1::default());
+        engine.run_to_exit().expect("run");
+        // The tool's before-calls fire for syscall instructions too, so
+        // the tool count equals the process's dynamic count.
+        assert_eq!(engine.tool().count, engine.process().inst_count());
+        assert_eq!(engine.process().inst_count(), 204);
+    }
+
+    #[test]
+    fn jit_compiles_each_trace_once() {
+        let mut engine = Engine::new(process_for(LOOP_100), NullTool);
+        engine.run_to_exit().expect("run");
+        let cache = engine.cache_stats();
+        // Loop body trace compiled once, re-dispatched ~100 times.
+        assert!(cache.traces_compiled <= 4, "traces {}", cache.traces_compiled);
+        assert!(engine.stats().traces_executed >= 99);
+        assert!(cache.hits >= 95, "hits {}", cache.hits);
+    }
+
+    #[test]
+    fn budget_pauses_and_resumes_consistently() {
+        let mut engine = Engine::new(process_for(LOOP_100), ICount1::default());
+        let mut stops = 0;
+        loop {
+            let result = engine.run(5_000).expect("run");
+            match result.stop {
+                EngineStop::BudgetExhausted => stops += 1,
+                EngineStop::SyscallEntry => {
+                    let (record, _) = engine.service_syscall(0).expect("svc");
+                    if record.exited.is_some() {
+                        break;
+                    }
+                }
+                EngineStop::Exited(_) => break,
+                other => panic!("unexpected stop {other:?}"),
+            }
+            assert!(stops < 10_000, "no forward progress");
+        }
+        assert_eq!(engine.tool().count, 204);
+    }
+
+    #[test]
+    fn cycle_breakdown_components_are_populated() {
+        let mut engine = Engine::new(process_for(LOOP_100), ICount1::default());
+        engine.run_to_exit().expect("run");
+        let cycles = engine.stats().cycles;
+        assert!(cycles.app > 0);
+        assert!(cycles.analysis > 0);
+        assert!(cycles.jit > 0);
+        assert!(cycles.dispatch > 0);
+        assert!(cycles.syscall > 0);
+        assert_eq!(
+            cycles.total(),
+            cycles.app + cycles.analysis + cycles.jit + cycles.dispatch + cycles.syscall
+        );
+    }
+
+    #[test]
+    fn icount1_slowdown_in_paper_band() {
+        // Steady-state slowdown vs native for a long loop must land in
+        // the 8–16× band around the paper's 12× average (Fig. 3).
+        let src = "main:\n li r1, 200000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+        let mut native = process_for(src);
+        native.run(u64::MAX, 0).expect("native");
+        let native_cycles = native.inst_count(); // native_cpi == 1
+
+        let mut engine = Engine::new(process_for(src), ICount1::default());
+        let (_, cycles) = engine.run_to_exit().expect("run");
+        let slowdown = cycles as f64 / native_cycles as f64;
+        assert!(
+            (8.0..=16.0).contains(&slowdown),
+            "icount1 slowdown {slowdown:.1} outside paper band"
+        );
+    }
+
+    #[derive(Clone, Default)]
+    struct StopAtThird {
+        seen: u64,
+    }
+
+    impl Pintool for StopAtThird {
+        fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+            for iref in trace.insts() {
+                inserter.insert_call(
+                    iref.addr,
+                    IPoint::Before,
+                    |tool, _, ctl| {
+                        tool.seen += 1;
+                        if tool.seen == 3 {
+                            ctl.request_stop();
+                        }
+                    },
+                    vec![],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tool_stop_parks_before_instruction() {
+        let mut engine = Engine::new(process_for(LOOP_100), StopAtThird::default());
+        let result = engine.run(u64::MAX / 4).expect("run");
+        assert_eq!(result.stop, EngineStop::ToolStop);
+        // Two instructions executed; the third is pending.
+        assert_eq!(engine.process().inst_count(), 2);
+        // Resuming re-instruments from the parked pc and continues.
+        let result = engine.run(u64::MAX / 4).expect("run");
+        // Tool keeps requesting at seen==3 only once; run continues to
+        // the exit syscall.
+        assert_eq!(result.stop, EngineStop::SyscallEntry);
+    }
+
+    #[derive(Clone, Default)]
+    struct MemWatch {
+        reads: Vec<(u64, u64)>,
+        writes: Vec<(u64, u64)>,
+    }
+
+    impl Pintool for MemWatch {
+        fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+            for iref in trace.insts() {
+                if iref.inst.is_mem_read() || iref.inst.is_mem_write() {
+                    inserter.insert_call(
+                        iref.addr,
+                        IPoint::Before,
+                        |tool, ctx, _| {
+                            if ctx.arg(2) == 1 {
+                                tool.writes.push((ctx.arg(0), ctx.arg(1)));
+                            } else {
+                                tool.reads.push((ctx.arg(0), ctx.arg(1)));
+                            }
+                        },
+                        vec![IArg::MemAddr, IArg::MemSize, IArg::IsMemWrite],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_args_report_effective_addresses() {
+        let src = r#"
+            .data
+            buf: .word 1, 2
+            .text
+            main:
+                la  r2, buf
+                ld  r3, 8(r2)
+                stw r3, 0(r2)
+                exit 0
+        "#;
+        let mut engine = Engine::new(process_for(src), MemWatch::default());
+        engine.run_to_exit().expect("run");
+        let tool = engine.tool();
+        assert_eq!(tool.reads, vec![(superpin_isa::DATA_BASE + 8, 8)]);
+        assert_eq!(tool.writes, vec![(superpin_isa::DATA_BASE, 4)]);
+    }
+
+    #[derive(Clone, Default)]
+    struct IfThenCounter {
+        then_hits: u64,
+    }
+
+    impl Pintool for IfThenCounter {
+        fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+            for iref in trace.insts() {
+                inserter.insert_if_then_call(
+                    iref.addr,
+                    IPoint::Before,
+                    |_, ctx| ctx.arg(0) % 2 == 0,
+                    vec![IArg::InstPtr],
+                    |tool, _, _| tool.then_hits += 1,
+                    vec![],
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn if_then_fires_only_on_true_predicate() {
+        let mut engine = Engine::new(
+            process_for("main:\n nop\n nop\n exit 0\n"),
+            IfThenCounter::default(),
+        );
+        engine.run_to_exit().expect("run");
+        let stats = engine.stats();
+        assert!(stats.if_checks >= 5);
+        assert_eq!(stats.then_calls, engine.tool().then_hits);
+        // Addresses are 8-aligned, so every check is true here.
+        assert_eq!(stats.then_calls, stats.if_checks);
+    }
+
+    #[test]
+    fn shared_trace_index_discounts_recompilation() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let index = Arc::new(Mutex::new(HashSet::new()));
+
+        let mut first = Engine::new(process_for(LOOP_100), NullTool);
+        first.set_shared_trace_index(Arc::clone(&index));
+        first.run_to_exit().expect("first");
+        assert_eq!(first.stats().shared_cache_adoptions, 0);
+        let full_jit = first.stats().cycles.jit;
+        assert!(!index.lock().expect("lock").is_empty());
+
+        let mut second = Engine::new(process_for(LOOP_100), NullTool);
+        second.set_shared_trace_index(Arc::clone(&index));
+        second.run_to_exit().expect("second");
+        let stats = second.stats();
+        assert!(stats.shared_cache_adoptions > 0, "second engine must adopt");
+        assert!(
+            stats.cycles.jit * 4 < full_jit,
+            "adopted compilation {} should be far below full {}",
+            stats.cycles.jit,
+            full_jit
+        );
+
+        // Without the index, the second engine pays full price again.
+        let mut solo = Engine::new(process_for(LOOP_100), NullTool);
+        solo.run_to_exit().expect("solo");
+        assert_eq!(solo.stats().cycles.jit, full_jit);
+    }
+
+    #[test]
+    fn branch_taken_arg() {
+        #[derive(Clone, Default)]
+        struct TakenWatch {
+            taken: u64,
+            not_taken: u64,
+        }
+        impl Pintool for TakenWatch {
+            fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+                for iref in trace.insts() {
+                    if matches!(iref.inst, Inst::Branch { .. }) {
+                        inserter.insert_call(
+                            iref.addr,
+                            IPoint::After,
+                            |tool, ctx, _| {
+                                if ctx.arg(0) == 1 {
+                                    tool.taken += 1;
+                                } else {
+                                    tool.not_taken += 1;
+                                }
+                            },
+                            vec![IArg::BranchTaken],
+                        );
+                    }
+                }
+            }
+        }
+        let mut engine = Engine::new(process_for(LOOP_100), TakenWatch::default());
+        engine.run_to_exit().expect("run");
+        assert_eq!(engine.tool().taken, 99);
+        assert_eq!(engine.tool().not_taken, 1);
+    }
+}

@@ -1,0 +1,598 @@
+//! A two-pass textual assembler for the virtual ISA.
+//!
+//! The syntax is deliberately small. Example:
+//!
+//! ```text
+//! .entry main
+//! .data
+//! table:  .word 1, 2, 3
+//! buf:    .space 64
+//! .text
+//! main:
+//!     la   r2, table
+//!     ld   r3, 8(r2)      ; 64-bit load (ldb/ldh/ldw for narrower)
+//!     li   r1, 10
+//! loop:
+//!     subi r1, r1, 1
+//!     bne  r1, r0, loop
+//!     exit 0              ; pseudo: li r1, code; li r0, 0; syscall
+//! ```
+//!
+//! Comments start with `;` or `#`. Labels end with `:` and may share a line
+//! with an instruction or directive. All branch/jump targets are labels.
+
+use crate::builder::{BuildError, ProgramBuilder};
+use crate::inst::{AluOp, BranchKind, Inst, MemWidth};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error produced by [`assemble`], carrying the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line (0 for build-phase
+    /// errors such as undefined labels).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(err: BuildError) -> AsmError {
+        AsmError::new(0, err.to_string())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Text,
+    Data,
+}
+
+/// Assembles source text into a linked [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax problems, or
+/// line 0 for link-phase problems (undefined labels, missing entry).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut builder = ProgramBuilder::new();
+    let mut mode = Mode::Text;
+    // Data directives need a pending label (the label on the same or a
+    // previous line names the allocation).
+    let mut pending_data_label: Option<String> = None;
+    let mut anon_data = 0usize;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        // Consume any leading `label:` prefixes.
+        while let Some(colon) = find_label_colon(rest) {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if !is_ident(label) {
+                return Err(AsmError::new(lineno, format!("invalid label `{label}`")));
+            }
+            match mode {
+                Mode::Text => {
+                    builder.label(label);
+                }
+                Mode::Data => pending_data_label = Some(label.to_owned()),
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        if let Some(directive) = rest.strip_prefix('.') {
+            handle_directive(
+                &mut builder,
+                &mut mode,
+                &mut pending_data_label,
+                &mut anon_data,
+                directive,
+                lineno,
+            )?;
+            continue;
+        }
+        if mode == Mode::Data {
+            return Err(AsmError::new(
+                lineno,
+                "instructions are not allowed in the .data section",
+            ));
+        }
+        parse_instruction(&mut builder, rest, lineno)?;
+    }
+
+    builder.build().map_err(AsmError::from)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Finds the colon terminating a leading label, if the line starts with one.
+fn find_label_colon(line: &str) -> Option<usize> {
+    let colon = line.find(':')?;
+    let candidate = line[..colon].trim();
+    if is_ident(candidate) {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn handle_directive(
+    builder: &mut ProgramBuilder,
+    mode: &mut Mode,
+    pending_data_label: &mut Option<String>,
+    anon_data: &mut usize,
+    directive: &str,
+    lineno: usize,
+) -> Result<(), AsmError> {
+    let (name, args) = match directive.find(char::is_whitespace) {
+        Some(pos) => (&directive[..pos], directive[pos..].trim()),
+        None => (directive, ""),
+    };
+    let mut take_label = || -> String {
+        pending_data_label.take().unwrap_or_else(|| {
+            *anon_data += 1;
+            format!(".anon{anon_data}")
+        })
+    };
+    match name {
+        "text" | "code" => {
+            *mode = Mode::Text;
+        }
+        "data" => {
+            *mode = Mode::Data;
+        }
+        "entry" => {
+            if !is_ident(args) {
+                return Err(AsmError::new(lineno, ".entry requires a label name"));
+            }
+            builder.entry(args);
+        }
+        "word" => {
+            let words = parse_int_list(args, lineno)?
+                .into_iter()
+                .map(|v| v as u64)
+                .collect::<Vec<_>>();
+            let label = take_label();
+            builder.data_words(&label, &words);
+        }
+        "byte" => {
+            let bytes = parse_int_list(args, lineno)?
+                .into_iter()
+                .map(|v| v as u8)
+                .collect::<Vec<_>>();
+            let label = take_label();
+            builder.data_bytes(&label, &bytes);
+        }
+        "space" => {
+            let len = parse_int(args, lineno)?;
+            if len < 0 {
+                return Err(AsmError::new(lineno, ".space length must be non-negative"));
+            }
+            let label = take_label();
+            builder.bss(&label, len as u64);
+        }
+        other => {
+            return Err(AsmError::new(lineno, format!("unknown directive `.{other}`")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_int(text: &str, lineno: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (negative, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| {
+            AsmError::new(lineno, format!("invalid hexadecimal literal `{text}`"))
+        })?
+    } else {
+        digits
+            .parse::<u64>()
+            .map_err(|_| AsmError::new(lineno, format!("invalid integer literal `{text}`")))?
+    };
+    let value = value as i64;
+    Ok(if negative { value.wrapping_neg() } else { value })
+}
+
+fn parse_int_list(text: &str, lineno: usize) -> Result<Vec<i64>, AsmError> {
+    if text.trim().is_empty() {
+        return Err(AsmError::new(lineno, "expected at least one value"));
+    }
+    text.split(',')
+        .map(|part| parse_int(part, lineno))
+        .collect()
+}
+
+fn parse_reg(token: &str, lineno: usize) -> Result<Reg, AsmError> {
+    Reg::parse(token.trim())
+        .ok_or_else(|| AsmError::new(lineno, format!("invalid register `{}`", token.trim())))
+}
+
+/// Parses a memory operand of the form `offset(base)`.
+fn parse_mem_operand(token: &str, lineno: usize) -> Result<(i32, Reg), AsmError> {
+    let token = token.trim();
+    let open = token
+        .find('(')
+        .ok_or_else(|| AsmError::new(lineno, format!("expected `offset(base)`, got `{token}`")))?;
+    let close = token
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| AsmError::new(lineno, format!("unbalanced parentheses in `{token}`")))?;
+    let offset_text = token[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        parse_int(offset_text, lineno)? as i32
+    };
+    let base = parse_reg(&token[open + 1..close], lineno)?;
+    Ok((offset, base))
+}
+
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn expect_arity(ops: &[&str], want: usize, mnemonic: &str, lineno: usize) -> Result<(), AsmError> {
+    if ops.len() == want {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            lineno,
+            format!("`{mnemonic}` expects {want} operand(s), found {}", ops.len()),
+        ))
+    }
+}
+
+fn alu_op_for(mnemonic: &str) -> Option<(AluOp, bool)> {
+    // Returns (op, is_immediate_form).
+    let (base, imm) = match mnemonic.strip_suffix('i') {
+        // `subi` is a pseudo handled separately; `slti`/`sltui` map through.
+        Some(base) => (base, true),
+        None => (mnemonic, false),
+    };
+    let op = match base {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "divu" => AluOp::Divu,
+        "remu" => AluOp::Remu,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn branch_kind_for(mnemonic: &str) -> Option<BranchKind> {
+    Some(match mnemonic {
+        "beq" => BranchKind::Eq,
+        "bne" => BranchKind::Ne,
+        "blt" => BranchKind::Lt,
+        "bge" => BranchKind::Ge,
+        "bltu" => BranchKind::Ltu,
+        "bgeu" => BranchKind::Geu,
+        _ => return None,
+    })
+}
+
+fn mem_width_for(suffix: &str) -> Option<MemWidth> {
+    Some(match suffix {
+        "b" => MemWidth::B,
+        "h" => MemWidth::H,
+        "w" => MemWidth::W,
+        "d" | "" => MemWidth::D,
+        _ => return None,
+    })
+}
+
+fn parse_instruction(
+    builder: &mut ProgramBuilder,
+    line: &str,
+    lineno: usize,
+) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(pos) => (&line[..pos], line[pos..].trim()),
+        None => (line, ""),
+    };
+    let ops = operands(rest);
+
+    match mnemonic {
+        "nop" => {
+            expect_arity(&ops, 0, mnemonic, lineno)?;
+            builder.nop();
+        }
+        "syscall" => {
+            expect_arity(&ops, 0, mnemonic, lineno)?;
+            builder.syscall();
+        }
+        "halt" => {
+            expect_arity(&ops, 0, mnemonic, lineno)?;
+            builder.inst(Inst::Halt);
+        }
+        "ret" => {
+            expect_arity(&ops, 0, mnemonic, lineno)?;
+            builder.ret();
+        }
+        "exit" => {
+            expect_arity(&ops, 1, mnemonic, lineno)?;
+            builder.exit(parse_int(ops[0], lineno)?);
+        }
+        "li" => {
+            expect_arity(&ops, 2, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            // `li rd, label` loads the label's address (same as `la`).
+            if is_ident(ops[1]) && Reg::parse(ops[1]).is_none() {
+                builder.la(rd, ops[1]);
+            } else {
+                builder.li(rd, parse_int(ops[1], lineno)?);
+            }
+        }
+        "la" => {
+            expect_arity(&ops, 2, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            if !is_ident(ops[1]) {
+                return Err(AsmError::new(lineno, format!("invalid symbol `{}`", ops[1])));
+            }
+            builder.la(rd, ops[1]);
+        }
+        "mov" => {
+            expect_arity(&ops, 2, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            let rs = parse_reg(ops[1], lineno)?;
+            builder.mov(rd, rs);
+        }
+        "jmp" => {
+            expect_arity(&ops, 1, mnemonic, lineno)?;
+            builder.jmp(ops[0]);
+        }
+        "call" => {
+            expect_arity(&ops, 1, mnemonic, lineno)?;
+            builder.call(ops[0]);
+        }
+        "jal" => {
+            expect_arity(&ops, 2, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            builder.jal(rd, ops[1]);
+        }
+        "jalr" => {
+            expect_arity(&ops, 2, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            let (offset, rs) = parse_mem_operand(ops[1], lineno)?;
+            builder.jalr(rd, rs, offset);
+        }
+        "subi" => {
+            expect_arity(&ops, 3, mnemonic, lineno)?;
+            let rd = parse_reg(ops[0], lineno)?;
+            let rs1 = parse_reg(ops[1], lineno)?;
+            let imm = parse_int(ops[2], lineno)? as i32;
+            builder.subi(rd, rs1, imm);
+        }
+        _ => {
+            if let Some(kind) = branch_kind_for(mnemonic) {
+                expect_arity(&ops, 3, mnemonic, lineno)?;
+                let rs1 = parse_reg(ops[0], lineno)?;
+                let rs2 = parse_reg(ops[1], lineno)?;
+                builder.branch(kind, rs1, rs2, ops[2]);
+                return Ok(());
+            }
+            if let Some(rest_mnemonic) = mnemonic.strip_prefix("ld") {
+                if let Some(width) = mem_width_for(rest_mnemonic) {
+                    expect_arity(&ops, 2, mnemonic, lineno)?;
+                    let rd = parse_reg(ops[0], lineno)?;
+                    let (offset, base) = parse_mem_operand(ops[1], lineno)?;
+                    builder.ld_w(width, rd, base, offset);
+                    return Ok(());
+                }
+            }
+            if let Some(rest_mnemonic) = mnemonic.strip_prefix("st") {
+                if let Some(width) = mem_width_for(rest_mnemonic) {
+                    expect_arity(&ops, 2, mnemonic, lineno)?;
+                    let rs = parse_reg(ops[0], lineno)?;
+                    let (offset, base) = parse_mem_operand(ops[1], lineno)?;
+                    builder.st_w(width, rs, base, offset);
+                    return Ok(());
+                }
+            }
+            if let Some((op, imm_form)) = alu_op_for(mnemonic) {
+                expect_arity(&ops, 3, mnemonic, lineno)?;
+                let rd = parse_reg(ops[0], lineno)?;
+                let rs1 = parse_reg(ops[1], lineno)?;
+                if imm_form {
+                    let imm = parse_int(ops[2], lineno)? as i32;
+                    builder.alui(op, rd, rs1, imm);
+                } else {
+                    let rs2 = parse_reg(ops[2], lineno)?;
+                    builder.alu(op, rd, rs1, rs2);
+                }
+                return Ok(());
+            }
+            return Err(AsmError::new(
+                lineno,
+                format!("unknown mnemonic `{mnemonic}`"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CODE_BASE, DATA_BASE};
+
+    #[test]
+    fn assembles_countdown_loop() {
+        let program = assemble(
+            r#"
+            .entry main
+            main:
+                li   r1, 3
+            loop:
+                subi r1, r1, 1
+                bne  r1, r0, loop
+                exit 0
+            "#,
+        )
+        .expect("assemble");
+        assert_eq!(program.entry(), CODE_BASE);
+        let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
+        assert_eq!(insts.len(), 6);
+        assert!(matches!(insts[0], Inst::Li { imm: 3, .. }));
+        assert!(matches!(insts[1], Inst::AluImm { imm: -1, .. }));
+    }
+
+    #[test]
+    fn assembles_data_and_memory_ops() {
+        let program = assemble(
+            r#"
+            .data
+            table: .word 7, 8, 9
+            buf:   .space 32
+            bytes: .byte 1, 2, 3
+            .text
+            main:
+                la  r2, table
+                ld  r3, 16(r2)
+                ldw r4, 0(r2)
+                stb r4, 1(r2)
+                exit 0
+            "#,
+        )
+        .expect("assemble");
+        assert_eq!(program.symbol("table").map(|s| s.addr), Some(DATA_BASE));
+        assert_eq!(program.symbol("buf").map(|s| s.addr), Some(DATA_BASE + 24));
+        assert_eq!(program.symbol("bytes").map(|s| s.addr), Some(DATA_BASE + 56));
+        assert_eq!(&program.data()[16..24], &9u64.to_le_bytes());
+        let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
+        assert!(matches!(insts[1], Inst::Ld { width: MemWidth::D, offset: 16, .. }));
+        assert!(matches!(insts[2], Inst::Ld { width: MemWidth::W, .. }));
+        assert!(matches!(insts[3], Inst::St { width: MemWidth::B, .. }));
+    }
+
+    #[test]
+    fn assembles_calls_and_returns() {
+        let program = assemble(
+            r#"
+            main:
+                call fn
+                exit 0
+            fn:
+                addi r0, r0, 1
+                ret
+            "#,
+        )
+        .expect("assemble");
+        let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
+        assert!(matches!(insts[0], Inst::Jal { rd: Reg::RA, .. }));
+        assert!(matches!(insts[5], Inst::Jalr { rs: Reg::RA, offset: 0, .. }));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = assemble("main:\n  bogus r1, r2\n  exit 0").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_wrong_arity() {
+        let err = assemble("main:\n  add r1, r2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn error_on_undefined_label_at_link_time() {
+        let err = assemble("main:\n  jmp nowhere\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn error_on_instruction_in_data_mode() {
+        let err = assemble(".data\n  add r1, r2, r3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn hex_and_negative_literals() {
+        let program = assemble(
+            r#"
+            main:
+                li r1, 0x10
+                li r2, -16
+                addi r3, r1, -0x8
+                exit 0
+            "#,
+        )
+        .expect("assemble");
+        let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
+        assert!(matches!(insts[0], Inst::Li { imm: 16, .. }));
+        assert!(matches!(insts[1], Inst::Li { imm: -16, .. }));
+        assert!(matches!(insts[2], Inst::AluImm { imm: -8, .. }));
+    }
+
+    #[test]
+    fn label_and_inst_on_same_line() {
+        let program = assemble("main: li r1, 1\n      exit 0").expect("assemble");
+        assert_eq!(program.entry(), CODE_BASE);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let program = assemble(
+            "; leading comment\nmain: exit 0 ; trailing\n# hash comment\n",
+        )
+        .expect("assemble");
+        assert_eq!(program.static_inst_count(), 3);
+    }
+}

@@ -1,0 +1,85 @@
+//! Objdump-style disassembly listings.
+
+use crate::program::{Program, Section};
+use std::fmt::Write as _;
+
+/// Renders a full disassembly listing of a program's code section, with
+/// symbol labels interleaved and branch targets annotated by symbol.
+///
+/// # Example
+///
+/// ```
+/// use superpin_isa::asm::assemble;
+/// use superpin_isa::disassemble;
+///
+/// let program = assemble("main:\n li r1, 2\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")?;
+/// let listing = disassemble(&program);
+/// assert!(listing.contains("<main>:"));
+/// assert!(listing.contains("<loop>:"));
+/// assert!(listing.contains("bne"));
+/// # Ok::<(), superpin_isa::asm::AsmError>(())
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (addr, inst) in program.instructions() {
+        // Emit a label line when a symbol starts here.
+        if let Some(symbol) = program
+            .symbols()
+            .find(|sym| sym.section == Section::Code && sym.addr == addr)
+        {
+            let _ = writeln!(out, "{addr:#010x} <{}>:", symbol.name);
+        }
+        let annotation = inst
+            .static_target()
+            .and_then(|target| program.symbol_for_addr(target).map(|sym| (target, sym)))
+            .map(|(target, sym)| {
+                if sym.addr == target {
+                    format!("  ; -> {}", sym.name)
+                } else {
+                    format!("  ; -> {}+{:#x}", sym.name, target - sym.addr)
+                }
+            })
+            .unwrap_or_default();
+        let _ = writeln!(out, "{addr:#010x}:   {inst}{annotation}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing_contains_every_instruction() {
+        let program = assemble(
+            "main:\n li r1, 3\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n call fn\n exit 0\nfn:\n ret\n",
+        )
+        .expect("assemble");
+        let listing = disassemble(&program);
+        let lines: Vec<&str> = listing.lines().collect();
+        let inst_lines = lines.iter().filter(|l| !l.ends_with(":")).count();
+        assert_eq!(inst_lines, program.static_inst_count());
+        assert!(listing.contains("<main>:"));
+        assert!(listing.contains("<fn>:"));
+    }
+
+    #[test]
+    fn branch_targets_are_annotated() {
+        let program =
+            assemble("main:\nloop:\n nop\n jmp loop\n").expect("assemble");
+        let listing = disassemble(&program);
+        assert!(listing.contains("; -> loop") || listing.contains("; -> main"));
+    }
+
+    #[test]
+    fn mid_symbol_targets_show_offsets() {
+        let program = assemble(
+            "main:\n nop\n nop\n jmp target\n target: exit 0\n",
+        )
+        .expect("assemble");
+        // `target` is its own label, so the jump annotates exactly.
+        let listing = disassemble(&program);
+        assert!(listing.contains("; -> target"));
+    }
+}

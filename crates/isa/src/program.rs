@@ -1,0 +1,325 @@
+//! Linked program images.
+
+use crate::encode::{decode, DecodeError};
+use crate::inst::Inst;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named address in a [`Program`]'s symbol table.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// Symbol name as written in the source or builder.
+    pub name: String,
+    /// Absolute virtual address.
+    pub addr: u64,
+    /// Which section the symbol points into.
+    pub section: Section,
+}
+
+/// Program sections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Executable code.
+    Code,
+    /// Initialized data.
+    Data,
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Code => write!(f, "code"),
+            Section::Data => write!(f, "data"),
+        }
+    }
+}
+
+/// Error produced when constructing or inspecting a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The requested entry symbol does not exist.
+    MissingEntry(String),
+    /// An address does not fall inside the code section.
+    AddrOutOfCode(u64),
+    /// Instruction decoding failed at an address.
+    Decode {
+        /// The address whose bytes failed to decode.
+        addr: u64,
+        /// The underlying decode failure.
+        source: DecodeError,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::MissingEntry(name) => write!(f, "entry symbol `{name}` not defined"),
+            ProgramError::AddrOutOfCode(addr) => {
+                write!(f, "address {addr:#x} is outside the code section")
+            }
+            ProgramError::Decode { addr, source } => {
+                write!(f, "decode failure at {addr:#x}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProgramError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A linked executable image: encoded code, initialized data, an entry
+/// point, and a symbol table.
+///
+/// Programs are loaded into a `superpin-vm` address space byte-for-byte;
+/// the DBI layer re-decodes instructions straight out of guest memory, so
+/// the image is the single source of truth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    code: Vec<u8>,
+    code_base: u64,
+    data: Vec<u8>,
+    data_base: u64,
+    bss_len: u64,
+    entry: u64,
+    symbols: BTreeMap<String, Symbol>,
+}
+
+impl Program {
+    /// Creates a program from raw parts. `entry` must point into the code
+    /// section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::AddrOutOfCode`] if the entry point is not a
+    /// code address.
+    pub fn from_parts(
+        code: Vec<u8>,
+        code_base: u64,
+        data: Vec<u8>,
+        data_base: u64,
+        bss_len: u64,
+        entry: u64,
+        symbols: Vec<Symbol>,
+    ) -> Result<Program, ProgramError> {
+        let program = Program {
+            code,
+            code_base,
+            data,
+            data_base,
+            bss_len,
+            entry,
+            symbols: symbols
+                .into_iter()
+                .map(|sym| (sym.name.clone(), sym))
+                .collect(),
+        };
+        if !program.contains_code_addr(entry) {
+            return Err(ProgramError::AddrOutOfCode(entry));
+        }
+        Ok(program)
+    }
+
+    /// The encoded code bytes.
+    pub fn code(&self) -> &[u8] {
+        &self.code
+    }
+
+    /// Base virtual address of the code section (conventionally
+    /// [`crate::CODE_BASE`]).
+    pub fn code_base(&self) -> u64 {
+        self.code_base
+    }
+
+    /// Length of the code section in bytes.
+    pub fn code_len(&self) -> u64 {
+        self.code.len() as u64
+    }
+
+    /// The initialized data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Base virtual address of the data section (conventionally
+    /// [`crate::DATA_BASE`]).
+    pub fn data_base(&self) -> u64 {
+        self.data_base
+    }
+
+    /// Bytes of zero-initialized memory following the data section.
+    pub fn bss_len(&self) -> u64 {
+        self.bss_len
+    }
+
+    /// The entry-point address.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Whether `addr` falls inside the code section.
+    pub fn contains_code_addr(&self, addr: u64) -> bool {
+        addr >= self.code_base && addr < self.code_base + self.code.len() as u64
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// Iterates over all symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.values()
+    }
+
+    /// Finds the symbol with the greatest address `<= addr` in the code
+    /// section — useful for attributing profile samples to functions.
+    pub fn symbol_for_addr(&self, addr: u64) -> Option<&Symbol> {
+        self.symbols
+            .values()
+            .filter(|sym| sym.section == Section::Code && sym.addr <= addr)
+            .max_by_key(|sym| sym.addr)
+    }
+
+    /// Decodes the instruction at the given code address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::AddrOutOfCode`] for addresses outside the
+    /// code section, or [`ProgramError::Decode`] if the bytes do not form a
+    /// valid instruction.
+    pub fn decode_at(&self, addr: u64) -> Result<(Inst, u64), ProgramError> {
+        if !self.contains_code_addr(addr) {
+            return Err(ProgramError::AddrOutOfCode(addr));
+        }
+        let offset = (addr - self.code_base) as usize;
+        let (inst, len) = decode(&self.code[offset..])
+            .map_err(|source| ProgramError::Decode { addr, source })?;
+        Ok((inst, len as u64))
+    }
+
+    /// Iterates `(addr, inst)` pairs over the whole code section.
+    pub fn instructions(&self) -> Instructions<'_> {
+        Instructions {
+            program: self,
+            addr: self.code_base,
+        }
+    }
+
+    /// Counts the static instructions in the code section.
+    pub fn static_inst_count(&self) -> usize {
+        self.instructions().count()
+    }
+}
+
+/// Iterator over `(address, instruction)` pairs; see
+/// [`Program::instructions`].
+#[derive(Clone, Debug)]
+pub struct Instructions<'a> {
+    program: &'a Program,
+    addr: u64,
+}
+
+impl Iterator for Instructions<'_> {
+    type Item = (u64, Inst);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (inst, len) = self.program.decode_at(self.addr).ok()?;
+        let addr = self.addr;
+        self.addr += len;
+        Some((addr, inst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::inst::Inst;
+    use crate::reg::Reg;
+    use crate::{CODE_BASE, DATA_BASE};
+
+    fn tiny_program() -> Program {
+        let mut code = Vec::new();
+        encode(Inst::Li { rd: Reg::R0, imm: 0 }, &mut code);
+        encode(Inst::Syscall, &mut code);
+        Program::from_parts(
+            code,
+            CODE_BASE,
+            vec![1, 2, 3],
+            DATA_BASE,
+            16,
+            CODE_BASE,
+            vec![
+                Symbol {
+                    name: "main".into(),
+                    addr: CODE_BASE,
+                    section: Section::Code,
+                },
+                Symbol {
+                    name: "table".into(),
+                    addr: DATA_BASE,
+                    section: Section::Data,
+                },
+            ],
+        )
+        .expect("valid program")
+    }
+
+    #[test]
+    fn entry_must_be_in_code() {
+        let err = Program::from_parts(vec![], CODE_BASE, vec![], DATA_BASE, 0, CODE_BASE, vec![])
+            .unwrap_err();
+        assert_eq!(err, ProgramError::AddrOutOfCode(CODE_BASE));
+    }
+
+    #[test]
+    fn decode_at_walks_variable_length() {
+        let program = tiny_program();
+        let (first, len) = program.decode_at(CODE_BASE).expect("decode first");
+        assert_eq!(first, Inst::Li { rd: Reg::R0, imm: 0 });
+        assert_eq!(len, 16);
+        let (second, _) = program.decode_at(CODE_BASE + 16).expect("decode second");
+        assert_eq!(second, Inst::Syscall);
+    }
+
+    #[test]
+    fn decode_at_out_of_range() {
+        let program = tiny_program();
+        assert!(matches!(
+            program.decode_at(0),
+            Err(ProgramError::AddrOutOfCode(0))
+        ));
+    }
+
+    #[test]
+    fn instruction_iterator_counts() {
+        let program = tiny_program();
+        let instructions: Vec<(u64, Inst)> = program.instructions().collect();
+        assert_eq!(instructions.len(), 2);
+        assert_eq!(program.static_inst_count(), 2);
+        assert_eq!(instructions[1].0, CODE_BASE + 16);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let program = tiny_program();
+        assert_eq!(program.symbol("main").map(|s| s.addr), Some(CODE_BASE));
+        assert!(program.symbol("missing").is_none());
+        let sym = program.symbol_for_addr(CODE_BASE + 16).expect("symbol");
+        assert_eq!(sym.name, "main");
+    }
+
+    #[test]
+    fn symbol_for_addr_ignores_data_symbols() {
+        let program = tiny_program();
+        // `table` is a data symbol at a higher address; it must not win.
+        let sym = program.symbol_for_addr(DATA_BASE + 100);
+        assert_eq!(sym.map(|s| s.name.as_str()), Some("main"));
+    }
+}

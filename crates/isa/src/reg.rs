@@ -1,0 +1,185 @@
+//! General-purpose register identifiers.
+
+use std::fmt;
+
+/// Number of general-purpose registers in the virtual ISA.
+pub const NUM_REGS: usize = 16;
+
+/// A general-purpose register identifier (`r0`–`r15`).
+///
+/// Register conventions mirror a typical RISC ABI:
+///
+/// * `r0` — first argument / syscall number / return value
+/// * `r1`–`r5` — arguments / caller-saved scratch
+/// * `r6`–`r12` — callee-saved
+/// * `r13` (`ra`) — return address link register
+/// * `r14` (`fp`) — frame pointer
+/// * `r15` (`sp`) — stack pointer
+///
+/// The stack pointer is an ordinary register; SuperPin's signature
+/// detection (paper §4.4) reads it to locate the top 100 stack words.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// First argument / syscall number / return value.
+    pub const R0: Reg = Reg(0);
+    /// Argument / caller-saved scratch register 1.
+    pub const R1: Reg = Reg(1);
+    /// Argument / caller-saved scratch register 2.
+    pub const R2: Reg = Reg(2);
+    /// Argument / caller-saved scratch register 3.
+    pub const R3: Reg = Reg(3);
+    /// Argument / caller-saved scratch register 4.
+    pub const R4: Reg = Reg(4);
+    /// Argument / caller-saved scratch register 5.
+    pub const R5: Reg = Reg(5);
+    /// Callee-saved register 6.
+    pub const R6: Reg = Reg(6);
+    /// Callee-saved register 7.
+    pub const R7: Reg = Reg(7);
+    /// Callee-saved register 8.
+    pub const R8: Reg = Reg(8);
+    /// Callee-saved register 9.
+    pub const R9: Reg = Reg(9);
+    /// Callee-saved register 10.
+    pub const R10: Reg = Reg(10);
+    /// Callee-saved register 11.
+    pub const R11: Reg = Reg(11);
+    /// Callee-saved register 12.
+    pub const R12: Reg = Reg(12);
+    /// Return-address link register (`ra`, alias for `r13`).
+    pub const RA: Reg = Reg(13);
+    /// Frame pointer (`fp`, alias for `r14`).
+    pub const FP: Reg = Reg(14);
+    /// Stack pointer (`sp`, alias for `r15`).
+    pub const SP: Reg = Reg(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Creates a register from its index, returning `None` if out of range.
+    pub fn try_new(index: u8) -> Option<Reg> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register's index in the register file (0–15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw encoded register number.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all registers, `r0` through `r15`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+
+    /// Parses a register name: `r0`–`r15` or the aliases `ra`, `fp`, `sp`.
+    pub fn parse(name: &str) -> Option<Reg> {
+        match name {
+            "ra" => return Some(Reg::RA),
+            "fp" => return Some(Reg::FP),
+            "sp" => return Some(Reg::SP),
+            _ => {}
+        }
+        let rest = name.strip_prefix('r')?;
+        let index: u8 = rest.parse().ok()?;
+        Reg::try_new(index)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::RA => write!(f, "ra"),
+            Reg::FP => write!(f, "fp"),
+            Reg::SP => write!(f, "sp"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({self})")
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(reg: Reg) -> u8 {
+        reg.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_map_to_expected_indices() {
+        assert_eq!(Reg::RA.index(), 13);
+        assert_eq!(Reg::FP.index(), 14);
+        assert_eq!(Reg::SP.index(), 15);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for reg in Reg::all() {
+            let text = reg.to_string();
+            assert_eq!(Reg::parse(&text), Some(reg), "failed for {text}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_numeric_aliases() {
+        assert_eq!(Reg::parse("r15"), Some(Reg::SP));
+        assert_eq!(Reg::parse("r13"), Some(Reg::RA));
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse("r"), None);
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(Reg::try_new(15).is_some());
+        assert!(Reg::try_new(16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn all_yields_each_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        for (i, reg) in regs.iter().enumerate() {
+            assert_eq!(reg.index(), i);
+        }
+    }
+}

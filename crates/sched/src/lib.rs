@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # superpin-sched
+//!
+//! A deterministic multiprocessor timing model: the substitute for the
+//! paper's 8-way 2.2 GHz Xeon MP testbed (16 logical processors with
+//! hyperthreading enabled, §6.2).
+//!
+//! The crate is *unit-agnostic*: all durations are abstract ticks (the
+//! SuperPin runner uses 2.2 GHz cycles). It provides:
+//!
+//! * [`Machine`] — CPU topology plus the two contention effects the paper
+//!   calls out in §6.3: hyperthread siblings sharing a physical core's
+//!   throughput, and the SMP scalability tax ("Running on all processors
+//!   taxes the memory and other subsystems").
+//! * [`QuantumScheduler`] — fair-share assignment of runnable tasks onto
+//!   the machine per quantum, with round-robin rotation when
+//!   oversubscribed.
+//! * [`Timeline`] — labelled time-segment recording, used to produce the
+//!   run-time breakdown of Figure 6 (native / fork&others / sleep /
+//!   pipeline).
+
+mod machine;
+mod scheduler;
+mod timeline;
+
+pub use machine::Machine;
+pub use scheduler::{Policy, QuantumScheduler, Share};
+pub use timeline::Timeline;

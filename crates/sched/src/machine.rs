@@ -1,0 +1,170 @@
+//! CPU topology and contention model.
+
+/// A multiprocessor machine model.
+///
+/// Throughput is measured in *core-equivalents*: one uncontended physical
+/// core delivers 1.0. Two effects reduce effective throughput, both from
+/// the paper's overhead taxonomy (§6.3):
+///
+/// * **Hyperthreading** — a physical core running two logical threads
+///   delivers `smt_core_throughput` (> 1, < 2) core-equivalents total, so
+///   each sibling runs slower than alone ("If the master application is
+///   forced to share its CPU with another slice ... this will impact
+///   performance").
+/// * **SMP scalability** — when `k` physical cores are busy, each runs at
+///   `1 / (1 + smp_alpha · (k − 1))` ("It will run slower than running a
+///   single instance with no other load on the system").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Machine {
+    /// Number of physical cores (the paper's machine: 8).
+    pub physical_cores: usize,
+    /// Whether hyperthreading is enabled (doubles logical CPUs).
+    pub smt_enabled: bool,
+    /// Core-equivalents delivered by one physical core running two
+    /// hyperthreads (default 1.25 ⇒ each sibling at 0.625).
+    pub smt_core_throughput: f64,
+    /// Per-core slowdown coefficient as more physical cores go busy.
+    pub smp_alpha: f64,
+}
+
+impl Machine {
+    /// The paper's testbed: 8-way SMP, hyperthreading available.
+    pub fn paper_testbed() -> Machine {
+        Machine {
+            physical_cores: 8,
+            smt_enabled: true,
+            smt_core_throughput: 1.25,
+            smp_alpha: 0.02,
+        }
+    }
+
+    /// A machine with `physical_cores` cores and no hyperthreading.
+    pub fn smp(physical_cores: usize) -> Machine {
+        Machine {
+            physical_cores,
+            smt_enabled: false,
+            ..Machine::paper_testbed()
+        }
+    }
+
+    /// Number of schedulable logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        if self.smt_enabled {
+            self.physical_cores * 2
+        } else {
+            self.physical_cores
+        }
+    }
+
+    fn smp_factor(&self, busy_cores: usize) -> f64 {
+        if busy_cores <= 1 {
+            1.0
+        } else {
+            1.0 / (1.0 + self.smp_alpha * (busy_cores as f64 - 1.0))
+        }
+    }
+
+    /// Total machine throughput (core-equivalents) when `runnable` tasks
+    /// are scheduled.
+    ///
+    /// Tasks fill distinct physical cores first, then hyperthread
+    /// siblings; beyond the logical-CPU count the extra tasks time-slice
+    /// without adding throughput.
+    pub fn total_throughput(&self, runnable: usize) -> f64 {
+        if runnable == 0 {
+            return 0.0;
+        }
+        let p = self.physical_cores;
+        let scheduled = runnable.min(self.logical_cpus());
+        if scheduled <= p {
+            scheduled as f64 * self.smp_factor(scheduled)
+        } else {
+            let sharing = scheduled - p; // cores running two threads
+            let solo = p - sharing;
+            (solo as f64 + sharing as f64 * self.smt_core_throughput) * self.smp_factor(p)
+        }
+    }
+
+    /// Fair-share throughput each of `runnable` tasks receives
+    /// (core-equivalents; 1.0 = full-speed uncontended core).
+    pub fn per_task_throughput(&self, runnable: usize) -> f64 {
+        if runnable == 0 {
+            0.0
+        } else {
+            self.total_throughput(runnable) / runnable as f64
+        }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let m = Machine::paper_testbed();
+        assert_eq!(m.per_task_throughput(1), 1.0);
+        assert_eq!(m.total_throughput(0), 0.0);
+    }
+
+    #[test]
+    fn logical_cpu_count() {
+        assert_eq!(Machine::paper_testbed().logical_cpus(), 16);
+        assert_eq!(Machine::smp(8).logical_cpus(), 8);
+    }
+
+    #[test]
+    fn smp_tax_grows_with_busy_cores() {
+        let m = Machine::smp(8);
+        let t1 = m.per_task_throughput(1);
+        let t4 = m.per_task_throughput(4);
+        let t8 = m.per_task_throughput(8);
+        assert!(t1 > t4 && t4 > t8);
+        // 8 busy cores with alpha=0.02: each at 1/1.14 ≈ 0.877.
+        assert!((t8 - 1.0 / 1.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperthread_siblings_share_a_core() {
+        let m = Machine::paper_testbed();
+        // 16 tasks on 8 cores: every core runs two threads.
+        let total16 = m.total_throughput(16);
+        assert!((total16 - 8.0 * 1.25 / 1.14).abs() < 1e-9);
+        let per = m.per_task_throughput(16);
+        assert!(per < 0.62, "HT sibling should run well below a full core");
+    }
+
+    #[test]
+    fn throughput_monotonic_but_saturating() {
+        let m = Machine::paper_testbed();
+        let mut prev = 0.0;
+        for n in 1..=16 {
+            let t = m.total_throughput(n);
+            assert!(t > prev, "total throughput must grow up to logical count");
+            prev = t;
+        }
+        // Oversubscription adds no throughput.
+        assert_eq!(m.total_throughput(17), m.total_throughput(16));
+        assert!(m.per_task_throughput(17) < m.per_task_throughput(16));
+    }
+
+    #[test]
+    fn no_smt_machine_saturates_at_physical() {
+        let m = Machine::smp(8);
+        assert_eq!(m.total_throughput(9), m.total_throughput(8));
+    }
+
+    #[test]
+    fn mixed_solo_and_shared_cores() {
+        let m = Machine::paper_testbed();
+        // 10 tasks on 8 cores: 6 solo + 2 shared cores.
+        let expected = (6.0 + 2.0 * 1.25) / 1.14;
+        assert!((m.total_throughput(10) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-quantum fair-share scheduling.
+
+use crate::machine::Machine;
+
+/// One task's share of the machine for a quantum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Share {
+    /// Caller-assigned task identifier.
+    pub task: u64,
+    /// Throughput in core-equivalents for the quantum: the task advances
+    /// `quantum_ticks × throughput` ticks of work.
+    pub throughput: f64,
+}
+
+/// Scheduling policy for a quantum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Policy {
+    /// All runnable tasks share machine throughput equally — what a stock
+    /// OS scheduler converges to with long-running CPU-bound tasks, and
+    /// the model used for the paper's figures (the master visibly slows
+    /// when the machine is oversubscribed, Fig. 7 at 16 slices).
+    #[default]
+    FairShare,
+    /// The first task (the master) is pinned to a dedicated core and only
+    /// the remaining throughput is shared — an idealized-OS ablation.
+    MasterFirst,
+}
+
+/// Computes per-quantum shares of a [`Machine`] among runnable tasks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuantumScheduler {
+    machine: Machine,
+    policy: Policy,
+}
+
+impl QuantumScheduler {
+    /// Creates a scheduler over `machine` with the given policy.
+    pub fn new(machine: Machine, policy: Policy) -> QuantumScheduler {
+        QuantumScheduler { machine, policy }
+    }
+
+    /// The machine being scheduled.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Assigns shares for one quantum to the given runnable tasks.
+    ///
+    /// Returns one [`Share`] per task (all tasks make progress every
+    /// quantum; oversubscription shows up as lower throughput, i.e.
+    /// intra-quantum time multiplexing).
+    pub fn shares(&self, runnable: &[u64]) -> Vec<Share> {
+        let n = runnable.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match self.policy {
+            Policy::FairShare => {
+                let per = self.machine.per_task_throughput(n);
+                runnable
+                    .iter()
+                    .map(|&task| Share {
+                        task,
+                        throughput: per,
+                    })
+                    .collect()
+            }
+            Policy::MasterFirst => {
+                let total = self.machine.total_throughput(n);
+                let master = self
+                    .machine
+                    .per_task_throughput(n.min(self.machine.physical_cores))
+                    .min(1.0)
+                    .min(total);
+                let rest = if n > 1 {
+                    (total - master).max(0.0) / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                runnable
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &task)| Share {
+                        task,
+                        throughput: if i == 0 { master } else { rest },
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_runnable_set() {
+        let sched = QuantumScheduler::new(Machine::paper_testbed(), Policy::FairShare);
+        assert!(sched.shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn fair_share_is_uniform() {
+        let sched = QuantumScheduler::new(Machine::smp(4), Policy::FairShare);
+        let shares = sched.shares(&[1, 2, 3]);
+        assert_eq!(shares.len(), 3);
+        assert!(shares.windows(2).all(|w| w[0].throughput == w[1].throughput));
+        assert!(shares[0].throughput < 1.0, "SMP tax applies");
+    }
+
+    #[test]
+    fn fair_share_degrades_when_oversubscribed() {
+        let machine = Machine::smp(2);
+        let sched = QuantumScheduler::new(machine, Policy::FairShare);
+        let two = sched.shares(&[1, 2])[0].throughput;
+        let four = sched.shares(&[1, 2, 3, 4])[0].throughput;
+        assert!(four < two / 1.5, "4 tasks on 2 cores must time-slice");
+    }
+
+    #[test]
+    fn master_first_pins_task_zero() {
+        let sched = QuantumScheduler::new(Machine::smp(4), Policy::MasterFirst);
+        let shares = sched.shares(&[0, 1, 2, 3, 4, 5]);
+        let master = shares[0].throughput;
+        let slice = shares[1].throughput;
+        assert!(master > slice);
+        // Total never exceeds machine capability.
+        let total: f64 = shares.iter().map(|s| s.throughput).sum();
+        assert!(total <= sched.machine().total_throughput(6) + 1e-9);
+    }
+
+    #[test]
+    fn shares_preserve_task_ids() {
+        let sched = QuantumScheduler::new(Machine::smp(2), Policy::FairShare);
+        let shares = sched.shares(&[42, 7]);
+        assert_eq!(shares[0].task, 42);
+        assert_eq!(shares[1].task, 7);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the machine model and scheduler.
+
+use proptest::prelude::*;
+use superpin_sched::{Machine, Policy, QuantumScheduler};
+
+proptest! {
+    /// Total allocated throughput never exceeds what the machine can
+    /// deliver, under either policy.
+    #[test]
+    fn prop_shares_conserve_throughput(
+        physical in 1usize..16,
+        smt in any::<bool>(),
+        runnable in 1usize..40,
+        master_first in any::<bool>(),
+    ) {
+        let machine = Machine {
+            physical_cores: physical,
+            smt_enabled: smt,
+            ..Machine::paper_testbed()
+        };
+        let policy = if master_first { Policy::MasterFirst } else { Policy::FairShare };
+        let scheduler = QuantumScheduler::new(machine, policy);
+        let tasks: Vec<u64> = (0..runnable as u64).collect();
+        let shares = scheduler.shares(&tasks);
+        prop_assert_eq!(shares.len(), runnable);
+        let total: f64 = shares.iter().map(|s| s.throughput).sum();
+        prop_assert!(total <= machine.total_throughput(runnable) + 1e-9,
+            "allocated {total} > capacity {}", machine.total_throughput(runnable));
+        for share in &shares {
+            prop_assert!(share.throughput >= 0.0);
+            prop_assert!(share.throughput <= 1.0 + 1e-9, "no task runs faster than a core");
+        }
+    }
+
+    /// Per-task throughput never increases as more tasks contend.
+    #[test]
+    fn prop_per_task_throughput_monotone_nonincreasing(
+        physical in 1usize..16,
+        smt in any::<bool>(),
+    ) {
+        let machine = Machine {
+            physical_cores: physical,
+            smt_enabled: smt,
+            ..Machine::paper_testbed()
+        };
+        let mut prev = f64::INFINITY;
+        for runnable in 1..=32 {
+            let per = machine.per_task_throughput(runnable);
+            prop_assert!(per <= prev + 1e-12, "throughput rose at {runnable} tasks");
+            prev = per;
+        }
+    }
+
+    /// Total machine throughput is non-decreasing in runnable tasks and
+    /// saturates exactly at the logical CPU count.
+    #[test]
+    fn prop_total_throughput_saturates(
+        physical in 1usize..16,
+        smt in any::<bool>(),
+    ) {
+        let machine = Machine {
+            physical_cores: physical,
+            smt_enabled: smt,
+            ..Machine::paper_testbed()
+        };
+        let logical = machine.logical_cpus();
+        let mut prev = 0.0;
+        for runnable in 1..=logical {
+            let total = machine.total_throughput(runnable);
+            prop_assert!(total >= prev - 1e-12);
+            prev = total;
+        }
+        prop_assert_eq!(
+            machine.total_throughput(logical),
+            machine.total_throughput(logical + 5)
+        );
+    }
+}

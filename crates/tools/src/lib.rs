@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # superpin-tools
+//!
+//! The Pintools used throughout the SuperPin reproduction — each one a
+//! [`Pintool`](superpin_dbi::Pintool) that also implements
+//! [`SuperTool`](superpin::SuperTool) so it runs unchanged under
+//! traditional Pin *and* under SuperPin slicing:
+//!
+//! * [`ICount1`] — a counter call after **every instruction** (the
+//!   paper's instrumentation-limited tool, Figures 3–4).
+//! * [`ICount2`] — a counter call per **basic block** (Figure 5; the
+//!   SuperPin version is the paper's Figure 2 listing).
+//! * [`DCache`] — a data-cache simulator with the paper's §5.2
+//!   assumed-hit reconciliation across slice boundaries; its merged
+//!   result is *exactly* equal to a serial simulation.
+//! * [`ITrace`] — an instruction tracer whose per-slice buffers are
+//!   appended in slice order (paper §4.5).
+//! * [`BranchProfile`] — per-branch taken/fall-through counts.
+//! * [`MemProfile`] — load/store counts and bytes moved.
+//! * [`Sampler`] — a Shadow-Profiler-style sampling tool that ends each
+//!   slice early via the `SP_EndSlice` analogue (paper §5).
+
+mod bbl_count;
+mod branch_profile;
+mod dcache;
+mod dcache_assoc;
+mod icache;
+mod icount;
+mod insmix;
+mod itrace;
+mod mem_profile;
+mod sampler;
+
+pub use bbl_count::BblCount;
+pub use branch_profile::{BranchProfile, BranchSiteStats};
+pub use dcache::{DCache, DCacheConfig, DCacheResult};
+pub use dcache_assoc::{AssocDCache, AssocDCacheConfig, LruCache};
+pub use icache::ICache;
+pub use icount::{ICount1, ICount2};
+pub use insmix::{InsMix, MixCategory, MixCounts};
+pub use itrace::ITrace;
+pub use mem_profile::{MemProfile, MemProfileTotals};
+pub use sampler::{Sampler, BUCKET_BYTES};

@@ -1,0 +1,65 @@
+//! Top-level error type for VM operations.
+
+use crate::mem::MemError;
+use std::fmt;
+use superpin_isa::DecodeError;
+
+/// Errors surfaced while executing guest code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access faulted.
+    Mem(MemError),
+    /// The bytes at `pc` did not decode to a valid instruction.
+    Decode {
+        /// Program counter of the invalid encoding.
+        pc: u64,
+        /// The underlying decode failure.
+        source: DecodeError,
+    },
+    /// The guest issued a syscall number the kernel does not implement.
+    BadSyscall {
+        /// Program counter of the offending `syscall`.
+        pc: u64,
+        /// The unrecognized syscall number.
+        number: u64,
+    },
+    /// An operation was attempted on a process that has already exited.
+    ProcessExited,
+    /// The guest executed `halt`, which only injected runtime stubs may do.
+    UnexpectedHalt {
+        /// Program counter of the `halt`.
+        pc: u64,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Mem(err) => write!(f, "memory fault: {err}"),
+            VmError::Decode { pc, source } => {
+                write!(f, "instruction decode failed at {pc:#x}: {source}")
+            }
+            VmError::BadSyscall { pc, number } => {
+                write!(f, "unknown syscall number {number} at {pc:#x}")
+            }
+            VmError::ProcessExited => write!(f, "process has already exited"),
+            VmError::UnexpectedHalt { pc } => write!(f, "unexpected halt at {pc:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Mem(err) => Some(err),
+            VmError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for VmError {
+    fn from(err: MemError) -> VmError {
+        VmError::Mem(err)
+    }
+}

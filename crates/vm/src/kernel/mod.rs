@@ -1,0 +1,683 @@
+//! The emulated kernel.
+//!
+//! Syscalls follow a simple ABI: the number is passed in `r0`, arguments
+//! in `r1`–`r5`, and the result is returned in `r0`.
+//!
+//! Executing a syscall yields a [`SyscallRecord`] that captures the
+//! complete architectural effect — return value, guest-memory writes, and
+//! address-space operations. A record can later be *played back* against
+//! another process with [`apply_record`], reproducing the effect without
+//! re-running the kernel. This is the primitive behind SuperPin's
+//! record-and-playback slice handling (paper §4.2): "The memory
+//! modifications and results of system calls are recorded. The slices then
+//! playback the system call by changing the registers and modifying memory
+//! in an identical manner."
+
+mod fs;
+
+pub use fs::{FdTable, FsError};
+
+use crate::cpu::CpuState;
+use crate::error::VmError;
+use crate::mem::AddressSpace;
+use bytes::Bytes;
+use std::fmt;
+use superpin_isa::Reg;
+
+/// System call numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum SyscallNo {
+    /// `exit(code)` — terminate the process.
+    Exit = 0,
+    /// `write(fd, buf, len) -> written`.
+    Write = 1,
+    /// `read(fd, buf, len) -> read` — writes guest memory.
+    Read = 2,
+    /// `open(path_ptr, path_len) -> fd` — creates the file if absent.
+    Open = 3,
+    /// `close(fd) -> 0`.
+    Close = 4,
+    /// `brk(addr) -> new_brk`.
+    Brk = 5,
+    /// `mmap(hint, len) -> addr` — anonymous mapping.
+    Mmap = 6,
+    /// `munmap(addr) -> 0`.
+    Munmap = 7,
+    /// `gettime() -> virtual nanoseconds`.
+    GetTime = 8,
+    /// `getpid() -> pid`.
+    GetPid = 9,
+    /// `getrandom() -> deterministic pseudo-random u64`.
+    GetRandom = 10,
+    /// `sigaction(sig, handler_addr) -> 0` — install a handler.
+    SigAction = 11,
+    /// `raise(sig) -> 0` — deliver a signal to the calling process. If a
+    /// handler is installed, control transfers to it with a return frame
+    /// pushed on the stack; otherwise the signal is ignored.
+    Raise = 12,
+    /// `sigreturn() -> 0` — return from a handler, restoring the frame
+    /// `raise` pushed.
+    SigReturn = 13,
+}
+
+impl SyscallNo {
+    /// Decodes a syscall number from the guest's `r0`.
+    pub fn from_raw(raw: u64) -> Option<SyscallNo> {
+        Some(match raw {
+            0 => SyscallNo::Exit,
+            1 => SyscallNo::Write,
+            2 => SyscallNo::Read,
+            3 => SyscallNo::Open,
+            4 => SyscallNo::Close,
+            5 => SyscallNo::Brk,
+            6 => SyscallNo::Mmap,
+            7 => SyscallNo::Munmap,
+            8 => SyscallNo::GetTime,
+            9 => SyscallNo::GetPid,
+            10 => SyscallNo::GetRandom,
+            11 => SyscallNo::SigAction,
+            12 => SyscallNo::Raise,
+            13 => SyscallNo::SigReturn,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyscallNo::Exit => "exit",
+            SyscallNo::Write => "write",
+            SyscallNo::Read => "read",
+            SyscallNo::Open => "open",
+            SyscallNo::Close => "close",
+            SyscallNo::Brk => "brk",
+            SyscallNo::Mmap => "mmap",
+            SyscallNo::Munmap => "munmap",
+            SyscallNo::GetTime => "gettime",
+            SyscallNo::GetPid => "getpid",
+            SyscallNo::GetRandom => "getrandom",
+            SyscallNo::SigAction => "sigaction",
+            SyscallNo::Raise => "raise",
+            SyscallNo::SigReturn => "sigreturn",
+        }
+    }
+}
+
+impl fmt::Display for SyscallNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error return value used by the kernel (`-1` in two's complement).
+pub const SYSCALL_ERROR: u64 = u64::MAX;
+
+/// Number of guest-visible signals.
+pub const NUM_SIGNALS: usize = 8;
+
+/// Bytes of the stack frame `raise` pushes (resume pc + saved ra).
+pub const SIGNAL_FRAME_BYTES: u64 = 16;
+
+/// A recorded guest-memory write performed by a syscall.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemDelta {
+    /// Destination guest address.
+    pub addr: u64,
+    /// Bytes written.
+    pub bytes: Bytes,
+}
+
+/// A recorded address-space operation performed by a syscall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapOp {
+    /// An anonymous mapping was created at `addr`.
+    Map {
+        /// Base address of the new mapping.
+        addr: u64,
+        /// Requested length in bytes.
+        len: u64,
+    },
+    /// The mapping at `addr` was removed.
+    Unmap {
+        /// Base address of the removed mapping.
+        addr: u64,
+    },
+    /// The program break moved to `brk`.
+    Brk {
+        /// The new break.
+        brk: u64,
+    },
+}
+
+/// The complete architectural effect of one syscall execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyscallRecord {
+    /// Which syscall ran.
+    pub number: SyscallNo,
+    /// Arguments as read from `r1`–`r5`.
+    pub args: [u64; 5],
+    /// Value returned in `r0`.
+    pub ret: u64,
+    /// Guest-memory writes (e.g. `read` filling a buffer).
+    pub mem_writes: Vec<MemDelta>,
+    /// Address-space operations (`mmap`/`munmap`/`brk`).
+    pub map_ops: Vec<MapOp>,
+    /// Registers (beyond `r0`) the syscall wrote — signal delivery and
+    /// return adjust `sp`/`ra`.
+    pub reg_writes: Vec<(superpin_isa::Reg, u64)>,
+    /// Where execution continues if not at the fall-through pc (signal
+    /// handler entry / handler return).
+    pub pc_override: Option<u64>,
+    /// Exit code if the syscall terminated the process.
+    pub exited: Option<i64>,
+}
+
+/// Per-process kernel state: file descriptors plus a deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct KernelState {
+    /// Process id reported by `getpid`.
+    pub pid: u64,
+    /// Open files, stdin, stdout.
+    pub fds: FdTable,
+    rng_state: u64,
+    /// Installed signal handlers, indexed by signal number (0 = none).
+    handlers: [u64; NUM_SIGNALS],
+}
+
+impl KernelState {
+    /// Creates kernel state for process `pid` with an empty filesystem.
+    pub fn new(pid: u64) -> KernelState {
+        KernelState {
+            pid,
+            fds: FdTable::new(),
+            rng_state: 0x9e37_79b9_7f4a_7c15 ^ pid,
+            handlers: [0; NUM_SIGNALS],
+        }
+    }
+
+    /// The installed handler for `sig` (0 = none).
+    pub fn handler(&self, sig: usize) -> u64 {
+        self.handlers.get(sig).copied().unwrap_or(0)
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64*: deterministic, non-zero state maintained by seeding.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// Executes the syscall the guest is parked at (`cpu.pc` must point at a
+/// `syscall` instruction). Advances `pc` past it, writes the result into
+/// `r0`, applies all side effects, and returns the full [`SyscallRecord`].
+///
+/// `now_ns` supplies the virtual time returned by `gettime`.
+///
+/// # Errors
+///
+/// Returns [`VmError::BadSyscall`] for unknown numbers and [`VmError::Mem`]
+/// if a syscall faults reading or writing guest memory.
+pub fn execute_syscall(
+    cpu: &mut CpuState,
+    mem: &mut AddressSpace,
+    state: &mut KernelState,
+    now_ns: u64,
+) -> Result<SyscallRecord, VmError> {
+    let number_raw = cpu.regs.get(Reg::R0);
+    let number = SyscallNo::from_raw(number_raw).ok_or(VmError::BadSyscall {
+        pc: cpu.pc,
+        number: number_raw,
+    })?;
+    let args = [
+        cpu.regs.get(Reg::R1),
+        cpu.regs.get(Reg::R2),
+        cpu.regs.get(Reg::R3),
+        cpu.regs.get(Reg::R4),
+        cpu.regs.get(Reg::R5),
+    ];
+    let mut record = SyscallRecord {
+        number,
+        args,
+        ret: 0,
+        mem_writes: Vec::new(),
+        map_ops: Vec::new(),
+        reg_writes: Vec::new(),
+        pc_override: None,
+        exited: None,
+    };
+
+    match number {
+        SyscallNo::Exit => {
+            record.exited = Some(args[0] as i64);
+            record.ret = 0;
+        }
+        SyscallNo::Write => {
+            let (fd, buf, len) = (args[0], args[1], args[2] as usize);
+            let data = mem.read_bytes(buf, len)?;
+            record.ret = match state.fds.write(fd, &data) {
+                Ok(n) => n as u64,
+                Err(_) => SYSCALL_ERROR,
+            };
+        }
+        SyscallNo::Read => {
+            let (fd, buf, len) = (args[0], args[1], args[2] as usize);
+            match state.fds.read(fd, len) {
+                Ok(data) => {
+                    mem.write(buf, &data)?;
+                    record.ret = data.len() as u64;
+                    if !data.is_empty() {
+                        record.mem_writes.push(MemDelta {
+                            addr: buf,
+                            bytes: Bytes::from(data),
+                        });
+                    }
+                }
+                Err(_) => record.ret = SYSCALL_ERROR,
+            }
+        }
+        SyscallNo::Open => {
+            let (ptr, len) = (args[0], args[1] as usize);
+            let name_bytes = mem.read_bytes(ptr, len)?;
+            record.ret = match String::from_utf8(name_bytes) {
+                Ok(name) => state.fds.open(&name),
+                Err(_) => SYSCALL_ERROR,
+            };
+        }
+        SyscallNo::Close => {
+            record.ret = match state.fds.close(args[0]) {
+                Ok(()) => 0,
+                Err(_) => SYSCALL_ERROR,
+            };
+        }
+        SyscallNo::Brk => {
+            let new_brk = mem.set_brk(args[0]);
+            record.ret = new_brk;
+            record.map_ops.push(MapOp::Brk { brk: new_brk });
+        }
+        SyscallNo::Mmap => {
+            let hint = if args[0] == 0 { None } else { Some(args[0]) };
+            match mem.map_anonymous(hint, args[1]) {
+                Ok(addr) => {
+                    record.ret = addr;
+                    record.map_ops.push(MapOp::Map {
+                        addr,
+                        len: args[1],
+                    });
+                }
+                Err(_) => record.ret = SYSCALL_ERROR,
+            }
+        }
+        SyscallNo::Munmap => {
+            record.ret = match mem.unmap(args[0]) {
+                Ok(()) => {
+                    record.map_ops.push(MapOp::Unmap { addr: args[0] });
+                    0
+                }
+                Err(_) => SYSCALL_ERROR,
+            };
+        }
+        SyscallNo::GetTime => {
+            record.ret = now_ns;
+        }
+        SyscallNo::GetPid => {
+            record.ret = state.pid;
+        }
+        SyscallNo::GetRandom => {
+            record.ret = state.next_random();
+        }
+        SyscallNo::SigAction => {
+            let sig = args[0] as usize;
+            if sig < NUM_SIGNALS {
+                state.handlers[sig] = args[1];
+                record.ret = 0;
+            } else {
+                record.ret = SYSCALL_ERROR;
+            }
+        }
+        SyscallNo::Raise => {
+            let sig = args[0] as usize;
+            let handler = state.handler(sig);
+            record.ret = 0;
+            if sig >= NUM_SIGNALS {
+                record.ret = SYSCALL_ERROR;
+            } else if handler != 0 {
+                // Push the signal frame: [resume_pc, saved_ra].
+                let sp = cpu.regs.get(Reg::SP);
+                let frame = sp - SIGNAL_FRAME_BYTES;
+                let resume_pc = cpu.pc + 8;
+                let saved_ra = cpu.regs.get(Reg::RA);
+                let mut bytes = Vec::with_capacity(16);
+                bytes.extend_from_slice(&resume_pc.to_le_bytes());
+                bytes.extend_from_slice(&saved_ra.to_le_bytes());
+                mem.write(frame, &bytes)?;
+                record.mem_writes.push(MemDelta {
+                    addr: frame,
+                    bytes: Bytes::from(bytes),
+                });
+                record.reg_writes.push((Reg::SP, frame));
+                record.pc_override = Some(handler);
+            }
+        }
+        SyscallNo::SigReturn => {
+            // Pop the signal frame `raise` pushed.
+            let frame = cpu.regs.get(Reg::SP);
+            let resume_pc = mem.read_u64(frame)?;
+            let saved_ra = mem.read_u64(frame + 8)?;
+            record.ret = 0;
+            record.reg_writes.push((Reg::RA, saved_ra));
+            record.reg_writes.push((Reg::SP, frame + SIGNAL_FRAME_BYTES));
+            record.pc_override = Some(resume_pc);
+        }
+    }
+
+    cpu.regs.set(Reg::R0, record.ret);
+    cpu.pc += 8; // syscall is a single 8-byte word
+    for &(reg, value) in &record.reg_writes {
+        cpu.regs.set(reg, value);
+    }
+    if let Some(pc) = record.pc_override {
+        cpu.pc = pc;
+    }
+    Ok(record)
+}
+
+/// Plays a previously captured [`SyscallRecord`] back against a process:
+/// sets `r0`, advances `pc`, and re-applies memory writes and map
+/// operations — without consulting the kernel. The mechanism SuperPin
+/// slices use instead of re-executing syscalls (paper §4.2).
+///
+/// # Errors
+///
+/// Returns [`VmError::Mem`] if a recorded write no longer fits the child's
+/// address space (which would indicate divergence between master and
+/// slice).
+pub fn apply_record(
+    cpu: &mut CpuState,
+    mem: &mut AddressSpace,
+    record: &SyscallRecord,
+) -> Result<(), VmError> {
+    for op in &record.map_ops {
+        match *op {
+            MapOp::Map { addr, len } => {
+                // Replay "given the same address" (paper §4.2).
+                mem.map_anonymous(Some(addr), len)?;
+            }
+            MapOp::Unmap { addr } => {
+                mem.unmap(addr)?;
+            }
+            MapOp::Brk { brk } => {
+                mem.set_brk(brk);
+            }
+        }
+    }
+    for delta in &record.mem_writes {
+        mem.write(delta.addr, &delta.bytes)?;
+    }
+    cpu.regs.set(Reg::R0, record.ret);
+    cpu.pc += 8;
+    for &(reg, value) in &record.reg_writes {
+        cpu.regs.set(reg, value);
+    }
+    if let Some(pc) = record.pc_override {
+        cpu.pc = pc;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::RegionKind;
+
+    fn setup() -> (CpuState, AddressSpace, KernelState) {
+        let mut mem = AddressSpace::new(0x0100_0000);
+        mem.map_region(0x8000, 4096, RegionKind::Data).expect("map");
+        let cpu = CpuState::at(0x1000);
+        (cpu, mem, KernelState::new(7))
+    }
+
+    fn call(
+        cpu: &mut CpuState,
+        mem: &mut AddressSpace,
+        state: &mut KernelState,
+        number: SyscallNo,
+        args: &[u64],
+    ) -> SyscallRecord {
+        cpu.regs.set(Reg::R0, number as u64);
+        for (i, &arg) in args.iter().enumerate() {
+            cpu.regs.set(Reg::new(1 + i as u8), arg);
+        }
+        execute_syscall(cpu, mem, state, 123).expect("syscall")
+    }
+
+    #[test]
+    fn exit_records_code() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Exit, &[9]);
+        assert_eq!(record.exited, Some(9));
+    }
+
+    #[test]
+    fn write_to_stdout_collects_output() {
+        let (mut cpu, mut mem, mut state) = setup();
+        mem.write(0x8000, b"hi").expect("write");
+        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Write, &[1, 0x8000, 2]);
+        assert_eq!(record.ret, 2);
+        assert_eq!(state.fds.stdout(), b"hi");
+        assert!(record.mem_writes.is_empty());
+    }
+
+    #[test]
+    fn read_from_stdin_records_memory_delta() {
+        let (mut cpu, mut mem, mut state) = setup();
+        state.fds.set_stdin(b"abcdef".to_vec());
+        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[0, 0x8000, 4]);
+        assert_eq!(record.ret, 4);
+        assert_eq!(mem.read_bytes(0x8000, 4).expect("read"), b"abcd");
+        assert_eq!(record.mem_writes.len(), 1);
+        assert_eq!(record.mem_writes[0].addr, 0x8000);
+        assert_eq!(&record.mem_writes[0].bytes[..], b"abcd");
+    }
+
+    #[test]
+    fn open_write_read_file_round_trip() {
+        let (mut cpu, mut mem, mut state) = setup();
+        mem.write(0x8000, b"f.txt").expect("write name");
+        let open = call(&mut cpu, &mut mem, &mut state, SyscallNo::Open, &[0x8000, 5]);
+        let fd = open.ret;
+        assert!(fd >= 3);
+        mem.write(0x8100, b"data").expect("write payload");
+        call(&mut cpu, &mut mem, &mut state, SyscallNo::Write, &[fd, 0x8100, 4]);
+        call(&mut cpu, &mut mem, &mut state, SyscallNo::Close, &[fd]);
+        // Re-open and read back.
+        let fd2 = call(&mut cpu, &mut mem, &mut state, SyscallNo::Open, &[0x8000, 5]).ret;
+        let read = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[fd2, 0x8200, 16]);
+        assert_eq!(read.ret, 4);
+        assert_eq!(mem.read_bytes(0x8200, 4).expect("read"), b"data");
+    }
+
+    #[test]
+    fn brk_and_mmap_record_map_ops() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let brk = call(&mut cpu, &mut mem, &mut state, SyscallNo::Brk, &[0x0100_2000]);
+        assert_eq!(brk.ret, 0x0100_2000);
+        assert_eq!(brk.map_ops, vec![MapOp::Brk { brk: 0x0100_2000 }]);
+
+        let mmap = call(&mut cpu, &mut mem, &mut state, SyscallNo::Mmap, &[0, 8192]);
+        let addr = mmap.ret;
+        assert_ne!(addr, SYSCALL_ERROR);
+        assert_eq!(mmap.map_ops, vec![MapOp::Map { addr, len: 8192 }]);
+
+        let munmap = call(&mut cpu, &mut mem, &mut state, SyscallNo::Munmap, &[addr]);
+        assert_eq!(munmap.ret, 0);
+        assert_eq!(munmap.map_ops, vec![MapOp::Unmap { addr }]);
+    }
+
+    #[test]
+    fn gettime_and_getpid() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let time = call(&mut cpu, &mut mem, &mut state, SyscallNo::GetTime, &[]);
+        assert_eq!(time.ret, 123);
+        let pid = call(&mut cpu, &mut mem, &mut state, SyscallNo::GetPid, &[]);
+        assert_eq!(pid.ret, 7);
+    }
+
+    #[test]
+    fn getrandom_is_deterministic_per_pid() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let a = call(&mut cpu, &mut mem, &mut state, SyscallNo::GetRandom, &[]).ret;
+        let b = call(&mut cpu, &mut mem, &mut state, SyscallNo::GetRandom, &[]).ret;
+        assert_ne!(a, b);
+        let mut state2 = KernelState::new(7);
+        let mut cpu2 = CpuState::at(0x1000);
+        let a2 = call(&mut cpu2, &mut mem, &mut state2, SyscallNo::GetRandom, &[]).ret;
+        assert_eq!(a, a2, "same pid ⇒ same stream");
+    }
+
+    #[test]
+    fn unknown_syscall_number_is_an_error() {
+        let (mut cpu, mut mem, mut state) = setup();
+        cpu.regs.set(Reg::R0, 999);
+        let err = execute_syscall(&mut cpu, &mut mem, &mut state, 0).unwrap_err();
+        assert!(matches!(err, VmError::BadSyscall { number: 999, .. }));
+    }
+
+    #[test]
+    fn playback_reproduces_read_effects() {
+        let (mut cpu, mut mem, mut state) = setup();
+        state.fds.set_stdin(b"xyz".to_vec());
+        // Fork "slice" before the syscall runs in the master.
+        let mut slice_cpu = cpu;
+        let mut slice_mem = mem.fork();
+        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[0, 0x8000, 3]);
+
+        // Slice plays back instead of executing.
+        slice_cpu.regs.set(Reg::R0, SyscallNo::Read as u64);
+        apply_record(&mut slice_cpu, &mut slice_mem, &record).expect("playback");
+        assert_eq!(slice_cpu.regs.get(Reg::R0), 3);
+        assert_eq!(slice_cpu.pc, cpu.pc);
+        assert_eq!(
+            slice_mem.read_bytes(0x8000, 3).expect("read"),
+            mem.read_bytes(0x8000, 3).expect("read")
+        );
+        assert_eq!(slice_mem.content_digest(), mem.content_digest());
+    }
+
+    #[test]
+    fn playback_reproduces_mmap_at_same_address() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let mut slice_cpu = cpu;
+        let mut slice_mem = mem.fork();
+        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Mmap, &[0, 4096]);
+        apply_record(&mut slice_cpu, &mut slice_mem, &record).expect("playback");
+        assert_eq!(slice_cpu.regs.get(Reg::R0), record.ret);
+        assert!(slice_mem.is_mapped(record.ret));
+        assert_eq!(slice_mem.content_digest(), mem.content_digest());
+    }
+}
+
+#[cfg(test)]
+mod signal_tests {
+    use super::*;
+    use crate::mem::RegionKind;
+
+    fn setup() -> (CpuState, AddressSpace, KernelState) {
+        let mut mem = AddressSpace::new(0x0100_0000);
+        mem.map_region(0x8000, 4096, RegionKind::Data).expect("map");
+        let mut cpu = CpuState::at(0x1000);
+        cpu.regs.set(Reg::SP, 0x8800);
+        (cpu, mem, KernelState::new(1))
+    }
+
+    fn call(
+        cpu: &mut CpuState,
+        mem: &mut AddressSpace,
+        state: &mut KernelState,
+        number: SyscallNo,
+        args: &[u64],
+    ) -> SyscallRecord {
+        cpu.regs.set(Reg::R0, number as u64);
+        for (i, &arg) in args.iter().enumerate() {
+            cpu.regs.set(Reg::new(1 + i as u8), arg);
+        }
+        execute_syscall(cpu, mem, state, 0).expect("syscall")
+    }
+
+    #[test]
+    fn sigaction_installs_handler() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[3, 0x2000]);
+        assert_eq!(rec.ret, 0);
+        assert_eq!(state.handler(3), 0x2000);
+        // Out-of-range signal errors.
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::SigAction,
+            &[NUM_SIGNALS as u64, 0x2000],
+        );
+        assert_eq!(rec.ret, SYSCALL_ERROR);
+    }
+
+    #[test]
+    fn raise_without_handler_is_ignored() {
+        let (mut cpu, mut mem, mut state) = setup();
+        let pc_before = cpu.pc;
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::Raise, &[3]);
+        assert_eq!(rec.ret, 0);
+        assert!(rec.pc_override.is_none());
+        assert_eq!(cpu.pc, pc_before + 8, "falls through");
+    }
+
+    #[test]
+    fn raise_transfers_to_handler_and_sigreturn_resumes() {
+        let (mut cpu, mut mem, mut state) = setup();
+        cpu.regs.set(Reg::RA, 0x5555);
+        call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[2, 0x3000]);
+        let raise_pc = cpu.pc;
+        let sp_before = cpu.regs.get(Reg::SP);
+
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::Raise, &[2]);
+        assert_eq!(cpu.pc, 0x3000, "control at the handler");
+        assert_eq!(cpu.regs.get(Reg::SP), sp_before - SIGNAL_FRAME_BYTES);
+        assert_eq!(rec.pc_override, Some(0x3000));
+        assert_eq!(rec.mem_writes.len(), 1, "frame push recorded");
+
+        // Handler body would run here; now return.
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigReturn, &[]);
+        assert_eq!(cpu.pc, raise_pc + 8, "resumed past the raise");
+        assert_eq!(cpu.regs.get(Reg::SP), sp_before, "frame popped");
+        assert_eq!(cpu.regs.get(Reg::RA), 0x5555, "ra restored");
+        assert_eq!(rec.pc_override, Some(raise_pc + 8));
+    }
+
+    #[test]
+    fn signal_records_replay_exactly() {
+        let (mut cpu, mut mem, mut state) = setup();
+        cpu.regs.set(Reg::RA, 0x7777);
+        let mut replica_cpu = cpu;
+        let mut replica_mem = mem.fork();
+
+        let install = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[1, 0x4000]);
+        let deliver = call(&mut cpu, &mut mem, &mut state, SyscallNo::Raise, &[1]);
+        let ret = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigReturn, &[]);
+
+        for record in [&install, &deliver, &ret] {
+            // In a real slice the guest re-executes the argument setup;
+            // mirror it here.
+            for (i, &arg) in record.args.iter().enumerate() {
+                replica_cpu.regs.set(Reg::new(1 + i as u8), arg);
+            }
+            replica_cpu.regs.set(Reg::R0, record.number as u64);
+            apply_record(&mut replica_cpu, &mut replica_mem, record).expect("playback");
+        }
+        assert_eq!(replica_cpu, cpu);
+        assert_eq!(replica_mem.content_digest(), mem.content_digest());
+    }
+}

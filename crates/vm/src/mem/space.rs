@@ -1,0 +1,618 @@
+//! Virtual address spaces.
+
+use super::page::{PageFrame, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Classification of a mapped region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Executable program code.
+    Code,
+    /// Initialized data + BSS.
+    Data,
+    /// The main stack.
+    Stack,
+    /// The `brk`-managed heap.
+    Heap,
+    /// An anonymous `mmap` area.
+    Mmap,
+    /// SuperPin's pre-reserved *bubble* placeholder for instrumentation
+    /// allocations (paper §4.1).
+    Bubble,
+}
+
+/// A contiguous page-aligned mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First virtual address of the region (page aligned).
+    pub start: u64,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+    /// What the region is used for.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.start + self.len
+    }
+
+    /// One past the last address of the region.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// Memory access errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Address not covered by any mapped region.
+    Unmapped(u64),
+    /// A requested mapping overlaps an existing region.
+    Overlap {
+        /// Requested base address.
+        addr: u64,
+        /// Requested length in bytes.
+        len: u64,
+    },
+    /// A mapping request was not page aligned.
+    Unaligned {
+        /// The misaligned address.
+        addr: u64,
+    },
+    /// An unmap request did not match a mapped region.
+    NoSuchMapping {
+        /// The address no mapping starts at.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped(addr) => write!(f, "access to unmapped address {addr:#x}"),
+            MemError::Overlap { addr, len } => {
+                write!(f, "mapping {addr:#x}+{len:#x} overlaps an existing region")
+            }
+            MemError::Unaligned { addr } => write!(f, "address {addr:#x} is not page aligned"),
+            MemError::NoSuchMapping { addr } => {
+                write!(f, "no mapping starts at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Counters exposed for the fork/COW cost model (paper §6.3, "Fork
+/// Overhead").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand-zero page allocations (first touch of a fresh page).
+    pub minor_faults: u64,
+    /// Copy-on-write page copies (first write to a page shared with a
+    /// forked sibling).
+    pub cow_copies: u64,
+}
+
+/// A paged virtual address space with copy-on-write [`fork`].
+///
+/// Pages are allocated lazily on first touch within a mapped region.
+/// Reads of never-touched pages observe zeroes without allocating.
+///
+/// [`fork`]: AddressSpace::fork
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    pages: BTreeMap<u64, PageFrame>,
+    brk: u64,
+    heap_base: u64,
+    /// Next address tried for hint-less `mmap`.
+    mmap_cursor: u64,
+    stats: MemStats,
+    /// Bumped on every write into a [`RegionKind::Code`] region, so a
+    /// DBI engine can detect self-modifying code and invalidate its
+    /// translations.
+    code_version: u64,
+}
+
+/// Base address for hint-less anonymous mappings.
+const MMAP_BASE: u64 = 0x2000_0000;
+
+fn page_index(addr: u64) -> u64 {
+    addr >> PAGE_SHIFT
+}
+
+fn page_align_up(value: u64) -> u64 {
+    (value + PAGE_MASK) & !PAGE_MASK
+}
+
+impl AddressSpace {
+    /// Creates an empty address space with the heap rooted at `heap_base`.
+    pub fn new(heap_base: u64) -> AddressSpace {
+        AddressSpace {
+            regions: Vec::new(),
+            pages: BTreeMap::new(),
+            brk: heap_base,
+            heap_base,
+            mmap_cursor: MMAP_BASE,
+            stats: MemStats::default(),
+            code_version: 0,
+        }
+    }
+
+    /// Monotonic counter bumped by every write into a code region.
+    /// Translation caches compare it to detect self-modifying code.
+    pub fn code_version(&self) -> u64 {
+        self.code_version
+    }
+
+    /// Current program break.
+    pub fn brk(&self) -> u64 {
+        self.brk
+    }
+
+    /// Cumulative fault counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets the fault counters (used after fork to measure a child's own
+    /// COW behaviour).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Number of resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// All mapped regions in ascending address order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Copy-on-write duplicate of this space. O(resident pages); no page
+    /// contents are copied until one side writes.
+    pub fn fork(&self) -> AddressSpace {
+        let mut child = self.clone();
+        child.reset_stats();
+        child
+    }
+
+    /// Maps a page-aligned region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unaligned`] or [`MemError::Overlap`].
+    pub fn map_region(&mut self, start: u64, len: u64, kind: RegionKind) -> Result<(), MemError> {
+        if start & PAGE_MASK != 0 {
+            return Err(MemError::Unaligned { addr: start });
+        }
+        let len = page_align_up(len.max(1));
+        let candidate = Region { start, len, kind };
+        for existing in &self.regions {
+            if candidate.start < existing.end() && existing.start < candidate.end() {
+                return Err(MemError::Overlap { addr: start, len });
+            }
+        }
+        self.regions.push(candidate);
+        self.regions.sort_by_key(|region| region.start);
+        Ok(())
+    }
+
+    /// Maps an anonymous region of `len` bytes. With `Some(hint)` the
+    /// mapping is placed exactly at the (page-aligned) hint, which is how
+    /// SuperPin replays `mmap` in slices "given the same address" (paper
+    /// §4.2); with `None` the kernel chooses the next free address above
+    /// the mmap base.
+    ///
+    /// # Errors
+    ///
+    /// With a hint, fails like [`map_region`](Self::map_region). Without a
+    /// hint, only alignment errors are possible (the search skips used
+    /// space).
+    pub fn map_anonymous(&mut self, hint: Option<u64>, len: u64) -> Result<u64, MemError> {
+        let len = page_align_up(len.max(1));
+        if let Some(addr) = hint {
+            self.map_region(addr, len, RegionKind::Mmap)?;
+            return Ok(addr);
+        }
+        let mut addr = self.mmap_cursor;
+        loop {
+            match self.map_region(addr, len, RegionKind::Mmap) {
+                Ok(()) => {
+                    self.mmap_cursor = addr + len;
+                    return Ok(addr);
+                }
+                Err(MemError::Overlap { .. }) => {
+                    // Skip past the colliding region.
+                    let next = self
+                        .regions
+                        .iter()
+                        .filter(|region| region.end() > addr)
+                        .map(Region::end)
+                        .min()
+                        .unwrap_or(addr + len);
+                    addr = page_align_up(next.max(addr + PAGE_SIZE as u64));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Unmaps the region starting exactly at `start`, discarding its pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NoSuchMapping`] if no region starts there.
+    pub fn unmap(&mut self, start: u64) -> Result<(), MemError> {
+        let pos = self
+            .regions
+            .iter()
+            .position(|region| region.start == start)
+            .ok_or(MemError::NoSuchMapping { addr: start })?;
+        let region = self.regions.remove(pos);
+        let first = page_index(region.start);
+        let last = page_index(region.end() - 1);
+        let keys: Vec<u64> = self
+            .pages
+            .range(first..=last)
+            .map(|(&index, _)| index)
+            .collect();
+        for key in keys {
+            self.pages.remove(&key);
+        }
+        Ok(())
+    }
+
+    /// Adjusts the program break. Growing maps heap pages; shrinking
+    /// releases them. Returns the new break (mirroring Linux `brk`).
+    pub fn set_brk(&mut self, new_brk: u64) -> u64 {
+        let new_brk = new_brk.max(self.heap_base);
+        let old_end = page_align_up(self.brk);
+        let new_end = page_align_up(new_brk);
+        // Rebuild the heap region to span [heap_base, new_end).
+        self.regions.retain(|region| region.kind != RegionKind::Heap);
+        if new_end > self.heap_base {
+            self.regions.push(Region {
+                start: self.heap_base,
+                len: new_end - self.heap_base,
+                kind: RegionKind::Heap,
+            });
+            self.regions.sort_by_key(|region| region.start);
+        }
+        if new_end < old_end {
+            let first = page_index(new_end);
+            let last = page_index(old_end - 1);
+            let keys: Vec<u64> = self
+                .pages
+                .range(first..=last)
+                .map(|(&index, _)| index)
+                .collect();
+            for key in keys {
+                self.pages.remove(&key);
+            }
+        }
+        self.brk = new_brk;
+        self.brk
+    }
+
+    fn region_for(&self, addr: u64) -> Option<&Region> {
+        // Regions are sorted; binary search by start.
+        let idx = self
+            .regions
+            .partition_point(|region| region.start <= addr);
+        idx.checked_sub(1)
+            .map(|i| &self.regions[i])
+            .filter(|region| region.contains(addr))
+    }
+
+    /// Whether `addr` is covered by a mapping.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.region_for(addr).is_some()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if any byte is outside a region.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut addr = addr;
+        let mut buf = buf;
+        while !buf.is_empty() {
+            if !self.is_mapped(addr) {
+                return Err(MemError::Unmapped(addr));
+            }
+            let offset = (addr & PAGE_MASK) as usize;
+            let chunk = buf.len().min(PAGE_SIZE - offset);
+            match self.pages.get(&page_index(addr)) {
+                Some(frame) => buf[..chunk].copy_from_slice(&frame.bytes()[offset..offset + chunk]),
+                None => buf[..chunk].fill(0),
+            }
+            addr += chunk as u64;
+            buf = &mut buf[chunk..];
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`, taking COW/minor faults as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] if any byte is outside a region.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        let mut addr = addr;
+        let mut data = data;
+        while !data.is_empty() {
+            match self.region_for(addr) {
+                None => return Err(MemError::Unmapped(addr)),
+                Some(region) if region.kind == RegionKind::Code => {
+                    self.code_version += 1;
+                }
+                Some(_) => {}
+            }
+            let offset = (addr & PAGE_MASK) as usize;
+            let chunk = data.len().min(PAGE_SIZE - offset);
+            let index = page_index(addr);
+            let minor_faults = &mut self.stats.minor_faults;
+            let frame = self.pages.entry(index).or_insert_with(|| {
+                *minor_faults += 1;
+                PageFrame::zeroed()
+            });
+            let (bytes, copied) = frame.make_mut();
+            bytes[offset..offset + chunk].copy_from_slice(&data[..chunk]);
+            if copied {
+                self.stats.cow_copies += 1;
+            }
+            addr += chunk as u64;
+            data = &data[chunk..];
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// See [`read`](Self::read).
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// See [`write`](Self::write).
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads `len` bytes into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// See [`read`](Self::read).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// A FNV-1a digest of all resident page contents plus region layout —
+    /// used by tests to compare master and slice address spaces.
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |byte: u8| {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for region in &self.regions {
+            for byte in region.start.to_le_bytes() {
+                mix(byte);
+            }
+            for byte in region.len.to_le_bytes() {
+                mix(byte);
+            }
+        }
+        for (&index, frame) in &self.pages {
+            // Skip pages that are all zero: a never-touched page and an
+            // explicitly zeroed page must digest identically.
+            if frame.bytes().iter().all(|&b| b == 0) {
+                continue;
+            }
+            for byte in index.to_le_bytes() {
+                mix(byte);
+            }
+            for &byte in frame.bytes().iter() {
+                mix(byte);
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_one_region() -> AddressSpace {
+        let mut space = AddressSpace::new(0x0100_0000);
+        space
+            .map_region(0x1000, 3 * PAGE_SIZE as u64, RegionKind::Data)
+            .expect("map");
+        space
+    }
+
+    #[test]
+    fn read_of_untouched_page_is_zero() {
+        let space = space_with_one_region();
+        assert_eq!(space.read_u64(0x1000).expect("read"), 0);
+        assert_eq!(space.resident_pages(), 0, "reads must not allocate");
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut space = space_with_one_region();
+        space.write_u64(0x1008, 0xdead_beef).expect("write");
+        assert_eq!(space.read_u64(0x1008).expect("read"), 0xdead_beef);
+        assert_eq!(space.resident_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut space = space_with_one_region();
+        let addr = 0x1000 + PAGE_SIZE as u64 - 4;
+        space.write_u64(addr, 0x0123_4567_89ab_cdef).expect("write");
+        assert_eq!(space.read_u64(addr).expect("read"), 0x0123_4567_89ab_cdef);
+        assert_eq!(space.resident_pages(), 2);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut space = space_with_one_region();
+        assert_eq!(space.read_u64(0x0), Err(MemError::Unmapped(0)));
+        assert_eq!(
+            space.write_u64(0x1000 + 3 * PAGE_SIZE as u64, 1),
+            Err(MemError::Unmapped(0x1000 + 3 * PAGE_SIZE as u64))
+        );
+    }
+
+    #[test]
+    fn fork_shares_pages_until_write() {
+        let mut parent = space_with_one_region();
+        parent.write_u64(0x1000, 42).expect("write");
+        let mut child = parent.fork();
+        assert_eq!(child.read_u64(0x1000).expect("read"), 42);
+        assert_eq!(child.stats().cow_copies, 0);
+
+        child.write_u64(0x1000, 7).expect("write");
+        assert_eq!(child.stats().cow_copies, 1, "first write must COW");
+        assert_eq!(child.read_u64(0x1000).expect("read"), 7);
+        assert_eq!(parent.read_u64(0x1000).expect("read"), 42);
+
+        // Parent writing the same page also COWs? No: after the child
+        // copied, the parent is exclusive again.
+        parent.write_u64(0x1000, 43).expect("write");
+        assert_eq!(parent.stats().cow_copies, 0);
+    }
+
+    #[test]
+    fn fork_cow_counted_on_parent_when_parent_writes_first() {
+        let mut parent = space_with_one_region();
+        parent.write_u64(0x1000, 1).expect("write");
+        parent.reset_stats();
+        let child = parent.fork();
+        parent.write_u64(0x1000, 2).expect("write");
+        assert_eq!(parent.stats().cow_copies, 1);
+        assert_eq!(child.read_u64(0x1000).expect("read"), 1);
+    }
+
+    #[test]
+    fn mapping_overlap_rejected() {
+        let mut space = space_with_one_region();
+        assert!(matches!(
+            space.map_region(0x1000, 1, RegionKind::Mmap),
+            Err(MemError::Overlap { .. })
+        ));
+        assert!(matches!(
+            space.map_region(0x1001, 1, RegionKind::Mmap),
+            Err(MemError::Unaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn anonymous_mmap_skips_collisions() {
+        let mut space = AddressSpace::new(0x0100_0000);
+        let a = space.map_anonymous(None, PAGE_SIZE as u64).expect("map a");
+        let b = space.map_anonymous(None, PAGE_SIZE as u64).expect("map b");
+        assert_ne!(a, b);
+        assert!(space.is_mapped(a));
+        assert!(space.is_mapped(b));
+        // Hinted mapping at an occupied address fails.
+        assert!(space.map_anonymous(Some(a), 1).is_err());
+    }
+
+    #[test]
+    fn unmap_releases_pages() {
+        let mut space = AddressSpace::new(0x0100_0000);
+        let addr = space.map_anonymous(None, 2 * PAGE_SIZE as u64).expect("map");
+        space.write_u64(addr, 1).expect("write");
+        assert_eq!(space.resident_pages(), 1);
+        space.unmap(addr).expect("unmap");
+        assert_eq!(space.resident_pages(), 0);
+        assert!(!space.is_mapped(addr));
+        assert_eq!(space.unmap(addr), Err(MemError::NoSuchMapping { addr }));
+    }
+
+    #[test]
+    fn brk_grows_and_shrinks_heap() {
+        let heap_base = 0x0100_0000;
+        let mut space = AddressSpace::new(heap_base);
+        assert!(!space.is_mapped(heap_base));
+        let new_brk = space.set_brk(heap_base + 100);
+        assert_eq!(new_brk, heap_base + 100);
+        assert!(space.is_mapped(heap_base));
+        space.write_u64(heap_base, 5).expect("write");
+        assert_eq!(space.resident_pages(), 1);
+        // Shrink back to base: heap unmapped, pages gone.
+        space.set_brk(heap_base);
+        assert!(!space.is_mapped(heap_base));
+        assert_eq!(space.resident_pages(), 0);
+        // Growing again observes fresh zeroes.
+        space.set_brk(heap_base + 8);
+        assert_eq!(space.read_u64(heap_base).expect("read"), 0);
+    }
+
+    #[test]
+    fn brk_never_goes_below_heap_base() {
+        let heap_base = 0x0100_0000;
+        let mut space = AddressSpace::new(heap_base);
+        assert_eq!(space.set_brk(0), heap_base);
+    }
+
+    #[test]
+    fn digest_equal_for_identical_spaces() {
+        let mut a = space_with_one_region();
+        a.write_u64(0x1010, 123).expect("write");
+        let b = a.fork();
+        assert_eq!(a.content_digest(), b.content_digest());
+        let mut c = a.fork();
+        c.write_u64(0x1010, 124).expect("write");
+        assert_ne!(a.content_digest(), c.content_digest());
+    }
+
+    #[test]
+    fn digest_ignores_explicit_zero_pages() {
+        let mut a = space_with_one_region();
+        let b = a.fork();
+        // Touch a page with zeroes: logically identical content.
+        a.write_u64(0x1000, 0).expect("write");
+        assert_eq!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn bubble_region_reserves_and_releases() {
+        let mut space = AddressSpace::new(0x0100_0000);
+        space
+            .map_region(0x4000_0000, 16 * PAGE_SIZE as u64, RegionKind::Bubble)
+            .expect("map bubble");
+        assert!(space.is_mapped(0x4000_0000));
+        space.unmap(0x4000_0000).expect("unmap bubble");
+        // After release the space is free for application mmaps at the
+        // same address — preserving precise memory mappings (paper §4.1).
+        let addr = space
+            .map_anonymous(Some(0x4000_0000), PAGE_SIZE as u64)
+            .expect("remap");
+        assert_eq!(addr, 0x4000_0000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cross-module VM scenarios: fork chains, COW accounting under load,
+//! record/playback congruence, and address-space digests.
+
+use superpin_isa::asm::assemble;
+use superpin_isa::{Program, Reg};
+use superpin_vm::kernel::SyscallNo;
+use superpin_vm::process::{Process, RunExit};
+
+fn program(src: &str) -> Program {
+    assemble(src).expect("assemble")
+}
+
+#[test]
+fn fork_chain_isolates_three_generations() {
+    let src = r#"
+        .data
+        buf: .space 64
+        .text
+        main:
+            la r2, buf
+            li r3, 1
+            st r3, 0(r2)
+            exit 0
+    "#;
+    let mut parent = Process::load(1, &program(src)).expect("load");
+    parent.run(u64::MAX, 0).expect("run parent");
+    let base = superpin_isa::DATA_BASE;
+    assert_eq!(parent.mem.read_u64(base).expect("read"), 1);
+
+    let mut child = parent.fork(2);
+    child.mem.write_u64(base, 2).expect("write child");
+    let mut grandchild = child.fork(3);
+    grandchild.mem.write_u64(base, 3).expect("write grandchild");
+
+    assert_eq!(parent.mem.read_u64(base).expect("read"), 1);
+    assert_eq!(child.mem.read_u64(base).expect("read"), 2);
+    assert_eq!(grandchild.mem.read_u64(base).expect("read"), 3);
+}
+
+#[test]
+fn cow_accounting_under_page_storm() {
+    // Touch 16 pages in the parent, fork, dirty all of them in the child.
+    let mut b = superpin_isa::ProgramBuilder::new();
+    b.bss("arena", 16 * 4096);
+    b.label("main");
+    b.exit(0);
+    let program = b.build().expect("build");
+    let mut parent = Process::load(1, &program).expect("load");
+    let arena = superpin_isa::DATA_BASE;
+    for page in 0..16u64 {
+        parent.mem.write_u64(arena + page * 4096, page).expect("touch");
+    }
+    let mut child = parent.fork(2);
+    assert_eq!(child.mem.stats().cow_copies, 0);
+    for page in 0..16u64 {
+        child.mem.write_u64(arena + page * 4096, 100 + page).expect("dirty");
+    }
+    assert_eq!(child.mem.stats().cow_copies, 16, "one copy per dirtied page");
+    // Re-dirtying costs nothing further.
+    for page in 0..16u64 {
+        child.mem.write_u64(arena + page * 4096, 200 + page).expect("re-dirty");
+    }
+    assert_eq!(child.mem.stats().cow_copies, 16);
+}
+
+#[test]
+fn replayed_process_digest_matches_executed_process() {
+    // A program that reads stdin, maps memory, writes a file, and exits.
+    let src = r#"
+        .data
+        name: .byte 102, 46, 116          ; "f.t"
+        buf:  .space 64
+        .text
+        main:
+            li r0, 2                      ; read(stdin)
+            li r1, 0
+            la r2, buf
+            li r3, 8
+            syscall
+            li r0, 6                      ; mmap(NULL, 8192)
+            li r1, 0
+            li r2, 8192
+            syscall
+            mov r6, r0                    ; keep address
+            li r3, 0x77
+            st r3, 0(r6)
+            li r0, 3                      ; open("f.t")
+            la r1, name
+            li r2, 3
+            syscall
+            exit 0
+    "#;
+    let prog = program(src);
+    let mut master = Process::load(1, &prog).expect("load");
+    master.kernel.fds.set_stdin(b"abcdefgh".to_vec());
+    let mut replica = master.fork(2);
+
+    // Master executes; every syscall record is played back in the
+    // replica, which never consults the kernel.
+    let mut records = Vec::new();
+    loop {
+        match master.run_until_syscall(u64::MAX).expect("run") {
+            RunExit::SyscallEntry => {
+                let record = master.do_syscall(7).expect("svc");
+                let exited = record.exited.is_some();
+                records.push(record);
+                if exited {
+                    break;
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let mut iter = records.iter();
+    loop {
+        match replica.run_until_syscall(u64::MAX).expect("run") {
+            RunExit::SyscallEntry => {
+                let record = iter.next().expect("record available");
+                replica.playback_syscall(record).expect("playback");
+                if record.exited.is_some() {
+                    break;
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(master.inst_count(), replica.inst_count());
+    assert_eq!(master.cpu, replica.cpu);
+    assert_eq!(
+        master.mem.content_digest(),
+        replica.mem.content_digest(),
+        "playback must reproduce the exact address-space contents"
+    );
+}
+
+#[test]
+fn gettime_returns_supplied_clock() {
+    let src = "main:\n li r0, 8\n syscall\n mov r5, r0\n exit 0\n";
+    let mut p = Process::load(1, &program(src)).expect("load");
+    p.run_until_syscall(u64::MAX).expect("run");
+    let record = p.do_syscall(123_456).expect("gettime");
+    assert_eq!(record.ret, 123_456);
+    p.run(u64::MAX, 0).expect("finish");
+    assert_eq!(p.cpu.regs.get(Reg::R5), 123_456);
+}
+
+#[test]
+fn mmap_then_munmap_round_trip_through_guest() {
+    let src = r#"
+        main:
+            li r0, 6          ; mmap(NULL, 4096)
+            li r1, 0
+            li r2, 4096
+            syscall
+            mov r6, r0
+            li r3, 9
+            st r3, 0(r6)      ; touch the mapping
+            li r0, 7          ; munmap(addr)
+            mov r1, r6
+            syscall
+            exit 0
+    "#;
+    let mut p = Process::load(1, &program(src)).expect("load");
+    assert_eq!(p.run(u64::MAX, 0).expect("run"), RunExit::Exited(0));
+    // The mapping is gone afterwards.
+    let regions = p.mem.regions().to_vec();
+    assert!(regions
+        .iter()
+        .all(|r| r.kind != superpin_vm::mem::RegionKind::Mmap));
+}
+
+#[test]
+fn stack_grows_within_reserved_region() {
+    // Deep call chain pushing frames: sp descends but stays mapped.
+    let mut b = superpin_isa::ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R2, 64);
+    b.call("recurse");
+    b.exit(0);
+    b.label("recurse");
+    b.subi(Reg::SP, Reg::SP, 32);
+    b.st(Reg::RA, Reg::SP, 0);
+    b.subi(Reg::R2, Reg::R2, 1);
+    b.beq(Reg::R2, Reg::R0, "unwind");
+    b.call("recurse");
+    b.label("unwind");
+    b.ld(Reg::RA, Reg::SP, 0);
+    b.addi(Reg::SP, Reg::SP, 32);
+    b.ret();
+    let program = b.build().expect("build");
+    let mut p = Process::load(1, &program).expect("load");
+    assert_eq!(p.run(u64::MAX, 0).expect("run"), RunExit::Exited(0));
+    assert_eq!(
+        p.cpu.regs.get(Reg::SP),
+        superpin_isa::STACK_TOP - 64,
+        "stack fully unwound"
+    );
+}
+
+#[test]
+fn syscall_numbers_round_trip_names() {
+    for raw in 0..=13u64 {
+        let number = SyscallNo::from_raw(raw).expect("valid");
+        assert_eq!(number as u64, raw);
+        assert!(!number.name().is_empty());
+    }
+    assert!(SyscallNo::from_raw(14).is_none());
+}

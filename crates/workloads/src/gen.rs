@@ -1,0 +1,402 @@
+//! The synthetic-benchmark program generator.
+//!
+//! Register conventions used by generated programs:
+//!
+//! | reg | role |
+//! |-----|------|
+//! | r0–r3 | syscall number/args + call-index scratch |
+//! | r4  | pointer-chase cursor |
+//! | r5  | inner-loop walker |
+//! | r6  | scratch |
+//! | r7  | xorshift branch state |
+//! | r8  | accumulator |
+//! | r9  | indirect-call table base |
+//! | r10 | outer-loop counter (counts down) |
+//! | r11 | inner-loop counter |
+//! | r12 | stride-buffer base |
+
+use crate::spec::{Scale, SyscallKind, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use superpin_isa::{AluOp, Program, ProgramBuilder, Reg, HEAP_BASE};
+
+const CHASE_NODES: usize = 64;
+
+fn fnv(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Estimated dynamic instructions per outer iteration (used to size the
+/// outer loop against the scale target).
+fn est_insts_per_iter(spec: &WorkloadSpec) -> u64 {
+    let unit_insts = spec.unit_body as u64 + 4; // prologue + acc + ret
+    let calls = spec.calls_per_iter as u64 * (7 + unit_insts);
+    let stride = spec.mem.sweep_lines() as u64 * 6 + 2;
+    let chase = if spec.chase_iters > 0 {
+        spec.chase_iters as u64 * 5 + 1
+    } else {
+        0
+    };
+    let branchy = if spec.branchy_iters > 0 {
+        spec.branchy_iters as u64 * 11 + 1
+    } else {
+        0
+    };
+    let syscalls = match spec.syscall_period_log2 {
+        Some(p) => 3 + (12 >> p.min(4)),
+        None => 0,
+    };
+    calls + stride + chase + branchy + syscalls as u64 + 2
+}
+
+/// Generates the program for `spec` at `scale` with an input id (the
+/// analogue of a SPEC reference input; 0 is the default input).
+pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Program {
+    let mut rng = SmallRng::seed_from_u64(fnv(spec.name) ^ input.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut b = ProgramBuilder::new();
+
+    // --- data -----------------------------------------------------------
+    // Pointer-chase ring: CHASE_NODES nodes of [next_ptr, payload].
+    let chase_base = b.data_cursor();
+    if spec.chase_iters > 0 {
+        let mut order: Vec<usize> = (0..CHASE_NODES).collect();
+        order.shuffle(&mut rng);
+        let mut next = vec![0u64; CHASE_NODES];
+        for i in 0..CHASE_NODES {
+            let from = order[i];
+            let to = order[(i + 1) % CHASE_NODES];
+            next[from] = chase_base + 16 * to as u64;
+        }
+        let mut words = Vec::with_capacity(CHASE_NODES * 2);
+        for (node, &next_addr) in next.iter().enumerate() {
+            words.push(next_addr);
+            words.push(rng.gen::<u32>() as u64 ^ node as u64);
+        }
+        b.data_words("chase_nodes", &words);
+    }
+    let sweep_lines = spec.mem.sweep_lines();
+    if sweep_lines > 0 {
+        b.bss("stride_buf", sweep_lines as u64 * 64 + 64);
+    }
+    if spec.syscall_kind == SyscallKind::FileIo {
+        b.data_bytes("msg", b"workload");
+    }
+
+    // --- unit functions (the code footprint) -----------------------------
+    let units = spec.footprint_units.max(1);
+    let scratch = [Reg::R2, Reg::R3, Reg::R6];
+    let reg_ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Mul,
+    ];
+    for unit in 0..units {
+        b.label(&format!("unit{unit}"));
+        // Prologue: seed scratch from live state.
+        b.mov(Reg::R2, Reg::R8);
+        b.mov(Reg::R3, Reg::R10);
+        b.li(Reg::R6, rng.gen::<u32>() as i64);
+        for _ in 0..spec.unit_body {
+            let rd = scratch[rng.gen_range(0..scratch.len())];
+            if rng.gen_bool(0.3) {
+                let op = [AluOp::Add, AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::And]
+                    [rng.gen_range(0..5)];
+                let imm = match op {
+                    AluOp::Shl | AluOp::Shr => rng.gen_range(1..16),
+                    _ => rng.gen_range(-1000..1000),
+                };
+                let rs1 = scratch[rng.gen_range(0..scratch.len())];
+                b.alui(op, rd, rs1, imm);
+            } else {
+                let op = reg_ops[rng.gen_range(0..reg_ops.len())];
+                let rs1 = scratch[rng.gen_range(0..scratch.len())];
+                let rs2 = scratch[rng.gen_range(0..scratch.len())];
+                b.alu(op, rd, rs1, rs2);
+            }
+        }
+        b.add(Reg::R8, Reg::R8, Reg::R2);
+        b.ret();
+    }
+
+    // Indirect-call table (resolved unit addresses).
+    let table: Vec<u64> = (0..units)
+        .map(|unit| {
+            b.label_addr(&format!("unit{unit}"))
+                .expect("unit label was just defined")
+        })
+        .collect();
+    b.data_words("unit_table", &table);
+
+    // --- main -------------------------------------------------------------
+    let target = scale.target_insts() * spec.duration_eighths.max(1) as u64 / 8;
+    let iters = (target / est_insts_per_iter(spec)).max(4) as i64;
+    b.label("main");
+    b.la(Reg::R9, "unit_table");
+    if spec.chase_iters > 0 {
+        b.la(Reg::R4, "chase_nodes");
+    }
+    if sweep_lines > 0 {
+        b.la(Reg::R12, "stride_buf");
+    }
+    b.li(
+        Reg::R7,
+        ((fnv(spec.name) ^ input.wrapping_mul(0x517c_c1b7_2722_0a95)) | 1) as i64 & 0x7fff_ffff,
+    );
+    b.li(Reg::R10, iters);
+
+    b.label("outer");
+
+    // Periodic syscall batch.
+    if let (Some(period_log2), kind) = (spec.syscall_period_log2, spec.syscall_kind) {
+        if kind != SyscallKind::None {
+            let mask = (1i32 << period_log2) - 1;
+            b.andi(Reg::R6, Reg::R10, mask);
+            b.bne(Reg::R6, Reg::R0, "sys_skip");
+            match kind {
+                SyscallKind::BrkChurn => {
+                    // brk up, touch the heap, brk down — gcc-style churn.
+                    b.li(Reg::R0, 5);
+                    b.li(Reg::R1, (HEAP_BASE + 0x1_0000) as i64);
+                    b.syscall();
+                    b.li(Reg::R1, HEAP_BASE as i64);
+                    b.st(Reg::R8, Reg::R1, 0);
+                    b.li(Reg::R0, 5);
+                    b.li(Reg::R1, (HEAP_BASE + 0x1000) as i64);
+                    b.syscall();
+                }
+                SyscallKind::TimeQuery => {
+                    b.li(Reg::R0, 8);
+                    b.syscall();
+                }
+                SyscallKind::FileIo => {
+                    b.li(Reg::R0, 1);
+                    b.li(Reg::R1, 1);
+                    b.la(Reg::R2, "msg");
+                    b.li(Reg::R3, 8);
+                    b.syscall();
+                }
+                SyscallKind::None => unreachable!("guarded above"),
+            }
+            // Syscalls return in r0; the generated loops compare against
+            // r0 as a zero register, so clear it after the batch.
+            b.xor(Reg::R0, Reg::R0, Reg::R0);
+            b.label("sys_skip");
+        }
+    }
+
+    // Indirect calls through the unit table.
+    for slot in 0..spec.calls_per_iter {
+        b.mov(Reg::R1, Reg::R10);
+        b.addi(Reg::R1, Reg::R1, slot as i32);
+        b.andi(Reg::R1, Reg::R1, units as i32 - 1);
+        b.shli(Reg::R1, Reg::R1, 3);
+        b.add(Reg::R1, Reg::R1, Reg::R9);
+        b.ld(Reg::R1, Reg::R1, 0);
+        b.jalr(Reg::RA, Reg::R1, 0);
+    }
+
+    // Strided sweep.
+    if sweep_lines > 0 {
+        b.mov(Reg::R5, Reg::R12);
+        b.li(Reg::R11, sweep_lines as i64);
+        b.label("sweep");
+        b.ld(Reg::R6, Reg::R5, 0);
+        b.add(Reg::R8, Reg::R8, Reg::R6);
+        b.st(Reg::R8, Reg::R5, 0);
+        b.addi(Reg::R5, Reg::R5, 64);
+        b.subi(Reg::R11, Reg::R11, 1);
+        b.bne(Reg::R11, Reg::R0, "sweep");
+    }
+
+    // Pointer chase.
+    if spec.chase_iters > 0 {
+        b.li(Reg::R11, spec.chase_iters as i64);
+        b.label("chase");
+        b.ld(Reg::R4, Reg::R4, 0);
+        b.ld(Reg::R6, Reg::R4, 8);
+        b.xor(Reg::R8, Reg::R8, Reg::R6);
+        b.subi(Reg::R11, Reg::R11, 1);
+        b.bne(Reg::R11, Reg::R0, "chase");
+    }
+
+    // Data-dependent branches driven by an xorshift stream.
+    if spec.branchy_iters > 0 {
+        b.li(Reg::R11, spec.branchy_iters as i64);
+        b.label("branchy");
+        b.shli(Reg::R6, Reg::R7, 13);
+        b.xor(Reg::R7, Reg::R7, Reg::R6);
+        b.shri(Reg::R6, Reg::R7, 7);
+        b.xor(Reg::R7, Reg::R7, Reg::R6);
+        b.andi(Reg::R6, Reg::R7, 1);
+        b.beq(Reg::R6, Reg::R0, "br_even");
+        b.addi(Reg::R8, Reg::R8, 3);
+        b.jmp("br_join");
+        b.label("br_even");
+        b.subi(Reg::R8, Reg::R8, 1);
+        b.label("br_join");
+        b.subi(Reg::R11, Reg::R11, 1);
+        b.bne(Reg::R11, Reg::R0, "branchy");
+    }
+
+    b.subi(Reg::R10, Reg::R10, 1);
+    b.bne(Reg::R10, Reg::R0, "outer");
+    b.exit(0);
+
+    b.build().expect("generated program must be well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{catalog, find};
+    use superpin_vm::process::{Process, RunExit};
+
+    #[test]
+    fn every_benchmark_builds_and_runs_to_exit() {
+        for spec in catalog() {
+            let program = spec.build(Scale::Tiny);
+            let mut process =
+                Process::load(1, &program).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let exit = process
+                .run(10 * Scale::Tiny.target_insts(), 0)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(exit, RunExit::Exited(0), "{} did not exit cleanly", spec.name);
+        }
+    }
+
+    #[test]
+    fn instruction_counts_land_near_scale_targets() {
+        for spec in catalog() {
+            let program = spec.build(Scale::Tiny);
+            let mut process = Process::load(1, &program).expect("load");
+            process.run(u64::MAX, 0).expect("run");
+            let insts = process.inst_count();
+            let target =
+                Scale::Tiny.target_insts() * spec.duration_eighths.max(1) as u64 / 8;
+            assert!(
+                insts > target / 4 && insts < target * 4,
+                "{}: {insts} instructions vs target {target}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = find("gcc").expect("gcc").build(Scale::Tiny);
+        let b = find("gcc").expect("gcc").build(Scale::Tiny);
+        assert_eq!(a, b);
+        let mut p1 = Process::load(1, &a).expect("load");
+        let mut p2 = Process::load(1, &b).expect("load");
+        p1.run(u64::MAX, 0).expect("run");
+        p2.run(u64::MAX, 0).expect("run");
+        assert_eq!(p1.inst_count(), p2.inst_count());
+    }
+
+    #[test]
+    fn scales_produce_longer_runs() {
+        let spec = find("swim").expect("swim");
+        let mut counts = Vec::new();
+        for scale in [Scale::Tiny, Scale::Small] {
+            let program = spec.build(scale);
+            let mut process = Process::load(1, &program).expect("load");
+            process.run(u64::MAX, 0).expect("run");
+            counts.push(process.inst_count());
+        }
+        assert!(counts[1] > 5 * counts[0]);
+    }
+
+    #[test]
+    fn gcc_issues_many_syscalls() {
+        let program = find("gcc").expect("gcc").build(Scale::Tiny);
+        let mut process = Process::load(1, &program).expect("load");
+        let mut syscalls = 0u64;
+        loop {
+            match process.run_until_syscall(u64::MAX).expect("run") {
+                RunExit::SyscallEntry => {
+                    syscalls += 1;
+                    if process.do_syscall(0).expect("svc").exited.is_some() {
+                        break;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(syscalls > 20, "gcc made only {syscalls} syscalls");
+        // swim, by contrast, only exits.
+        let program = find("swim").expect("swim").build(Scale::Tiny);
+        let mut process = Process::load(1, &program).expect("load");
+        let mut swim_syscalls = 0u64;
+        loop {
+            match process.run_until_syscall(u64::MAX).expect("run") {
+                RunExit::SyscallEntry => {
+                    swim_syscalls += 1;
+                    if process.do_syscall(0).expect("svc").exited.is_some() {
+                        break;
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(swim_syscalls, 1);
+    }
+
+    #[test]
+    fn footprint_shows_up_as_static_code_size() {
+        let gcc = find("gcc").expect("gcc").build(Scale::Tiny);
+        let swim = find("swim").expect("swim").build(Scale::Tiny);
+        assert!(
+            gcc.code_len() > 3 * swim.code_len(),
+            "gcc code {} vs swim {}",
+            gcc.code_len(),
+            swim.code_len()
+        );
+    }
+}
+#[cfg(test)]
+mod input_tests {
+    use crate::spec::{find, Scale};
+    use superpin_vm::process::Process;
+
+    #[test]
+    fn inputs_change_dynamic_behaviour_but_not_character() {
+        let spec = find("crafty").expect("crafty");
+        let input0 = spec.build_with_input(Scale::Tiny, 0);
+        let input1 = spec.build_with_input(Scale::Tiny, 1);
+        assert_eq!(
+            input0.code_len(),
+            input1.code_len(),
+            "same code layout across inputs"
+        );
+        assert_ne!(input0, input1, "data/seeds must differ");
+        let mut p0 = Process::load(1, &input0).expect("load");
+        let mut p1 = Process::load(1, &input1).expect("load");
+        p0.run(u64::MAX, 0).expect("run");
+        p1.run(u64::MAX, 0).expect("run");
+        // Loop trip counts are fixed, so counts agree closely (the
+        // branchy section's taken/fall-through paths differ in length),
+        // while register outcomes differ with the changed seeds.
+        let (a, b) = (p0.inst_count(), p1.inst_count());
+        assert!(a.abs_diff(b) * 20 < a, "counts too different: {a} vs {b}");
+        assert_ne!(
+            p0.cpu.regs.snapshot(),
+            p1.cpu.regs.snapshot(),
+            "different inputs must produce different results"
+        );
+    }
+
+    #[test]
+    fn default_input_is_input_zero() {
+        let spec = find("gzip").expect("gzip");
+        assert_eq!(spec.build(Scale::Tiny), spec.build_with_input(Scale::Tiny, 0));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # superpin-workloads
+//!
+//! Deterministic synthetic stand-ins for the 26 SPEC CPU2000 benchmarks
+//! the paper evaluates on (Figures 3–5 list them by name). Real SPEC
+//! binaries and reference inputs are licensed artifacts we cannot ship,
+//! so each benchmark is modelled by a generated guest program whose
+//! *character* matches the original along the axes SuperPin's behaviour
+//! actually depends on:
+//!
+//! * **code footprint** — number of distinct functions reached through an
+//!   indirect-call table (gcc's "large code footprint" drives per-slice
+//!   recompilation, paper §6.1);
+//! * **system-call intensity** — gcc-style `brk` churn forces syscall
+//!   recording / forced slices (paper §4.2);
+//! * **memory behaviour** — strided array sweeps (FP codes) and
+//!   pointer-chasing (mcf, art) with copy-on-write-relevant stores;
+//! * **branchiness** — data-dependent branches (crafty, parser);
+//! * **call depth** — nested call chains (eon, perlbmk).
+//!
+//! All generation is seeded by the benchmark name: the same name and
+//! [`Scale`] always produce the identical program, so counts are exactly
+//! reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use superpin_workloads::{catalog, find, Scale};
+//!
+//! assert_eq!(catalog().len(), 26);
+//! let gcc = find("gcc").expect("gcc is in the catalog");
+//! let program = gcc.build(Scale::Tiny);
+//! assert!(program.code_len() > 0);
+//! ```
+
+mod gen;
+mod spec;
+
+pub use spec::{catalog, find, Category, MemIntensity, Scale, SyscallKind, WorkloadSpec};

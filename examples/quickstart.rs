@@ -1,0 +1,64 @@
+//! Quickstart: run the `icount2` SuperTool on the gzip workload under
+//! native execution, traditional Pin, and SuperPin, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use superpin::baseline::{run_native, run_pin};
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner};
+use superpin_dbi::cycles_to_secs;
+use superpin_tools::ICount2;
+use superpin_vm::process::Process;
+use superpin_workloads::{find, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = find("gzip").expect("gzip is in the catalog");
+    let program = spec.build(Scale::Small);
+
+    // 1. Native: the ground truth.
+    let native = run_native(Process::load(1, &program)?)?;
+    println!(
+        "native:   {:>12} insts  {:>10} cycles ({:.3} ms virtual)",
+        native.insts,
+        native.cycles,
+        1e3 * cycles_to_secs(native.cycles)
+    );
+
+    // 2. Traditional Pin: serial instrumentation.
+    let shared = SharedMem::new();
+    let pin = run_pin(Process::load(1, &program)?, ICount2::new(&shared))?;
+    println!(
+        "pin:      {:>12} count  {:>10} cycles ({:.1}% of native)",
+        pin.tool.local_count(),
+        pin.cycles,
+        100.0 * pin.cycles as f64 / native.cycles as f64
+    );
+
+    // 3. SuperPin: parallel instrumented timeslices.
+    let shared = SharedMem::new();
+    let tool = ICount2::new(&shared);
+    let mut cfg = SuperPinConfig::paper_default();
+    cfg.timeslice_cycles = native.cycles / 20; // ~20 slices
+    cfg.quantum_cycles = (cfg.timeslice_cycles / 50).max(500);
+    let report = SuperPinRunner::new(
+        Process::load(1, &program)?,
+        tool.clone(),
+        shared.clone(),
+        cfg,
+    )?
+    .run()?;
+    println!(
+        "superpin: {:>12} count  {:>10} cycles ({:.1}% of native, {} slices, {:.2}x vs pin)",
+        tool.total(&shared),
+        report.total_cycles,
+        100.0 * report.total_cycles as f64 / native.cycles as f64,
+        report.slice_count(),
+        pin.cycles as f64 / report.total_cycles as f64
+    );
+
+    assert_eq!(pin.tool.local_count(), native.insts, "Pin count must be exact");
+    assert_eq!(tool.total(&shared), native.insts, "merged count must be exact");
+    println!("counts agree: every mode saw exactly {} instructions", native.insts);
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Timeslice tuning (a miniature of the paper's Figure 6): sweep the
+//! `-spmsec` analogue over gcc and print the runtime breakdown at each
+//! setting.
+//!
+//! ```text
+//! cargo run --release --example timeslice_tuning
+//! ```
+
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner};
+use superpin_tools::ICount2;
+use superpin_vm::process::Process;
+use superpin_workloads::{find, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = find("gcc").expect("gcc is in the catalog");
+    let program = spec.build(Scale::Small);
+
+    println!(
+        "{:>10} {:>9} {:>12} {:>9} {:>10} {:>9} {:>7}",
+        "timeslice", "native", "fork&others", "sleep", "pipeline", "total", "slices"
+    );
+    for timeslice in [2_500u64, 5_000, 10_000, 20_000] {
+        let shared = SharedMem::new();
+        let tool = ICount2::new(&shared);
+        let mut cfg = SuperPinConfig::paper_default();
+        cfg.timeslice_cycles = timeslice;
+        cfg.quantum_cycles = (timeslice / 50).max(250);
+        let report = SuperPinRunner::new(
+            Process::load(1, &program)?,
+            tool,
+            shared,
+            cfg,
+        )?
+        .run()?;
+        let b = &report.breakdown;
+        println!(
+            "{:>10} {:>9} {:>12} {:>9} {:>10} {:>9} {:>7}",
+            timeslice,
+            b.native_cycles,
+            b.fork_other_cycles,
+            b.sleep_cycles,
+            b.pipeline_cycles,
+            report.total_cycles,
+            report.slice_count()
+        );
+        assert_eq!(
+            b.total_cycles(),
+            report.total_cycles,
+            "breakdown must account for the whole runtime"
+        );
+    }
+    println!("(cycles; larger timeslices trade fork/compile overhead for pipeline delay)");
+    Ok(())
+}

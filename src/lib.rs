@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Workspace-level re-exports for the SuperPin-RS reproduction.
+//!
+//! This crate exists to host the repository's integration tests
+//! (`tests/`) and runnable examples (`examples/`). Library users should
+//! depend on the individual crates ([`superpin`], [`superpin_dbi`],
+//! [`superpin_vm`], …) directly.
+
+pub use superpin;
+pub use superpin_dbi;
+pub use superpin_isa;
+pub use superpin_sched;
+pub use superpin_tools;
+pub use superpin_vm;
+pub use superpin_workloads;

@@ -1,0 +1,383 @@
+//! End-to-end correctness: for every mergeable tool, SuperPin's merged
+//! result equals traditional Pin's result equals ground truth — across
+//! workloads, timeslice lengths, and machine sizes.
+
+use superpin::baseline::{run_native, run_pin};
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
+use superpin_sched::Machine;
+use superpin_tools::{BranchProfile, DCache, DCacheConfig, ICount1, ICount2, ITrace};
+use superpin_vm::process::Process;
+use superpin_workloads::{catalog, find, Scale};
+
+fn config(timeslice: u64) -> SuperPinConfig {
+    let mut cfg = SuperPinConfig::paper_default();
+    cfg.timeslice_cycles = timeslice;
+    cfg.quantum_cycles = (timeslice / 50).max(250);
+    cfg
+}
+
+fn superpin_run<T: SuperTool>(
+    program: &superpin_isa::Program,
+    tool: T,
+    shared: &SharedMem,
+    cfg: SuperPinConfig,
+) -> superpin::SuperPinReport {
+    SuperPinRunner::new(
+        Process::load(1, program).expect("load"),
+        tool,
+        shared.clone(),
+        cfg,
+    )
+    .expect("runner setup")
+    .run()
+    .expect("superpin run")
+}
+
+#[test]
+fn icount_exact_across_whole_catalog() {
+    for spec in catalog() {
+        let program = spec.build(Scale::Tiny);
+        let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+
+        let shared = SharedMem::new();
+        let tool = ICount2::new(&shared);
+        let report = superpin_run(&program, tool.clone(), &shared, config(3_000));
+        assert_eq!(
+            tool.total(&shared),
+            native.insts,
+            "{}: merged icount2 != ground truth",
+            spec.name
+        );
+        assert_eq!(
+            report.slice_inst_total(),
+            report.master_insts,
+            "{}: slice spans must partition the master's execution",
+            spec.name
+        );
+        assert_eq!(report.master_insts, native.insts, "{}", spec.name);
+    }
+}
+
+#[test]
+fn icount1_exact_for_representative_benchmarks() {
+    for name in ["gcc", "mcf", "swim", "crafty", "vortex"] {
+        let spec = find(name).expect("in catalog");
+        let program = spec.build(Scale::Tiny);
+        let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+
+        let shared = SharedMem::new();
+        let pin = run_pin(
+            Process::load(1, &program).expect("load"),
+            ICount1::new(&shared),
+        )
+        .expect("pin");
+        assert_eq!(pin.tool.local_count(), native.insts, "{name}: pin");
+
+        let shared = SharedMem::new();
+        let tool = ICount1::new(&shared);
+        superpin_run(&program, tool.clone(), &shared, config(2_000));
+        assert_eq!(tool.total(&shared), native.insts, "{name}: superpin");
+    }
+}
+
+#[test]
+fn counts_exact_across_timeslice_lengths() {
+    let program = find("gcc").expect("gcc").build(Scale::Tiny);
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    for timeslice in [800, 1_500, 4_000, 16_000, 1_000_000] {
+        let shared = SharedMem::new();
+        let tool = ICount2::new(&shared);
+        let report = superpin_run(&program, tool.clone(), &shared, config(timeslice));
+        assert_eq!(
+            tool.total(&shared),
+            native.insts,
+            "timeslice {timeslice}: merged count diverged ({} slices)",
+            report.slice_count()
+        );
+    }
+}
+
+#[test]
+fn counts_exact_across_machine_shapes() {
+    let program = find("parser").expect("parser").build(Scale::Tiny);
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    for (machine, max_slices) in [
+        (Machine::smp(2), 2),
+        (Machine::smp(4), 4),
+        (Machine::smp(8), 8),
+        (Machine::paper_testbed(), 16),
+        (Machine::smp(8), 1),
+    ] {
+        let shared = SharedMem::new();
+        let tool = ICount2::new(&shared);
+        let mut cfg = config(2_000).with_machine(machine).with_max_slices(max_slices);
+        cfg.policy = superpin_sched::Policy::FairShare;
+        superpin_run(&program, tool.clone(), &shared, cfg);
+        assert_eq!(
+            tool.total(&shared),
+            native.insts,
+            "machine {machine:?} spmp {max_slices}"
+        );
+    }
+}
+
+#[test]
+fn dcache_sliced_equals_serial() {
+    for name in ["mcf", "gzip", "swim"] {
+        let program = find(name).expect("in catalog").build(Scale::Tiny);
+        let shared = SharedMem::new();
+        let pin = run_pin(
+            Process::load(1, &program).expect("load"),
+            DCache::new(&shared, DCacheConfig::small()),
+        )
+        .expect("pin");
+        let serial = pin.tool.local_result();
+        assert!(serial.accesses() > 0, "{name}: workload must touch memory");
+
+        let shared = SharedMem::new();
+        let tool = DCache::new(&shared, DCacheConfig::small());
+        superpin_run(&program, tool.clone(), &shared, config(2_000));
+        assert_eq!(
+            tool.merged_result(&shared),
+            serial,
+            "{name}: assumed-hit reconciliation must be exact (paper §5.2)"
+        );
+    }
+}
+
+#[test]
+fn assoc_dcache_sliced_equals_serial() {
+    use superpin_tools::{AssocDCache, AssocDCacheConfig};
+    for (name, cfg_cache) in [
+        ("mcf", AssocDCacheConfig::small()),
+        ("equake", AssocDCacheConfig::four_way()),
+        ("swim", AssocDCacheConfig::small()),
+    ] {
+        let program = find(name).expect("in catalog").build(Scale::Tiny);
+        let shared = SharedMem::new();
+        let pin = run_pin(
+            Process::load(1, &program).expect("load"),
+            AssocDCache::new(&shared, cfg_cache),
+        )
+        .expect("pin");
+        let serial = pin.tool.local_result();
+        assert!(serial.accesses() > 0, "{name}: workload must touch memory");
+
+        let shared = SharedMem::new();
+        let tool = AssocDCache::new(&shared, cfg_cache);
+        let report = superpin_run(&program, tool.clone(), &shared, config(2_000));
+        assert!(report.slice_count() > 1, "{name}: need multiple slices");
+        assert_eq!(
+            tool.merged_result(&shared),
+            serial,
+            "{name}: set-associative merge replay must be exact"
+        );
+    }
+}
+
+#[test]
+fn itrace_merge_reconstructs_serial_trace() {
+    let program = find("vpr").expect("vpr").build(Scale::Tiny);
+    let pin = run_pin(Process::load(1, &program).expect("load"), ITrace::new()).expect("pin");
+    let serial = ITrace::decode(pin.tool.local_buffer());
+
+    let shared = SharedMem::new();
+    let report = superpin_run(&program, ITrace::new(), &shared, config(3_000));
+    let merged = ITrace::merged_trace(&shared);
+    assert!(report.slice_count() > 1, "need multiple slices to be meaningful");
+    assert_eq!(
+        merged, serial,
+        "in-order merge must reconstruct the exact serial trace (paper §4.5)"
+    );
+}
+
+#[test]
+fn icache_sliced_equals_serial() {
+    use superpin_tools::ICache;
+    // gcc: the large-footprint benchmark is the interesting icache case.
+    let program = find("gcc").expect("gcc").build(Scale::Tiny);
+    let shared = SharedMem::new();
+    let pin = run_pin(
+        Process::load(1, &program).expect("load"),
+        ICache::new(&shared, DCacheConfig::small()),
+    )
+    .expect("pin");
+    let serial = pin.tool.local_result();
+    assert!(serial.misses > 0, "gcc must conflict in a 4 KiB icache");
+
+    let shared = SharedMem::new();
+    let tool = ICache::new(&shared, DCacheConfig::small());
+    let report = superpin_run(&program, tool.clone(), &shared, config(2_000));
+    assert!(report.slice_count() > 1);
+    assert_eq!(tool.merged_result(&shared), serial);
+}
+
+#[test]
+fn bblcount_merged_agrees_with_serial_up_to_block_splits() {
+    // Block *identity* is a JIT artifact: a slice that starts mid-block
+    // or splits a block at its signature boundary forms different blocks
+    // than a serial run, so per-address counts are only equal up to a
+    // bounded perturbation (≤ a few entries per slice). Tools needing
+    // exact per-address counts reconcile at merge time like the dcache
+    // example (paper §4.5); instruction-weighted totals (icount2) are
+    // exactly invariant and tested elsewhere.
+    use superpin_tools::BblCount;
+    let program = find("twolf").expect("twolf").build(Scale::Tiny);
+    let pin = run_pin(Process::load(1, &program).expect("load"), BblCount::new())
+        .expect("pin");
+    let serial = pin.tool.local_blocks().clone();
+    let serial_entries: u64 = serial.values().sum();
+
+    let shared = SharedMem::new();
+    let tool = BblCount::new();
+    let report = superpin_run(&program, tool.clone(), &shared, config(2_500));
+    let merged = tool.merged_blocks();
+    let merged_entries: u64 = merged.values().sum();
+
+    // Splitting a block turns each of its executions into two entries,
+    // so the sliced run can only see *more* block entries — bounded by
+    // the dynamic instruction count (every entry covers ≥ 1 instruction).
+    assert!(
+        merged_entries >= serial_entries,
+        "splits can only add entries: {merged_entries} vs {serial_entries}"
+    );
+    assert!(
+        merged_entries <= report.master_insts,
+        "entries cannot exceed instructions: {merged_entries} vs {}",
+        report.master_insts
+    );
+    // The hot head dominates identically in both runs.
+    let serial_hot = serial.iter().max_by_key(|&(_, c)| c).expect("nonempty");
+    let merged_hot = merged.iter().max_by_key(|&(_, c)| c).expect("nonempty");
+    assert_eq!(serial_hot.0, merged_hot.0, "hottest block must agree");
+}
+
+#[test]
+fn insmix_merged_equals_serial() {
+    use superpin_tools::{InsMix, MixCategory};
+    let program = find("equake").expect("equake").build(Scale::Tiny);
+    let shared = SharedMem::new();
+    let pin = run_pin(Process::load(1, &program).expect("load"), InsMix::new(&shared))
+        .expect("pin");
+    let serial = pin.tool.local_counts();
+
+    let shared = SharedMem::new();
+    let tool = InsMix::new(&shared);
+    let report = superpin_run(&program, tool.clone(), &shared, config(2_000));
+    assert!(report.slice_count() > 1);
+    let merged = tool.merged_counts(&shared);
+    for category in MixCategory::ALL {
+        assert_eq!(
+            merged.get(category),
+            serial.get(category),
+            "category {category:?}"
+        );
+    }
+    assert_eq!(merged.total(), report.master_insts);
+}
+
+#[test]
+fn branch_profile_merged_equals_serial() {
+    let program = find("crafty").expect("crafty").build(Scale::Tiny);
+    let pin = run_pin(
+        Process::load(1, &program).expect("load"),
+        BranchProfile::new(),
+    )
+    .expect("pin");
+    let serial = pin.tool.local_sites().clone();
+
+    let shared = SharedMem::new();
+    let tool = BranchProfile::new();
+    superpin_run(&program, tool.clone(), &shared, config(2_500));
+    assert_eq!(tool.merged_sites(), serial);
+}
+
+#[test]
+fn signal_handlers_slice_exactly() {
+    // A guest that installs a handler and raises a signal every loop
+    // iteration; the handler bumps an in-memory counter and sigreturns.
+    // Signal delivery/return are syscalls, so their control transfers
+    // are captured by the records and slices replay them exactly.
+    let program = superpin_isa::asm::assemble(
+        r#"
+        .data
+        hits: .word 0
+        .text
+        main:
+            li r0, 11          ; sigaction(2, handler)
+            li r1, 2
+            la r2, handler
+            syscall
+            li r10, 300
+        loop:
+            li r0, 12          ; raise(2)
+            li r1, 2
+            syscall
+            xor r0, r0, r0
+            subi r10, r10, 1
+            bne r10, r0, loop
+            exit 0
+        handler:
+            la r6, hits
+            ld r7, 0(r6)
+            addi r7, r7, 1
+            st r7, 0(r6)
+            li r0, 13          ; sigreturn
+            syscall
+        "#,
+    )
+    .expect("assemble");
+
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    // The handler really ran 300 times in the master.
+    let mut check = Process::load(1, &program).expect("load");
+    check.run(u64::MAX, 0).expect("run");
+    assert_eq!(
+        check
+            .mem
+            .read_u64(superpin_isa::DATA_BASE)
+            .expect("read hits"),
+        300
+    );
+
+    let shared = SharedMem::new();
+    let tool = ICount2::new(&shared);
+    let mut cfg = config(1_500);
+    cfg.max_sysrecs = 10_000;
+    let report = superpin_run(&program, tool.clone(), &shared, cfg);
+    assert!(report.slice_count() > 1, "need multiple slices");
+    assert_eq!(
+        tool.total(&shared),
+        native.insts,
+        "handler control transfers must slice exactly"
+    );
+}
+
+#[test]
+fn superpin_disabled_behaves_like_plain_pin() {
+    // With one giant timeslice the whole program is a single slice whose
+    // counts equal plain Pin's.
+    let program = find("twolf").expect("twolf").build(Scale::Tiny);
+    let shared = SharedMem::new();
+    let tool = ICount2::new(&shared);
+    let report = superpin_run(&program, tool.clone(), &shared, config(u64::MAX / 4));
+    assert_eq!(report.slice_count(), 1);
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    assert_eq!(tool.total(&shared), native.insts);
+}
+
+/// Large-scale stress run (several minutes in debug builds):
+/// `cargo test --release -- --ignored` exercises ~4M-instruction runs.
+#[test]
+#[ignore = "slow; run with --release -- --ignored"]
+fn large_scale_counts_exact() {
+    for name in ["gcc", "swim"] {
+        let program = find(name).expect("in catalog").build(Scale::Large);
+        let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+        let shared = SharedMem::new();
+        let tool = ICount2::new(&shared);
+        let report = superpin_run(&program, tool.clone(), &shared, config(40_000));
+        assert_eq!(tool.total(&shared), native.insts, "{name}");
+        assert!(report.slice_count() > 20, "{name}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based invariants over randomly generated programs and
+//! slicing configurations.
+
+use proptest::prelude::*;
+use superpin::baseline::run_native;
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner};
+use superpin_isa::{Program, ProgramBuilder, Reg};
+use superpin_tools::{DCache, DCacheConfig, ICount2};
+use superpin_vm::process::Process;
+
+/// Builds a random-but-terminating program: nested countdown loops with
+/// ALU work, stores, and optional getpid syscalls.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        2u32..40,                                   // outer iterations
+        1u32..20,                                   // inner iterations
+        0u32..6,                                    // ALU ops per inner pass
+        any::<bool>(),                              // do stores
+        any::<bool>(),                              // do syscalls
+        0u64..1_000,                                // data seed
+    )
+        .prop_map(|(outer, inner, alu, stores, syscalls, seed)| {
+            let mut b = ProgramBuilder::new();
+            b.bss("buf", 4096);
+            b.label("main");
+            b.li(Reg::R10, outer as i64);
+            b.la(Reg::R12, "buf");
+            b.li(Reg::R8, seed as i64);
+            b.label("outer");
+            if syscalls {
+                b.li(Reg::R0, 9); // getpid
+                b.syscall();
+                b.xor(Reg::R0, Reg::R0, Reg::R0);
+            }
+            b.li(Reg::R11, inner as i64);
+            b.label("inner");
+            for k in 0..alu {
+                b.addi(Reg::R8, Reg::R8, k as i32 + 1);
+                b.xor(Reg::R8, Reg::R8, Reg::R11);
+            }
+            if stores {
+                b.andi(Reg::R6, Reg::R8, 511);
+                b.shli(Reg::R6, Reg::R6, 3);
+                b.add(Reg::R6, Reg::R6, Reg::R12);
+                b.st(Reg::R8, Reg::R6, 0);
+            }
+            b.subi(Reg::R11, Reg::R11, 1);
+            b.bne(Reg::R11, Reg::R0, "inner");
+            b.subi(Reg::R10, Reg::R10, 1);
+            b.bne(Reg::R10, Reg::R0, "outer");
+            b.exit(0);
+            b.build().expect("generated program is well-formed")
+        })
+}
+
+fn superpin_count(program: &Program, timeslice: u64, max_slices: usize) -> (u64, usize) {
+    let shared = SharedMem::new();
+    let tool = ICount2::new(&shared);
+    let mut cfg = SuperPinConfig::paper_default();
+    cfg.timeslice_cycles = timeslice.max(300);
+    cfg.quantum_cycles = (cfg.timeslice_cycles / 20).max(100);
+    cfg.max_slices = max_slices.max(1);
+    let report = SuperPinRunner::new(
+        Process::load(1, program).expect("load"),
+        tool.clone(),
+        shared.clone(),
+        cfg,
+    )
+    .expect("setup")
+    .run()
+    .expect("run");
+    (tool.total(&shared), report.slice_count())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: the merged count equals ground truth for
+    /// arbitrary programs, timeslices, and slice limits.
+    #[test]
+    fn prop_merged_count_equals_native(
+        program in arb_program(),
+        timeslice in 300u64..8_000,
+        max_slices in 1usize..10,
+    ) {
+        let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+        let (merged, _slices) = superpin_count(&program, timeslice, max_slices);
+        prop_assert_eq!(merged, native.insts);
+    }
+
+    /// Determinism: the same program and configuration produce the same
+    /// schedule, slice count, and counts.
+    #[test]
+    fn prop_runs_are_deterministic(
+        program in arb_program(),
+        timeslice in 300u64..5_000,
+    ) {
+        let a = superpin_count(&program, timeslice, 8);
+        let b = superpin_count(&program, timeslice, 8);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The dcache reconciliation (paper §5.2) is exact for arbitrary
+    /// access streams, not just the catalog workloads.
+    #[test]
+    fn prop_dcache_reconciliation_exact(
+        addrs in proptest::collection::vec(0u64..0x8000, 1..300),
+        splits in proptest::collection::vec(any::<bool>(), 300),
+    ) {
+        let shared = SharedMem::new();
+        let mut serial = DCache::new(&shared, DCacheConfig::small());
+        for &addr in &addrs {
+            serial.access(addr);
+        }
+        let want = serial.local_result();
+
+        // Sliced run with arbitrary split points.
+        use superpin::SuperTool as _;
+        let shared = SharedMem::new();
+        let template = DCache::new(&shared, DCacheConfig::small());
+        let mut slice_num = 0u32;
+        let mut tool = template.clone();
+        tool.reset(slice_num);
+        for (i, &addr) in addrs.iter().enumerate() {
+            tool.access(addr);
+            let is_last = i + 1 == addrs.len();
+            if is_last || splits.get(i).copied().unwrap_or(false) {
+                tool.on_slice_end(slice_num, &shared);
+                slice_num += 1;
+                tool = template.clone();
+                tool.reset(slice_num);
+            }
+        }
+        prop_assert_eq!(tool.merged_result(&shared), want);
+    }
+
+    /// Shared-area auto-merge addition is order-insensitive and total.
+    #[test]
+    fn prop_shared_area_add_commutes(
+        locals in proptest::collection::vec(
+            proptest::collection::vec(0u64..1u64<<40, 4),
+            1..12,
+        ),
+    ) {
+        use superpin::{AutoMerge, SharedArea};
+        let forward = SharedArea::new(4, AutoMerge::Add);
+        for local in &locals {
+            forward.merge_locals(local);
+        }
+        let backward = SharedArea::new(4, AutoMerge::Add);
+        for local in locals.iter().rev() {
+            backward.merge_locals(local);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+        for i in 0..4 {
+            let want: u64 = locals.iter().map(|l| l[i]).fold(0, u64::wrapping_add);
+            prop_assert_eq!(forward.read(i), want);
+        }
+    }
+}
+
+#[test]
+fn regression_single_instruction_program() {
+    // Smallest possible program: just exit.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.exit(0);
+    let program = b.build().expect("build");
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    let (merged, slices) = superpin_count(&program, 500, 8);
+    assert_eq!(merged, native.insts);
+    assert_eq!(slices, 1);
+}

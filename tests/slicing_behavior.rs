@@ -1,0 +1,252 @@
+//! Behavioural tests of the slicing machinery: fork triggers, stalls,
+//! syscall-record budgets, the runtime breakdown, and the adaptive
+//! timeslice extension.
+
+use superpin::baseline::run_native;
+use superpin::{SharedMem, SliceEnd, SuperPinConfig, SuperPinRunner};
+use superpin_tools::{ICount2, Sampler};
+use superpin_vm::process::Process;
+use superpin_workloads::{find, Scale};
+
+fn config(timeslice: u64) -> SuperPinConfig {
+    let mut cfg = SuperPinConfig::paper_default();
+    cfg.timeslice_cycles = timeslice;
+    cfg.quantum_cycles = (timeslice / 50).max(250);
+    cfg
+}
+
+fn run(program: &superpin_isa::Program, cfg: SuperPinConfig) -> superpin::SuperPinReport {
+    let shared = SharedMem::new();
+    let tool = ICount2::new(&shared);
+    SuperPinRunner::new(Process::load(1, program).expect("load"), tool, shared, cfg)
+        .expect("setup")
+        .run()
+        .expect("run")
+}
+
+#[test]
+fn timer_forks_scale_inversely_with_timeslice() {
+    let program = find("swim").expect("swim").build(Scale::Tiny);
+    let short = run(&program, config(1_000));
+    let long = run(&program, config(8_000));
+    assert!(short.forks_on_timeout > 2 * long.forks_on_timeout);
+    assert!(short.slice_count() > long.slice_count());
+}
+
+#[test]
+fn disabling_sysrecs_forces_syscall_forks() {
+    // vortex issues recordable `write` syscalls; gcc's `brk` churn is
+    // Duplicate-class and never forces (paper §4.2's custom emulation).
+    let program = find("vortex").expect("vortex").build(Scale::Tiny);
+    let recorded = run(&program, config(4_000));
+    let forced = run(&program, config(4_000).with_max_sysrecs(0));
+    assert!(
+        forced.forks_on_syscall > recorded.forks_on_syscall,
+        "spsysrecs 0 must fork at recordable syscalls ({} vs {})",
+        forced.forks_on_syscall,
+        recorded.forks_on_syscall
+    );
+    // Forced slices end by exhausting their records, not by signature.
+    assert!(forced
+        .slices
+        .iter()
+        .any(|s| s.end == SliceEnd::RecordsExhausted));
+}
+
+#[test]
+fn small_sysrec_budget_forces_forks() {
+    let program = find("vortex").expect("vortex").build(Scale::Small);
+    let tight = run(&program, config(100_000_000).with_max_sysrecs(1));
+    // With an effectively infinite timeslice, every fork (beyond slice 1)
+    // is a forced one.
+    assert!(tight.forks_on_syscall > 0);
+    assert_eq!(tight.forks_on_timeout, 0);
+}
+
+#[test]
+fn brk_churn_never_forces_forks() {
+    // gcc's heap churn is handled by duplication even with recording
+    // disabled (paper §4.2: "the brk system call can be duplicated
+    // without any adverse side effects").
+    let program = find("gcc").expect("gcc").build(Scale::Tiny);
+    let report = run(&program, config(4_000).with_max_sysrecs(0));
+    assert_eq!(report.forks_on_syscall, 0);
+    assert!(report.master_syscalls > 20, "gcc must churn the heap");
+}
+
+#[test]
+fn breakdown_partitions_total_runtime() {
+    let program = find("gcc").expect("gcc").build(Scale::Tiny);
+    for timeslice in [1_000, 3_000, 9_000] {
+        let report = run(&program, config(timeslice));
+        let b = &report.breakdown;
+        assert_eq!(
+            b.native_cycles + b.fork_other_cycles + b.sleep_cycles + b.pipeline_cycles,
+            report.total_cycles,
+            "breakdown must stack to the total (Figure 6)"
+        );
+        assert_eq!(
+            report.master_exit_cycles + b.pipeline_cycles,
+            report.total_cycles
+        );
+        assert!(b.native_cycles <= report.master_exit_cycles);
+    }
+}
+
+#[test]
+fn max_slices_one_serializes_instrumentation() {
+    let program = find("gzip").expect("gzip").build(Scale::Tiny);
+    let serial_ish = run(&program, config(2_000).with_max_slices(1));
+    let parallel = run(&program, config(2_000).with_max_slices(8));
+    assert!(
+        serial_ish.total_cycles > parallel.total_cycles,
+        "spmp=1 ({}) must be slower than spmp=8 ({})",
+        serial_ish.total_cycles,
+        parallel.total_cycles
+    );
+    assert!(serial_ish.stall_events > 0, "the master must stall at spmp=1");
+}
+
+#[test]
+fn pipeline_delay_bounded_by_model() {
+    // Paper §3: "If it is not fully loaded, it will take an extra
+    // (F+1)s seconds". Miniature slices additionally pay a cold-cache
+    // recompile whose cost is *not* negligible relative to s (unlike at
+    // full scale), so the bound allows one full recompile of the
+    // program's static code.
+    let program = find("swim").expect("swim").build(Scale::Small);
+    for timeslice in [10_000u64, 20_000] {
+        let cfg = config(timeslice);
+        let report = run(&program, cfg.clone());
+        let compile_allowance =
+            program.static_inst_count() as u64 * cfg.cost.compile_per_inst;
+        let bound = (cfg.max_slices as u64 + 2) * timeslice + 2 * compile_allowance;
+        assert!(
+            report.breakdown.pipeline_cycles <= bound,
+            "pipeline {} exceeds model bound {bound} at timeslice {timeslice}",
+            report.breakdown.pipeline_cycles
+        );
+    }
+}
+
+#[test]
+fn adaptive_timeslice_reduces_pipeline_delay() {
+    let program = find("mesa").expect("mesa").build(Scale::Small);
+    let fixed_cfg = config(20_000);
+    let fixed = run(&program, fixed_cfg.clone());
+
+    let mut adaptive_cfg = fixed_cfg;
+    adaptive_cfg.adaptive_estimate = Some(fixed.master_exit_cycles);
+    let adaptive = run(&program, adaptive_cfg);
+    assert!(
+        adaptive.breakdown.pipeline_cycles < fixed.breakdown.pipeline_cycles,
+        "adaptive throttling must shrink the pipeline tail ({} vs {})",
+        adaptive.breakdown.pipeline_cycles,
+        fixed.breakdown.pipeline_cycles
+    );
+    // And it must not break counting.
+    assert_eq!(adaptive.slice_inst_total(), adaptive.master_insts);
+}
+
+#[test]
+fn sampler_ends_slices_early() {
+    let program = find("crafty").expect("crafty").build(Scale::Tiny);
+    let shared = SharedMem::new();
+    let tool = Sampler::new(100);
+    let report = SuperPinRunner::new(
+        Process::load(1, &program).expect("load"),
+        tool.clone(),
+        shared,
+        config(2_000),
+    )
+    .expect("setup")
+    .run()
+    .expect("run");
+    assert!(
+        report.slices.iter().any(|s| s.end == SliceEnd::ToolEnded),
+        "SP_EndSlice must terminate slices"
+    );
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    assert!(tool.merged_samples() < native.insts / 2);
+    assert!(tool.merged_samples() > 0);
+}
+
+#[test]
+fn signature_statistics_populate() {
+    let program = find("swim").expect("swim").build(Scale::Tiny);
+    let report = run(&program, config(2_000));
+    let stats = report.sig_stats;
+    assert!(stats.detections > 0, "timeout slices must detect signatures");
+    assert!(stats.quick_checks >= stats.full_checks);
+    assert!(stats.full_checks >= stats.stack_checks);
+    assert!(stats.stack_checks >= stats.detections);
+    // The quick filter must do its job: most visits to the boundary pc
+    // don't escalate (paper: ~2%; generous bound here).
+    assert!(
+        stats.full_check_rate() < 0.5,
+        "quick filter ineffective: {:.1}%",
+        100.0 * stats.full_check_rate()
+    );
+}
+
+#[test]
+fn ptrace_overhead_is_small() {
+    let program = find("gcc").expect("gcc").build(Scale::Small);
+    let cfg = config(20_000);
+    let report = run(&program, cfg.clone());
+    let ptrace_cycles = report.ptrace.syscall_stops * cfg.cost.ptrace_stop;
+    let fraction = ptrace_cycles as f64 / report.breakdown.native_cycles as f64;
+    // Paper §6.3: "less than a few tenths of a percent".
+    assert!(
+        fraction < 0.005,
+        "ptrace overhead {:.3}% too large",
+        100.0 * fraction
+    );
+}
+
+#[test]
+fn shared_code_cache_cuts_compilation_and_stays_exact() {
+    // Paper §8: "share the code cache across all timeslices ... the
+    // reduction in overhead will outweigh the costs."
+    let program = find("gcc").expect("gcc").build(Scale::Small);
+    let base_cfg = config(5_000);
+    let private = run(&program, base_cfg.clone());
+
+    let mut shared_cfg = base_cfg;
+    shared_cfg.shared_code_cache = true;
+    let shared = run(&program, shared_cfg);
+
+    let jit = |report: &superpin::SuperPinReport| -> u64 {
+        report.slices.iter().map(|s| s.engine.cycles.jit).sum()
+    };
+    assert!(
+        jit(&shared) * 2 < jit(&private),
+        "shared cache must slash per-slice recompilation ({} vs {})",
+        jit(&shared),
+        jit(&private)
+    );
+    assert!(
+        shared.total_cycles < private.total_cycles,
+        "gcc must get faster with a shared code cache ({} vs {})",
+        shared.total_cycles,
+        private.total_cycles
+    );
+    assert_eq!(shared.slice_inst_total(), shared.master_insts);
+    assert!(shared
+        .slices
+        .iter()
+        .any(|s| s.engine.shared_cache_adoptions > 0));
+}
+
+#[test]
+fn merges_run_in_slice_order() {
+    let program = find("vpr").expect("vpr").build(Scale::Tiny);
+    let report = run(&program, config(2_000));
+    for (index, slice) in report.slices.iter().enumerate() {
+        assert_eq!(slice.num as usize, index + 1, "slice order in report");
+    }
+    // End times may interleave, but starts are strictly ordered.
+    for pair in report.slices.windows(2) {
+        assert!(pair[0].start_cycles <= pair[1].start_cycles);
+    }
+}
