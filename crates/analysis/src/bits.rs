@@ -1,0 +1,124 @@
+//! Fixed-width bit vector shared by the set-of-definitions and
+//! set-of-blocks analyses ([`crate::reaching`], [`crate::dom`]).
+
+/// A fixed-size set of small integers, stored as packed 64-bit words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bits {
+    /// An empty set over the universe `0..len`.
+    pub fn empty(len: usize) -> Bits {
+        Bits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over the universe `0..len`.
+    pub fn full(len: usize) -> Bits {
+        let mut bits = Bits {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        bits.trim();
+        bits
+    }
+
+    fn trim(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// True if `idx` is in the set.
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Inserts `idx`.
+    pub fn insert(&mut self, idx: usize) {
+        debug_assert!(idx < self.len);
+        self.words[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Bits) {
+        debug_assert_eq!(self.len, other.len);
+        for (word, &other_word) in self.words.iter_mut().zip(&other.words) {
+            *word |= other_word;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Bits) {
+        debug_assert_eq!(self.len, other.len);
+        for (word, &other_word) in self.words.iter_mut().zip(&other.words) {
+            *word &= other_word;
+        }
+    }
+
+    /// In-place difference (removes every element of `other`).
+    pub fn subtract(&mut self, other: &Bits) {
+        debug_assert_eq!(self.len, other.len);
+        for (word, &other_word) in self.words.iter_mut().zip(&other.words) {
+            *word &= !other_word;
+        }
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(word_idx, &word)| {
+            (0..64)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| word_idx * 64 + bit)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_iter() {
+        let mut bits = Bits::empty(130);
+        bits.insert(0);
+        bits.insert(64);
+        bits.insert(129);
+        assert!(bits.contains(0) && bits.contains(64) && bits.contains(129));
+        assert!(!bits.contains(1));
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn full_is_trimmed() {
+        let bits = Bits::full(70);
+        assert_eq!(bits.iter().count(), 70);
+        assert!(bits.contains(69));
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = Bits::empty(10);
+        a.insert(1);
+        a.insert(2);
+        let mut b = Bits::empty(10);
+        b.insert(2);
+        b.insert(3);
+        let mut union = a.clone();
+        union.union_with(&b);
+        assert_eq!(union.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![2]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Generic worklist dataflow solver.
+//!
+//! A [`Problem`] describes a monotone dataflow analysis — direction,
+//! lattice merge, per-block transfer function, and boundary facts —
+//! and [`solve`] iterates it to a fixpoint over a [`Cfg`].
+//!
+//! Facts are stored per block edge of execution, direction-neutral:
+//! [`Solution::entry`] holds the fact at each block's *start* and
+//! [`Solution::exit`] the fact at its *end*, for both forward and
+//! backward problems. A forward transfer maps the entry fact to the
+//! exit fact; a backward transfer maps the exit fact to the entry
+//! fact.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Analysis direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// A monotone dataflow problem over a [`Cfg`].
+pub trait Problem {
+    /// Lattice element. `PartialEq` detects the fixpoint.
+    type Fact: Clone + PartialEq;
+
+    fn direction(&self) -> Direction;
+
+    /// Optimistic starting fact for every block (the lattice bottom for
+    /// this problem's merge: the empty set for unions, the full set for
+    /// intersections).
+    fn init(&self, cfg: &Cfg) -> Self::Fact;
+
+    /// Fact flowing in from outside the graph at `block`, if any:
+    /// forward problems return boundary facts at roots, backward
+    /// problems at blocks with no (or unknown) successors.
+    fn boundary(&self, cfg: &Cfg, block: BlockId) -> Option<Self::Fact>;
+
+    /// Merges `edge` into `acc` at a control-flow join.
+    fn merge(&self, acc: &mut Self::Fact, edge: &Self::Fact);
+
+    /// Applies the block's effect to `input` (the entry fact for
+    /// forward problems, the exit fact for backward ones).
+    fn transfer(&self, cfg: &Cfg, block: BlockId, input: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixpoint facts per block.
+#[derive(Clone, Debug)]
+pub struct Solution<F> {
+    /// Fact at each block's first instruction.
+    pub entry: Vec<F>,
+    /// Fact after each block's last instruction.
+    pub exit: Vec<F>,
+}
+
+/// Runs `problem` to a fixpoint and returns the per-block facts.
+pub fn solve<P: Problem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
+    let n = cfg.len();
+    let init = problem.init(cfg);
+    let mut entry = vec![init.clone(); n];
+    let mut exit = vec![init; n];
+
+    let forward = problem.direction() == Direction::Forward;
+    let mut on_list = vec![true; n];
+    // Seed in an order that tends to reach the fixpoint quickly:
+    // address order forward, reverse address order backward.
+    let mut worklist: Vec<BlockId> = if forward {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    };
+    worklist.reverse(); // popped from the back
+
+    while let Some(block) = worklist.pop() {
+        on_list[block] = false;
+
+        // Merge incoming facts: predecessors' exits (forward) or
+        // successors' entries (backward), plus any boundary fact.
+        let mut input = match problem.boundary(cfg, block) {
+            Some(fact) => fact,
+            None => problem.init(cfg),
+        };
+        let incoming: &[BlockId] = if forward {
+            &cfg.blocks()[block].preds
+        } else {
+            &cfg.blocks()[block].succs
+        };
+        for &other in incoming {
+            let fact = if forward { &exit[other] } else { &entry[other] };
+            problem.merge(&mut input, fact);
+        }
+
+        let output = problem.transfer(cfg, block, &input);
+        let (into_slot, out_slot, changed) = if forward {
+            let changed = exit[block] != output;
+            (&mut entry[block], &mut exit[block], changed)
+        } else {
+            let changed = entry[block] != output;
+            (&mut exit[block], &mut entry[block], changed)
+        };
+        *into_slot = input;
+        *out_slot = output;
+
+        if changed {
+            let downstream: &[BlockId] = if forward {
+                &cfg.blocks()[block].succs
+            } else {
+                &cfg.blocks()[block].preds
+            };
+            for &next in downstream {
+                if !on_list[next] {
+                    on_list[next] = true;
+                    worklist.push(next);
+                }
+            }
+        }
+    }
+
+    Solution { entry, exit }
+}

@@ -1,0 +1,115 @@
+//! Dominator analysis.
+//!
+//! Iterative bit-vector formulation: `dom(b) = {b} ∪ ⋂ dom(preds)`,
+//! with roots (the entry and every address-taken block, any of which
+//! control can enter directly) pinned to dominate only themselves.
+//! Solved with the same worklist engine as the other analyses, using
+//! intersection as the merge.
+//!
+//! Back edges (`u → v` where `v` dominates `u`) identify natural
+//! loops; the stack-imbalance lint uses them to point at loops that
+//! shift the stack pointer on every iteration.
+
+use crate::bits::Bits;
+use crate::cfg::{BlockId, Cfg};
+use crate::dataflow::{solve, Direction, Problem, Solution};
+
+struct DomProblem;
+
+impl Problem for DomProblem {
+    type Fact = Bits;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, cfg: &Cfg) -> Bits {
+        // Optimistic: everything dominates everything; intersection
+        // only ever shrinks it.
+        Bits::full(cfg.len())
+    }
+
+    fn boundary(&self, cfg: &Cfg, block: BlockId) -> Option<Bits> {
+        if cfg.roots().contains(&block) {
+            // Control can enter here from outside: no block dominates
+            // a root (the empty set absorbs every intersection).
+            Some(Bits::empty(cfg.len()))
+        } else {
+            None
+        }
+    }
+
+    fn merge(&self, acc: &mut Bits, edge: &Bits) {
+        acc.intersect_with(edge);
+    }
+
+    fn transfer(&self, _cfg: &Cfg, block: BlockId, input: &Bits) -> Bits {
+        let mut dom = input.clone();
+        dom.insert(block);
+        dom
+    }
+}
+
+/// Solved dominator sets.
+pub struct Dominators {
+    solution: Solution<Bits>,
+}
+
+impl Dominators {
+    /// Computes dominators for every block of `cfg`.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        Dominators {
+            solution: solve(cfg, &DomProblem),
+        }
+    }
+
+    /// True if `a` dominates `b` (every path from a root to `b` passes
+    /// through `a`). Reflexive: every block dominates itself.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.solution.exit[b].contains(a)
+    }
+
+    /// All dominators of `block`, including itself.
+    pub fn dominators_of(&self, block: BlockId) -> Vec<BlockId> {
+        self.solution.exit[block].iter().collect()
+    }
+
+    /// The immediate dominator: the unique strict dominator of `block`
+    /// that every other strict dominator also dominates. `None` for
+    /// roots and unreachable blocks.
+    pub fn idom(&self, cfg: &Cfg, block: BlockId) -> Option<BlockId> {
+        // Unreachable blocks keep the full optimistic set; their "dom
+        // set" is meaningless, so report none.
+        if !cfg.reachable()[block] {
+            return None;
+        }
+        let strict: Vec<BlockId> = self
+            .dominators_of(block)
+            .into_iter()
+            .filter(|&d| d != block)
+            .collect();
+        strict
+            .iter()
+            .copied()
+            .find(|&cand| strict.iter().all(|&other| self.dominates(other, cand)))
+    }
+
+    /// Edges `u → v` where `v` dominates `u`: the back edges of
+    /// natural loops. Unreachable blocks are skipped (their dominator
+    /// sets stay at the optimistic full set).
+    pub fn back_edges(&self, cfg: &Cfg) -> Vec<(BlockId, BlockId)> {
+        let reachable = cfg.reachable();
+        let mut edges = Vec::new();
+        for (u, block) in cfg.blocks().iter().enumerate() {
+            if !reachable[u] {
+                continue;
+            }
+            for &v in &block.succs {
+                if self.dominates(v, u) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges
+    }
+}

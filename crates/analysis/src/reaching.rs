@@ -1,0 +1,206 @@
+//! Reaching definitions.
+//!
+//! Forward may-analysis over definition sites: a definition *reaches*
+//! a point if some path from the definition to the point does not
+//! redefine the register. Two kinds of synthetic definitions model
+//! values that flow in from outside the code:
+//!
+//! - [`DefSite::Entry`] — the register's value at process start. The
+//!   loader contract pins `r0` (zero), `sp`, and `fp`; everything else
+//!   is incidentally zero, and a read reached only by such an entry
+//!   definition is what the undefined-read lint reports.
+//! - [`DefSite::IndirectEntry`] — the register's value on arrival at
+//!   an address-taken block through a `jalr`. The caller is unknown,
+//!   so these are conservatively assumed to be real definitions
+//!   (flagging them would condemn every register read in every
+//!   indirectly-called function).
+
+use std::collections::HashMap;
+
+use superpin_isa::{Reg, NUM_REGS};
+
+use crate::bits::Bits;
+use crate::cfg::{BlockId, Cfg};
+use crate::dataflow::{solve, Direction, Problem, Solution};
+use crate::liveness::inst_defs;
+
+/// A definition site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DefSite {
+    /// The register's value at process start.
+    Entry(Reg),
+    /// The register's (unknown) value on indirect entry to an
+    /// address-taken block.
+    IndirectEntry(Reg),
+    /// A write by the instruction at `addr`.
+    Inst { addr: u64, reg: Reg },
+}
+
+impl DefSite {
+    /// The register this definition writes.
+    pub fn reg(self) -> Reg {
+        match self {
+            DefSite::Entry(reg) | DefSite::IndirectEntry(reg) | DefSite::Inst { reg, .. } => reg,
+        }
+    }
+}
+
+struct DefUniverse {
+    /// Def id -> site. Ids `0..NUM_REGS` are `Entry`, the next
+    /// `NUM_REGS` are `IndirectEntry`, the rest instruction writes.
+    sites: Vec<DefSite>,
+    /// (addr, reg) -> def id.
+    by_inst: HashMap<(u64, Reg), usize>,
+    /// Per register: every def id that writes it (the kill mask).
+    kill: Vec<Bits>,
+}
+
+impl DefUniverse {
+    fn build(cfg: &Cfg) -> DefUniverse {
+        let mut sites: Vec<DefSite> = Vec::new();
+        for reg in Reg::all() {
+            sites.push(DefSite::Entry(reg));
+        }
+        for reg in Reg::all() {
+            sites.push(DefSite::IndirectEntry(reg));
+        }
+        let mut by_inst = HashMap::new();
+        for block in cfg.blocks() {
+            for &(addr, inst) in &block.insts {
+                for reg in inst_defs(inst).iter() {
+                    by_inst.insert((addr, reg), sites.len());
+                    sites.push(DefSite::Inst { addr, reg });
+                }
+            }
+        }
+        let mut kill = vec![Bits::empty(sites.len()); NUM_REGS];
+        for (id, site) in sites.iter().enumerate() {
+            kill[site.reg().index()].insert(id);
+        }
+        DefUniverse {
+            sites,
+            by_inst,
+            kill,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Applies one instruction's effect to a reaching set.
+    fn transfer_inst(&self, bits: &mut Bits, addr: u64, defs: crate::regset::RegSet) {
+        for reg in defs.iter() {
+            bits.subtract(&self.kill[reg.index()]);
+            bits.insert(self.by_inst[&(addr, reg)]);
+        }
+    }
+}
+
+struct ReachingProblem<'a> {
+    universe: &'a DefUniverse,
+}
+
+impl Problem for ReachingProblem<'_> {
+    type Fact = Bits;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _cfg: &Cfg) -> Bits {
+        Bits::empty(self.universe.len())
+    }
+
+    fn boundary(&self, cfg: &Cfg, block: BlockId) -> Option<Bits> {
+        let is_entry = block == cfg.entry();
+        let is_taken = cfg.address_taken().contains(&block);
+        if !is_entry && !is_taken {
+            return None;
+        }
+        let mut bits = Bits::empty(self.universe.len());
+        if is_entry {
+            for id in 0..NUM_REGS {
+                bits.insert(id); // Entry defs
+            }
+        }
+        if is_taken {
+            for id in NUM_REGS..2 * NUM_REGS {
+                bits.insert(id); // IndirectEntry defs
+            }
+        }
+        Some(bits)
+    }
+
+    fn merge(&self, acc: &mut Bits, edge: &Bits) {
+        acc.union_with(edge);
+    }
+
+    fn transfer(&self, cfg: &Cfg, block: BlockId, input: &Bits) -> Bits {
+        let mut bits = input.clone();
+        for &(addr, inst) in &cfg.blocks()[block].insts {
+            self.universe
+                .transfer_inst(&mut bits, addr, inst_defs(inst));
+        }
+        bits
+    }
+}
+
+/// Solved reaching definitions for a CFG.
+pub struct ReachingDefs {
+    universe: DefUniverse,
+    solution: Solution<Bits>,
+}
+
+impl ReachingDefs {
+    /// Solves reaching definitions over `cfg`.
+    pub fn compute(cfg: &Cfg) -> ReachingDefs {
+        let universe = DefUniverse::build(cfg);
+        let solution = solve(
+            cfg,
+            &ReachingProblem {
+                universe: &universe,
+            },
+        );
+        ReachingDefs { universe, solution }
+    }
+
+    /// The definitions of `reg` reaching the instruction at `addr`
+    /// (before it executes). Returns an empty list for addresses
+    /// outside the CFG.
+    pub fn defs_reaching(&self, cfg: &Cfg, addr: u64, reg: Reg) -> Vec<DefSite> {
+        let Some(block) = cfg.block_containing(addr) else {
+            return Vec::new();
+        };
+        let mut bits = self.solution.entry[block].clone();
+        for &(inst_addr, inst) in &cfg.blocks()[block].insts {
+            if inst_addr == addr {
+                break;
+            }
+            self.universe
+                .transfer_inst(&mut bits, inst_addr, inst_defs(inst));
+        }
+        bits.intersect_with(&self.universe.kill[reg.index()]);
+        bits.iter().map(|id| self.universe.sites[id]).collect()
+    }
+
+    /// True if the value of `reg` at `addr` may still be the
+    /// uninitialized process-start value for a register the loader
+    /// does not pin.
+    pub fn maybe_uninit_read(&self, cfg: &Cfg, addr: u64, reg: Reg) -> bool {
+        if loader_defined().contains(reg) {
+            return false;
+        }
+        self.defs_reaching(cfg, addr, reg)
+            .iter()
+            .any(|site| matches!(site, DefSite::Entry(_)))
+    }
+}
+
+/// Registers the loader contract defines at process start: `r0` is the
+/// architectural zero by convention (every generated program relies on
+/// `bne rX, r0`-style comparisons), and `sp`/`fp` point at the stack.
+/// All other registers happen to be zeroed but carry no meaning.
+pub fn loader_defined() -> crate::regset::RegSet {
+    crate::regset::RegSet::from_regs(&[Reg::R0, Reg::SP, Reg::FP])
+}

@@ -1,0 +1,169 @@
+//! Compact register sets.
+//!
+//! The ISA has [`NUM_REGS`] (16) architectural registers, so a set of
+//! registers fits in a `u16` bitmask. Every dataflow analysis in this
+//! crate traffics in these sets; keeping them `Copy` makes transfer
+//! functions allocation-free.
+
+use std::fmt;
+
+use superpin_isa::{Reg, NUM_REGS};
+
+/// A set of architectural registers, stored as a 16-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet {
+    bits: u16,
+}
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet { bits: 0 };
+
+    /// The set of every architectural register.
+    pub const ALL: RegSet = RegSet {
+        bits: ((1u32 << NUM_REGS) - 1) as u16,
+    };
+
+    /// Builds a set from a slice of registers.
+    pub fn from_regs(regs: &[Reg]) -> RegSet {
+        let mut set = RegSet::EMPTY;
+        for &reg in regs {
+            set.insert(reg);
+        }
+        set
+    }
+
+    /// True if the set holds no registers.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// True if `reg` is in the set.
+    pub fn contains(self, reg: Reg) -> bool {
+        self.bits & (1 << reg.index()) != 0
+    }
+
+    /// Adds `reg` to the set.
+    pub fn insert(&mut self, reg: Reg) {
+        self.bits |= 1 << reg.index();
+    }
+
+    /// Removes `reg` from the set.
+    pub fn remove(&mut self, reg: Reg) {
+        self.bits &= !(1 << reg.index());
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: RegSet) -> RegSet {
+        RegSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// True if every register in `self` is also in `other`.
+    pub fn is_subset_of(self, other: RegSet) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Iterates the registers in the set in index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).filter_map(move |idx| {
+            if self.bits & (1 << idx) != 0 {
+                Reg::try_new(idx)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, reg) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{reg}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut set = RegSet::EMPTY;
+        for reg in iter {
+            set.insert(reg);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = RegSet::EMPTY;
+        assert!(set.is_empty());
+        set.insert(Reg::R3);
+        set.insert(Reg::SP);
+        assert!(set.contains(Reg::R3));
+        assert!(set.contains(Reg::SP));
+        assert!(!set.contains(Reg::R0));
+        assert_eq!(set.len(), 2);
+        set.remove(Reg::R3);
+        assert!(!set.contains(Reg::R3));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn all_has_every_register() {
+        for reg in Reg::all() {
+            assert!(RegSet::ALL.contains(reg), "missing {reg}");
+        }
+        assert_eq!(RegSet::ALL.len(), NUM_REGS);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RegSet::from_regs(&[Reg::R1, Reg::R2, Reg::R3]);
+        let b = RegSet::from_regs(&[Reg::R2, Reg::R3, Reg::R4]);
+        assert_eq!(
+            a.union(b),
+            RegSet::from_regs(&[Reg::R1, Reg::R2, Reg::R3, Reg::R4])
+        );
+        assert_eq!(a.intersect(b), RegSet::from_regs(&[Reg::R2, Reg::R3]));
+        assert_eq!(a.minus(b), RegSet::from_regs(&[Reg::R1]));
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn iter_matches_contents() {
+        let set = RegSet::from_regs(&[Reg::R0, Reg::R7, Reg::RA]);
+        let regs: Vec<Reg> = set.iter().collect();
+        assert_eq!(regs, vec![Reg::R0, Reg::R7, Reg::RA]);
+    }
+}

@@ -1,0 +1,188 @@
+//! CFG construction edge cases: single-block programs, self-loops,
+//! entry-as-branch-target, indirect jumps through address-taken
+//! targets, and terminator classification.
+
+use superpin_analysis::{Cfg, Terminator};
+use superpin_isa::{Inst, ProgramBuilder, Reg};
+
+#[test]
+fn single_block_program() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 7);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    assert_eq!(cfg.len(), 1);
+    let block = &cfg.blocks()[0];
+    assert_eq!(block.start, program.entry());
+    assert_eq!(block.insts.len(), 3);
+    assert_eq!(block.terminator, Terminator::Halt);
+    assert!(block.succs.is_empty());
+    assert!(block.preds.is_empty());
+    assert_eq!(cfg.roots(), vec![0]);
+}
+
+#[test]
+fn self_loop_block_is_its_own_successor() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 5);
+    b.label("loop");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let loop_id = cfg
+        .block_at(program.symbol("loop").expect("loop symbol").addr)
+        .expect("loop block");
+    let block = &cfg.blocks()[loop_id];
+    assert!(block.succs.contains(&loop_id), "self edge missing");
+    assert!(block.preds.contains(&loop_id), "self edge missing");
+    assert!(matches!(block.terminator, Terminator::Branch { .. }));
+}
+
+#[test]
+fn entry_as_branch_target_gets_a_predecessor() {
+    // The entry block is itself the loop head: the back edge targets
+    // the program entry point.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "main");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let entry = cfg.entry();
+    assert_eq!(cfg.blocks()[entry].start, program.entry());
+    assert!(
+        !cfg.blocks()[entry].preds.is_empty(),
+        "entry targeted by a branch must have predecessors"
+    );
+    assert!(cfg.blocks()[entry].succs.contains(&entry));
+}
+
+#[test]
+fn indirect_jump_targets_become_roots() {
+    // A jump table in the data section: both targets are address-taken
+    // and must be CFG roots even though no direct edge reaches them.
+    let mut b = ProgramBuilder::new();
+    b.label("alpha");
+    b.addi(Reg::R2, Reg::R2, 1);
+    b.ret();
+    b.label("beta");
+    b.addi(Reg::R2, Reg::R2, 2);
+    b.ret();
+    b.label("main");
+    let alpha = b.label_addr("alpha").expect("alpha");
+    let beta = b.label_addr("beta").expect("beta");
+    b.la(Reg::R9, "table");
+    b.ld(Reg::R1, Reg::R9, 0);
+    b.jalr(Reg::RA, Reg::R1, 0);
+    b.exit(0);
+    b.data_words("table", &[alpha, beta]);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let alpha_id = cfg.block_at(alpha).expect("alpha block");
+    let beta_id = cfg.block_at(beta).expect("beta block");
+    let roots = cfg.roots();
+    assert!(roots.contains(&alpha_id), "alpha not a root: {roots:?}");
+    assert!(roots.contains(&beta_id), "beta not a root: {roots:?}");
+
+    // The jalr call keeps a fall-through edge to its return site; the
+    // rets are pure sinks.
+    let call_block = cfg
+        .block_containing(b.label_addr("main").expect("main"))
+        .expect("main block");
+    assert!(matches!(
+        cfg.blocks()[call_block].terminator,
+        Terminator::IndirectCall { .. }
+    ));
+    assert_eq!(cfg.blocks()[alpha_id].terminator, Terminator::IndirectJump);
+
+    // Every block is reachable: main from the entry, units as roots,
+    // the exit block through the call's fall-through edge.
+    assert!(cfg.reachable().iter().all(|&r| r));
+}
+
+#[test]
+fn li_of_code_address_is_address_taken() {
+    let mut b = ProgramBuilder::new();
+    b.label("helper");
+    b.addi(Reg::R2, Reg::R2, 1);
+    b.ret();
+    b.label("main");
+    let helper = b.label_addr("helper").expect("helper");
+    b.li(Reg::R1, helper as i64);
+    b.jalr(Reg::RA, Reg::R1, 0);
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let helper_id = cfg.block_at(helper).expect("helper block");
+    assert!(cfg.address_taken().contains(&helper_id));
+    assert!(cfg.reachable().iter().all(|&r| r));
+}
+
+#[test]
+fn terminator_classification() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R0, 8); // gettime: returns
+    b.syscall();
+    b.jmp("next");
+    b.label("next");
+    b.call("leaf");
+    b.exit(0);
+    b.label("leaf");
+    b.ret();
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let kinds: Vec<_> = cfg.blocks().iter().map(|b| b.terminator).collect();
+    assert!(
+        kinds
+            .iter()
+            .any(|t| matches!(t, Terminator::Syscall { .. })),
+        "non-exit syscall should keep a fall-through: {kinds:?}"
+    );
+    assert!(kinds.iter().any(|t| matches!(t, Terminator::Jump(_))));
+    assert!(kinds.iter().any(|t| matches!(t, Terminator::Call { .. })));
+    assert!(kinds.iter().any(|t| matches!(t, Terminator::Exit)));
+    assert!(kinds.iter().any(|t| matches!(t, Terminator::IndirectJump)));
+}
+
+#[test]
+fn fall_off_end_is_detected() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 1);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    assert_eq!(cfg.len(), 1);
+    assert_eq!(cfg.blocks()[0].terminator, Terminator::FallOffEnd);
+}
+
+#[test]
+fn block_lookup_by_address() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 1); // 16 bytes
+    b.addi(Reg::R8, Reg::R8, 1); // 8 bytes
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let entry = program.entry();
+    assert_eq!(cfg.block_at(entry), Some(0));
+    assert_eq!(cfg.block_containing(entry + 16), Some(0));
+    assert_eq!(cfg.block_at(entry + 16), None, "mid-block is not a start");
+    assert_eq!(cfg.block_containing(entry + 1000), None);
+}

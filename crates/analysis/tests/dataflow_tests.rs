@@ -1,0 +1,276 @@
+//! Liveness, reaching definitions, and dominator tests over small
+//! hand-built programs.
+
+use superpin_analysis::{Cfg, DefSite, Dominators, LiveMap, Liveness, ReachingDefs, RegSet};
+use superpin_isa::{Inst, ProgramBuilder, Reg};
+
+/// The save/restore-elision motivating example: a counted loop ending
+/// in `halt`. Only the counter and the zero register are live inside
+/// the loop; everything else is provably dead.
+#[test]
+fn loop_counter_liveness() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 100);
+    b.label("loop");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("liveness");
+    let loop_addr = program.symbol("loop").expect("loop").addr;
+    let expected = RegSet::from_regs(&[Reg::R8, Reg::R0]);
+    assert_eq!(live.live_before(loop_addr), expected);
+    // R1..R3 (the stub clobber set of the DBI layer) are all dead here.
+    for reg in [Reg::R1, Reg::R2, Reg::R3] {
+        assert!(!live.live_before(loop_addr).contains(reg));
+    }
+}
+
+#[test]
+fn overwritten_value_is_dead() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 5);
+    b.li(Reg::R1, 6);
+    b.mov(Reg::R2, Reg::R1);
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("liveness");
+    let entry = program.entry();
+    // After the first li, R1 is immediately overwritten: dead.
+    assert!(!live.live_after(entry).contains(Reg::R1));
+    // After the second li, the mov reads it: live.
+    assert!(live.live_after(entry + 16).contains(Reg::R1));
+    // The mov's destination is never read (halt ends the program).
+    assert!(!live.live_after(entry + 32).contains(Reg::R2));
+}
+
+#[test]
+fn indirect_control_flow_is_all_live() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 5);
+    b.ret();
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("liveness");
+    // Before a jalr everything is conservatively live, so the li's
+    // value must be treated as potentially read.
+    assert_eq!(live.live_after(program.entry()), RegSet::ALL);
+}
+
+#[test]
+fn unknown_address_answers_all_live() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("liveness");
+    assert_eq!(live.live_before(0xdead_0000), RegSet::ALL);
+    assert_eq!(live.live_after(0xdead_0000), RegSet::ALL);
+}
+
+#[test]
+fn liveness_flows_across_branches() {
+    // R4 is read only on the taken path; it must still be live at the
+    // branch itself.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R4, 9);
+    b.li(Reg::R5, 1);
+    b.beq(Reg::R5, Reg::R0, "use_r4");
+    b.inst(Inst::Halt);
+    b.label("use_r4");
+    b.mov(Reg::R6, Reg::R4);
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let liveness = Liveness::compute(&cfg);
+    let live = LiveMap::from_cfg(&cfg);
+    let beq_addr = program.entry() + 32; // after two 16-byte li's
+    assert!(live.live_before(beq_addr).contains(Reg::R4));
+    // The halt-terminated fall-through path keeps nothing alive.
+    let halt_block = cfg
+        .block_containing(program.symbol("use_r4").expect("sym").addr - 8)
+        .expect("halt block");
+    assert_eq!(liveness.live_in(halt_block), RegSet::EMPTY);
+}
+
+#[test]
+fn reaching_defs_merge_at_joins() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R2, 0);
+    b.beq(Reg::R2, Reg::R0, "left");
+    b.li(Reg::R1, 10); // right-path def
+    b.jmp("join");
+    b.label("left");
+    b.li(Reg::R1, 20); // left-path def
+    b.label("join");
+    b.mov(Reg::R3, Reg::R1);
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let reaching = ReachingDefs::compute(&cfg);
+    let join_addr = program.symbol("join").expect("join").addr;
+    let defs = reaching.defs_reaching(&cfg, join_addr, Reg::R1);
+    let inst_defs: Vec<u64> = defs
+        .iter()
+        .filter_map(|site| match site {
+            DefSite::Inst { addr, .. } => Some(*addr),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        inst_defs.len(),
+        2,
+        "both branch defs reach the join: {defs:?}"
+    );
+    // The entry def no longer reaches: both paths redefine R1.
+    assert!(
+        !defs.iter().any(|site| matches!(site, DefSite::Entry(_))),
+        "entry def should be killed on every path: {defs:?}"
+    );
+}
+
+#[test]
+fn uninitialized_read_is_detected_and_killed_by_writes() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.mov(Reg::R2, Reg::R1); // reads R1 before any write
+    b.li(Reg::R1, 3);
+    b.mov(Reg::R3, Reg::R1); // reads R1 after the write
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let reaching = ReachingDefs::compute(&cfg);
+    let entry = program.entry();
+    assert!(reaching.maybe_uninit_read(&cfg, entry, Reg::R1));
+    assert!(!reaching.maybe_uninit_read(&cfg, entry + 8 + 16, Reg::R1));
+    // Loader-pinned registers are never uninitialized.
+    assert!(!reaching.maybe_uninit_read(&cfg, entry, Reg::R0));
+    assert!(!reaching.maybe_uninit_read(&cfg, entry, Reg::SP));
+}
+
+#[test]
+fn address_taken_blocks_assume_initialized_registers() {
+    // `helper` is only reachable indirectly; its read of R8 must not
+    // count as uninitialized (the unknown caller set it up).
+    let mut b = ProgramBuilder::new();
+    b.label("helper");
+    b.mov(Reg::R2, Reg::R8);
+    b.ret();
+    b.label("main");
+    b.la(Reg::R1, "table");
+    b.ld(Reg::R1, Reg::R1, 0);
+    b.li(Reg::R8, 1);
+    b.jalr(Reg::RA, Reg::R1, 0);
+    b.exit(0);
+    let helper = b.label_addr("helper").expect("helper");
+    b.data_words("table", &[helper]);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let reaching = ReachingDefs::compute(&cfg);
+    assert!(!reaching.maybe_uninit_read(&cfg, helper, Reg::R8));
+}
+
+#[test]
+fn dominators_of_a_diamond() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R2, 0);
+    b.beq(Reg::R2, Reg::R0, "left");
+    b.addi(Reg::R1, Reg::R0, 1);
+    b.jmp("join");
+    b.label("left");
+    b.addi(Reg::R1, Reg::R0, 2);
+    b.label("join");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let dom = Dominators::compute(&cfg);
+    let entry = cfg.entry();
+    let left = cfg
+        .block_at(program.symbol("left").expect("left").addr)
+        .expect("left block");
+    let join = cfg
+        .block_at(program.symbol("join").expect("join").addr)
+        .expect("join block");
+    assert!(dom.dominates(entry, left));
+    assert!(dom.dominates(entry, join));
+    assert!(!dom.dominates(left, join), "join is reachable around left");
+    assert_eq!(dom.idom(&cfg, join), Some(entry));
+    assert_eq!(dom.idom(&cfg, entry), None);
+    assert!(dom.back_edges(&cfg).is_empty());
+}
+
+#[test]
+fn loop_back_edge_is_found() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 4);
+    b.label("loop");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let dom = Dominators::compute(&cfg);
+    let loop_id = cfg
+        .block_at(program.symbol("loop").expect("loop").addr)
+        .expect("loop block");
+    assert_eq!(dom.back_edges(&cfg), vec![(loop_id, loop_id)]);
+}
+
+#[test]
+fn resolved_syscall_narrows_liveness_through_exit_paths() {
+    // `exit 0` expands to `li r1, 0; li r0, 0; syscall`. With the
+    // number pinned by the in-block `li r0, 0`, the kernel reads only
+    // r0 and r1 — the rest of the r1..r5 argument window must not leak
+    // backwards and keep registers artificially live in the loop. This
+    // is what makes save/restore elision effective on real programs,
+    // which all end in `exit` rather than `halt`.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 3);
+    b.label("loop");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("live");
+    let loop_head = program.entry() + 16; // one 16-byte li before it
+    assert_eq!(
+        live.live_before(loop_head),
+        RegSet::from_regs(&[Reg::R0, Reg::R8])
+    );
+}
+
+#[test]
+fn unresolved_syscall_number_keeps_the_full_argument_window() {
+    // The syscall number arrives through a mov, so static resolution
+    // fails and all of r0..r5 must be assumed read.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R6, 9);
+    b.mov(Reg::R0, Reg::R6);
+    b.inst(Inst::Syscall);
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let live = LiveMap::compute(&program).expect("live");
+    let syscall_addr = program.entry() + 16 + 8;
+    let expected = RegSet::from_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]);
+    assert_eq!(live.live_before(syscall_addr), expected);
+}

@@ -1,0 +1,193 @@
+//! Per-lint positive and negative tests on hand-built programs.
+
+use superpin_analysis::{run_lints, LintKind, Severity};
+use superpin_isa::{Inst, ProgramBuilder, Reg};
+
+#[test]
+fn clean_program_has_no_findings() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 5);
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.mov(Reg::R2, Reg::R1);
+    b.st(Reg::R2, Reg::SP, -8);
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    assert!(
+        report.findings().is_empty(),
+        "expected none, got: {:#?}",
+        report.findings()
+    );
+    assert!(report.is_clean());
+}
+
+#[test]
+fn undefined_read_fires_and_names_the_register() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.add(Reg::R1, Reg::R6, Reg::R7); // r6, r7 never written
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let undef: Vec<_> = report.of_kind(LintKind::UndefinedRead).collect();
+    assert_eq!(undef.len(), 2, "{undef:?}");
+    assert!(undef.iter().all(|f| f.severity() == Severity::Warning));
+    assert!(undef.iter().any(|f| f.message.contains("r6")));
+    assert!(undef.iter().any(|f| f.message.contains("r7")));
+    assert_eq!(undef[0].addr, program.entry());
+}
+
+#[test]
+fn undefined_read_respects_loader_pinned_registers() {
+    // r0 (zero), sp and fp are loader-defined; reading them cold is fine.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.add(Reg::R1, Reg::R0, Reg::SP);
+    b.ld(Reg::R2, Reg::FP, -8);
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    assert_eq!(report.of_kind(LintKind::UndefinedRead).count(), 0);
+}
+
+#[test]
+fn undefined_read_narrows_syscall_arguments() {
+    // gettime (8) reads no argument registers: no warnings even though
+    // r1..r5 are cold. exit (0) reads r1, which IS cold here: warning.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R0, 8);
+    b.syscall();
+    b.li(Reg::R0, 0);
+    b.syscall(); // exit with an uninitialized code in r1
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let undef: Vec<_> = report.of_kind(LintKind::UndefinedRead).collect();
+    assert_eq!(undef.len(), 1, "{undef:?}");
+    assert!(undef[0].message.contains("r1"));
+}
+
+#[test]
+fn unreachable_block_is_flagged() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.jmp("over");
+    b.addi(Reg::R1, Reg::R1, 1); // skipped by the jmp, no label
+    b.label("over");
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let dead: Vec<_> = report.of_kind(LintKind::UnreachableBlock).collect();
+    assert_eq!(dead.len(), 1, "{dead:?}");
+    assert_eq!(dead[0].addr, program.entry() + 8);
+}
+
+#[test]
+fn fall_off_end_is_an_error() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 1);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    assert_eq!(report.errors(), 1);
+    assert_eq!(report.of_kind(LintKind::FallOffEnd).count(), 1);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn stack_imbalance_in_a_loop() {
+    // The loop body pushes 8 bytes per iteration and never pops: the
+    // loop head sees offset 0 from the preheader and -8 from the back
+    // edge.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 4);
+    b.label("loop");
+    b.subi(Reg::SP, Reg::SP, 8);
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let imb: Vec<_> = report.of_kind(LintKind::StackImbalance).collect();
+    assert_eq!(imb.len(), 1, "{imb:?}");
+    assert_eq!(imb[0].addr, program.symbol("loop").expect("loop").addr);
+    assert!(imb[0].message.contains("loop"), "{}", imb[0].message);
+}
+
+#[test]
+fn balanced_stack_is_clean() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 4);
+    b.label("loop");
+    b.subi(Reg::SP, Reg::SP, 8);
+    b.st(Reg::R8, Reg::SP, 0);
+    b.addi(Reg::SP, Reg::SP, 8);
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    assert_eq!(report.of_kind(LintKind::StackImbalance).count(), 0);
+}
+
+#[test]
+fn dead_store_is_informational() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 5); // overwritten before any read: dead
+    b.li(Reg::R1, 6);
+    b.mov(Reg::R2, Reg::R1); // r2 never read before halt: dead
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let dead: Vec<_> = report.of_kind(LintKind::DeadStore).collect();
+    assert_eq!(dead.len(), 2, "{dead:?}");
+    assert!(dead.iter().all(|f| f.severity() == Severity::Info));
+    // Info findings do not break cleanliness.
+    assert!(report.is_clean());
+    assert_eq!(report.infos(), 2);
+}
+
+#[test]
+fn stores_before_indirect_control_flow_are_never_dead() {
+    // A ret can lead anywhere; every register must be assumed read.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 5);
+    b.ret();
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    assert_eq!(report.of_kind(LintKind::DeadStore).count(), 0);
+}
+
+#[test]
+fn findings_render_with_severity_kind_and_address() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, 1);
+    let program = b.build().expect("build");
+
+    let report = run_lints(&program).expect("lints");
+    let rendered = report
+        .of_kind(LintKind::FallOffEnd)
+        .next()
+        .expect("fall-off-end finding")
+        .to_string();
+    assert!(
+        rendered.starts_with("error[fall-off-end] 0x"),
+        "unexpected rendering: {rendered}"
+    );
+}

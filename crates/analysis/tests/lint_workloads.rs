@@ -1,0 +1,66 @@
+//! The full lint suite must come back clean over every synthetic SPEC
+//! workload the generator can produce.
+//!
+//! "Clean" means no error- or warning-severity findings: no undefined
+//! register reads, no unreachable blocks, no fall-off-end, no stack
+//! imbalance. Info-severity dead-store findings are *expected*: unit
+//! bodies are random ALU soup over three scratch registers, so some
+//! values are overwritten before ever being read. That is legal
+//! (wasted work, not a defect), asserted here so a change in the
+//! generator or the liveness analysis that silences them gets noticed.
+
+use superpin_analysis::{run_lints, LintKind};
+use superpin_workloads::{catalog, Scale};
+
+#[test]
+fn all_workloads_lint_clean() {
+    let specs = catalog();
+    assert!(
+        specs.len() >= 26,
+        "expected the full SPEC-like catalog, got {} workloads",
+        specs.len()
+    );
+    let mut dead_stores = 0usize;
+    for spec in specs {
+        let program = spec.build(Scale::Tiny);
+        let report =
+            run_lints(&program).unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
+        assert!(
+            report.is_clean(),
+            "{}: expected no errors/warnings, got:\n{}",
+            spec.name,
+            report
+                .findings()
+                .iter()
+                .map(|f| format!("  {f}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        // The only findings at all are advisory dead stores.
+        assert_eq!(report.findings().len(), report.infos(), "{}", spec.name);
+        dead_stores += report.of_kind(LintKind::DeadStore).count();
+    }
+    assert!(
+        dead_stores > 0,
+        "random unit bodies are expected to contain some dead stores"
+    );
+}
+
+#[test]
+fn workloads_lint_clean_across_inputs_and_scales() {
+    // Layout varies with input seed and loop bounds vary with scale;
+    // neither may introduce errors or warnings.
+    for spec in catalog().iter().take(4) {
+        for input in 0..3 {
+            let program = spec.build_with_input(Scale::Small, input);
+            let report = run_lints(&program)
+                .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", spec.name));
+            assert!(
+                report.is_clean(),
+                "{} input {input}: {:#?}",
+                spec.name,
+                report.findings()
+            );
+        }
+    }
+}

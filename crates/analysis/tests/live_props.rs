@@ -1,0 +1,169 @@
+//! Property test: dynamic execution validates static liveness.
+//!
+//! For a random program, record the executed instruction trace, then
+//! compute the *dynamic future-use* set at each step walking the trace
+//! backward: `future[i] = reads(inst_i) ∪ (future[i+1] − writes(inst_i))`.
+//! A register in that set is literally read later in this concrete
+//! execution before being overwritten, so static liveness — an
+//! over-approximation over *all* executions — must include it:
+//! `future[i] ⊆ live_before(pc_i)`.
+//!
+//! Unlike checking single instructions (whose reads are in the live
+//! set by construction of the transfer function), this end-to-end
+//! oracle catches missing CFG edges: a forgotten successor would
+//! truncate static liveness paths that the dynamic trace actually
+//! takes.
+
+use proptest::prelude::*;
+use superpin_analysis::{liveness::inst_defs, LiveMap, RegSet};
+use superpin_isa::{AluOp, Inst, Program, ProgramBuilder, Reg};
+use superpin_vm::cpu::ExecOutcome;
+use superpin_vm::process::Process;
+
+const BODY_REGS: [Reg; 6] = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6];
+const ALU_OPS: [AluOp; 5] = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or];
+
+/// Deterministically expands a word list into a program: segments of
+/// straight-line ALU soup joined by data-dependent forward branches,
+/// wrapped in a counted outer loop, with occasional calls to a leaf
+/// function. Always terminates (branches only go forward; the single
+/// back edge is counted down in r8).
+fn build_program(iters: u8, seed: u64, nsegs: usize, words: &[u64]) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.label("leaf");
+    b.addi(Reg::R6, Reg::R6, 1);
+    b.ret();
+
+    b.label("main");
+    b.li(Reg::R8, iters as i64);
+    for (idx, &reg) in BODY_REGS.iter().enumerate() {
+        b.li(reg, (seed.rotate_left(idx as u32 * 11) & 0xff) as i64);
+    }
+
+    let chunk = words.len().div_ceil(nsegs).max(1);
+    for (seg, seg_words) in words.chunks(chunk).enumerate() {
+        b.label(&format!("seg{seg}"));
+        for &word in seg_words {
+            let rd = BODY_REGS[(word >> 8) as usize % BODY_REGS.len()];
+            let rs1 = BODY_REGS[(word >> 16) as usize % BODY_REGS.len()];
+            let rs2 = BODY_REGS[(word >> 24) as usize % BODY_REGS.len()];
+            match word % 6 {
+                0 => {
+                    b.alu(ALU_OPS[(word >> 3) as usize % ALU_OPS.len()], rd, rs1, rs2);
+                }
+                1 => {
+                    b.alui(
+                        ALU_OPS[(word >> 3) as usize % ALU_OPS.len()],
+                        rd,
+                        rs1,
+                        (word >> 32) as i32 % 1000,
+                    );
+                }
+                2 => {
+                    b.li(rd, (word >> 32) as u32 as i64);
+                }
+                3 => {
+                    b.mov(rd, rs1);
+                }
+                4 => {
+                    b.call("leaf");
+                }
+                _ => {
+                    // Forward-only branch to a later segment (or the
+                    // loop tail), so segment order guarantees progress.
+                    let last = words.len().div_ceil(chunk);
+                    let target = seg + 1 + (word >> 40) as usize % (last - seg);
+                    let label = if target >= last {
+                        "tail".to_owned()
+                    } else {
+                        format!("seg{target}")
+                    };
+                    b.bne(rs1, Reg::R0, &label);
+                }
+            }
+        }
+    }
+    b.label("tail");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "seg0");
+    b.exit(0);
+    b.build().expect("generated property program must build")
+}
+
+/// Steps the program to exit, recording every executed instruction's
+/// (pc, inst, concretely-read registers). Reads are computed from the
+/// pre-execution machine state with no conservative inflation: a
+/// `jalr` reads only its source register, and a `syscall` reads `r0`
+/// plus exactly the argument window of the number sitting in `r0`.
+fn dynamic_trace(program: &Program) -> Vec<(u64, Inst, RegSet)> {
+    let mut process = Process::load(1, program).expect("load");
+    let mut trace = Vec::new();
+    while process.exited().is_none() {
+        assert!(trace.len() < 200_000, "trace cap exceeded: runaway program");
+        let pc = process.cpu.pc;
+        let (inst, size) = program.decode_at(pc).expect("pc inside code");
+        let reads = match inst {
+            Inst::Syscall => superpin_analysis::kernel_syscall_uses(process.cpu.regs.get(Reg::R0)),
+            _ => RegSet::from_regs(&inst.src_regs()),
+        };
+        trace.push((pc, inst, reads));
+        match process.exec_decoded(inst, size).expect("step") {
+            ExecOutcome::Syscall => {
+                process.do_syscall(0).expect("syscall");
+            }
+            ExecOutcome::Halt => break,
+            ExecOutcome::Next | ExecOutcome::Jumped => {}
+        }
+    }
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dynamic_future_use_is_statically_live(
+        iters in 1u8..4,
+        seed in any::<u64>(),
+        nsegs in 2usize..6,
+        words in proptest::collection::vec(any::<u64>(), 10..60),
+    ) {
+        let program = build_program(iters, seed, nsegs, &words);
+        let live = LiveMap::compute(&program).expect("liveness");
+        let trace = dynamic_trace(&program);
+        prop_assert!(!trace.is_empty());
+
+        let mut future = RegSet::EMPTY;
+        for &(pc, inst, reads) in trace.iter().rev() {
+            future = reads.union(future.minus(inst_defs(inst)));
+            prop_assert!(
+                future.is_subset_of(live.live_before(pc)),
+                "at {pc:#x} ({inst:?}): dynamic future-use {future:?} not within \
+                 static live set {:?}",
+                live.live_before(pc)
+            );
+        }
+    }
+
+    #[test]
+    fn executed_instructions_are_reachable_blocks(
+        iters in 1u8..3,
+        seed in any::<u64>(),
+        nsegs in 2usize..5,
+        words in proptest::collection::vec(any::<u64>(), 10..40),
+    ) {
+        // Companion oracle for the CFG itself: every dynamically
+        // executed pc must sit inside a statically reachable block.
+        let program = build_program(iters, seed, nsegs, &words);
+        let cfg = superpin_analysis::Cfg::build(&program).expect("cfg");
+        let reachable = cfg.reachable();
+        for &(pc, _, _) in &dynamic_trace(&program) {
+            let block = cfg.block_containing(pc);
+            prop_assert!(block.is_some(), "executed pc {pc:#x} outside every block");
+            prop_assert!(
+                reachable[block.expect("checked")],
+                "executed pc {pc:#x} sits in a statically unreachable block"
+            );
+        }
+    }
+}

@@ -70,9 +70,8 @@ fn bench(c: &mut Criterion) {
         run_superpin(&program, tool, &shared, cfg, spec.name)
     };
     let recs_on = run_vortex(figure_config(2000, scale));
-    let recs_off = run_vortex(
-        SuperPinConfig::scaled(2000, time_scale_for(scale)).with_max_sysrecs(0),
-    );
+    let recs_off =
+        run_vortex(SuperPinConfig::scaled(2000, time_scale_for(scale)).with_max_sysrecs(0));
     println!(
         "ablation/sysrecs (vortex): recording forks(syscall)={} vs disabled forks(syscall)={}",
         recs_on.forks_on_syscall, recs_off.forks_on_syscall,

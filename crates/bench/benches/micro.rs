@@ -15,8 +15,7 @@ use superpin_vm::process::Process;
 use superpin_workloads::{find, Scale};
 
 fn bench(c: &mut Criterion) {
-    let loop_src =
-        "main:\n li r1, 10000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+    let loop_src = "main:\n li r1, 10000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
     let loop_program = assemble(loop_src).expect("assemble");
 
     let mut group = c.benchmark_group("micro");
@@ -71,9 +70,7 @@ fn bench(c: &mut Criterion) {
     let shared = superpin::SharedMem::new();
     let tool = ICount2::new(&shared);
     group.bench_function("slice_spawn", |b| {
-        b.iter(|| {
-            SliceRuntime::spawn(1, &master, &tool, &bubble, &cfg, 0).expect("spawn")
-        })
+        b.iter(|| SliceRuntime::spawn(1, &master, &tool, &bubble, &cfg, 0).expect("spawn"))
     });
 
     // Null-tool engine startup cost (cold JIT of the whole loop).

@@ -43,10 +43,7 @@ fn main() {
             }
             "--json" => as_json = true,
             "--threads" => {
-                threads = iter
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .unwrap_or(threads);
+                threads = iter.next().and_then(|t| t.parse().ok()).unwrap_or(threads);
             }
             other if !other.starts_with('-') => what = other.to_owned(),
             other => {

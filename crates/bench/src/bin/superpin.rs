@@ -261,10 +261,13 @@ fn main() {
                 run_super(&program, tool.clone(), &shared, &options);
                 tool.hottest(5)
             } else {
-                let pin =
-                    run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
-                let mut blocks: Vec<(u64, u64)> =
-                    pin.tool.local_blocks().iter().map(|(&a, &c)| (a, c)).collect();
+                let pin = run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                let mut blocks: Vec<(u64, u64)> = pin
+                    .tool
+                    .local_blocks()
+                    .iter()
+                    .map(|(&a, &c)| (a, c))
+                    .collect();
                 blocks.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
                 blocks.truncate(5);
                 blocks
@@ -308,8 +311,7 @@ fn main() {
                 run_super(&program, tool, &shared, &options);
                 ITrace::merged_trace(&shared)
             } else {
-                let pin =
-                    run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
+                let pin = run_pin(Process::load(1, &program).expect("load"), tool).expect("pin");
                 ITrace::decode(pin.tool.local_buffer())
             };
             println!("itrace: {} instructions traced", trace.len());

@@ -270,9 +270,8 @@ pub fn ablations(scale: Scale) -> Vec<AblationRow> {
                 variant,
                 total_secs: cfg.present_secs(report.total_cycles),
                 sleep_secs: cfg.present_secs(report.breakdown.sleep_cycles),
-                slice_jit_secs: cfg.present_secs(
-                    report.slices.iter().map(|s| s.engine.cycles.jit).sum(),
-                ),
+                slice_jit_secs: cfg
+                    .present_secs(report.slices.iter().map(|s| s.engine.cycles.jit).sum()),
                 forks_on_syscall: report.forks_on_syscall,
             },
             report,
@@ -284,15 +283,18 @@ pub fn ablations(scale: Scale) -> Vec<AblationRow> {
 
     let mut shared_cache_cfg = base_cfg.clone();
     shared_cache_cfg.shared_code_cache = true;
-    let (shared_cache, _) =
-        run_variant("shared-code-cache", &gcc_program, gcc.name, shared_cache_cfg);
+    let (shared_cache, _) = run_variant(
+        "shared-code-cache",
+        &gcc_program,
+        gcc.name,
+        shared_cache_cfg,
+    );
 
     // Adaptive throttling needs a run-length estimate; use the baseline's
     // master-exit time (the paper imagines automatic prediction).
     let mut adaptive_cfg = base_cfg.clone();
     adaptive_cfg.adaptive_estimate = Some(baseline_report.master_exit_cycles);
-    let (adaptive, _) =
-        run_variant("adaptive-timeslice", &gcc_program, gcc.name, adaptive_cfg);
+    let (adaptive, _) = run_variant("adaptive-timeslice", &gcc_program, gcc.name, adaptive_cfg);
 
     let mut pinned_cfg = base_cfg.clone();
     pinned_cfg.policy = superpin_sched::Policy::MasterFirst;

@@ -23,11 +23,7 @@ pub fn series_to_json(series: &FigSeries) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{{\"benchmark\":\"{}\",\"pin_pct\":",
-            row.benchmark
-        );
+        let _ = write!(out, "{{\"benchmark\":\"{}\",\"pin_pct\":", row.benchmark);
         push_f64(&mut out, row.pin_pct);
         out.push_str(",\"superpin_pct\":");
         push_f64(&mut out, row.superpin_pct);

@@ -1,8 +1,6 @@
 //! Plain-text rendering of figure data.
 
-use crate::figures::{
-    Fig6Row, Fig7Row, FigSeries, OverheadReport, PipelineCheck, SigStatsSummary,
-};
+use crate::figures::{Fig6Row, Fig7Row, FigSeries, OverheadReport, PipelineCheck, SigStatsSummary};
 use std::fmt::Write as _;
 
 /// Renders a Figure 3/5-style series (runtime % of native + speedup).
@@ -69,7 +67,11 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
         out,
         "Figure 7: gcc runtime vs max running slices (16 virtual CPUs)"
     );
-    let _ = writeln!(out, "{:>12} {:>12} {:>8}", "max slices", "runtime", "stalls");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>12} {:>8}",
+        "max slices", "runtime", "stalls"
+    );
     for row in rows {
         let _ = writeln!(
             out,
@@ -84,10 +86,26 @@ pub fn render_fig7(rows: &[Fig7Row]) -> String {
 pub fn render_sigstats(summary: &SigStatsSummary) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Signature detection statistics (paper §4.4)");
-    let _ = writeln!(out, "  quick checks:            {}", summary.stats.quick_checks);
-    let _ = writeln!(out, "  full (arch) checks:      {}", summary.stats.full_checks);
-    let _ = writeln!(out, "  stack checks:            {}", summary.stats.stack_checks);
-    let _ = writeln!(out, "  detections:              {}", summary.stats.detections);
+    let _ = writeln!(
+        out,
+        "  quick checks:            {}",
+        summary.stats.quick_checks
+    );
+    let _ = writeln!(
+        out,
+        "  full (arch) checks:      {}",
+        summary.stats.full_checks
+    );
+    let _ = writeln!(
+        out,
+        "  stack checks:            {}",
+        summary.stats.stack_checks
+    );
+    let _ = writeln!(
+        out,
+        "  detections:              {}",
+        summary.stats.detections
+    );
     let _ = writeln!(
         out,
         "  quick→full rate:         {:.2}%  (paper: ~2%)",
@@ -148,9 +166,8 @@ pub fn render_ablations(rows: &[crate::figures::AblationRow]) -> String {
 pub fn render_gantt(report: &superpin::SuperPinReport, width: usize) -> String {
     let width = width.clamp(20, 200);
     let total = report.total_cycles.max(1);
-    let scale = |cycles: u64| -> usize {
-        ((cycles as u128 * width as u128) / total as u128) as usize
-    };
+    let scale =
+        |cycles: u64| -> usize { ((cycles as u128 * width as u128) / total as u128) as usize };
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -82,7 +82,12 @@ pub enum IcountKind {
 ///
 /// Panics if any run fails — harness code treats simulator errors as
 /// fatal.
-pub fn run_triple(spec: &WorkloadSpec, scale: Scale, cfg: &SuperPinConfig, kind: IcountKind) -> TripleResult {
+pub fn run_triple(
+    spec: &WorkloadSpec,
+    scale: Scale,
+    cfg: &SuperPinConfig,
+    kind: IcountKind,
+) -> TripleResult {
     let program = spec.build(scale);
     let native = run_native(Process::load(1, &program).expect("load"))
         .unwrap_or_else(|e| panic!("{} native: {e}", spec.name));
@@ -167,9 +172,9 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if index >= specs.len() {
                     break;
@@ -178,8 +183,7 @@ where
                 results_mutex.lock().expect("no panics hold the lock")[index] = Some(result);
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
 
     results
         .into_iter()

@@ -13,7 +13,10 @@ fn triple_runs_are_consistent_for_both_tools() {
     for kind in [IcountKind::Icount1, IcountKind::Icount2] {
         let triple = run_triple(spec, Scale::Tiny, &cfg, kind);
         assert!(triple.counts_agree(), "{kind:?}");
-        assert!(triple.pin_pct() > 100.0, "{kind:?}: Pin must cost something");
+        assert!(
+            triple.pin_pct() > 100.0,
+            "{kind:?}: Pin must cost something"
+        );
         assert!(triple.speedup() > 0.0);
         assert_eq!(triple.superpin.slice_inst_total(), triple.native_insts);
     }
@@ -135,7 +138,10 @@ fn gantt_renders_master_and_slices() {
         .skip(1)
         .map(|line| line.chars().count())
         .collect();
-    assert!(widths.windows(2).all(|w| w[0] == w[1]), "ragged chart: {widths:?}");
+    assert!(
+        widths.windows(2).all(|w| w[0] == w[1]),
+        "ragged chart: {widths:?}"
+    );
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! SuperPin configuration (the paper's command-line switches, §5).
 
-use superpin_dbi::{CostModel, CYCLES_PER_SEC};
+use std::sync::Arc;
+use superpin_dbi::{CostModel, LiveMap, CYCLES_PER_SEC};
 use superpin_sched::{Machine, Policy};
 
 /// Configuration for a SuperPin run.
@@ -54,6 +55,15 @@ pub struct SuperPinConfig {
     /// A slice compiling a trace another slice already compiled pays a
     /// consistency-check cost instead of the full JIT cost.
     pub shared_code_cache: bool,
+    /// Static liveness for the guest program. When present, every
+    /// slice's engine elides save/restores of registers proven dead at
+    /// each insertion point (see
+    /// [`Engine::set_liveness`](superpin_dbi::Engine::set_liveness)),
+    /// shrinking modeled analysis overhead without changing what the
+    /// instrumentation observes. `None` keeps the conservative
+    /// full-clobber-set spill, which charges exactly the legacy flat
+    /// [`CostModel::analysis_call`] rate.
+    pub liveness: Option<Arc<LiveMap>>,
 }
 
 impl SuperPinConfig {
@@ -73,6 +83,7 @@ impl SuperPinConfig {
             time_scale: 1.0,
             adaptive_estimate: None,
             shared_code_cache: false,
+            liveness: None,
         }
     }
 
@@ -106,6 +117,13 @@ impl SuperPinConfig {
     /// Sets the syscall-record budget (`-spsysrecs`).
     pub fn with_max_sysrecs(mut self, max_sysrecs: usize) -> SuperPinConfig {
         self.max_sysrecs = max_sysrecs;
+        self
+    }
+
+    /// Installs static liveness so slice engines elide save/restores of
+    /// dead registers (see [`SuperPinConfig::liveness`]).
+    pub fn with_liveness(mut self, liveness: Arc<LiveMap>) -> SuperPinConfig {
+        self.liveness = Some(liveness);
         self
     }
 

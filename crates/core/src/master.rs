@@ -10,10 +10,10 @@ use crate::config::SuperPinConfig;
 use crate::error::SpError;
 use crate::syscall_policy::{classify, SyscallAction};
 use superpin_dbi::cycles_to_ns;
+use superpin_isa::Reg;
 use superpin_vm::kernel::{SyscallNo, SyscallRecord};
 use superpin_vm::process::Process;
 use superpin_vm::ptrace::{Controller, PtraceStats, StopReason};
-use superpin_isa::Reg;
 
 /// What the master's advance surfaced to the runner.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,12 +122,11 @@ impl MasterRuntime {
                 StopReason::SyscallEntry => {
                     used += cost.ptrace_stop;
                     let raw = self.process().cpu.regs.get(Reg::R0);
-                    let number = SyscallNo::from_raw(raw).ok_or(
-                        superpin_vm::VmError::BadSyscall {
+                    let number =
+                        SyscallNo::from_raw(raw).ok_or(superpin_vm::VmError::BadSyscall {
                             pc: self.process().cpu.pc,
                             number: raw,
-                        },
-                    )?;
+                        })?;
                     let action = classify(number, cfg.max_sysrecs > 0);
                     let over_budget = action == SyscallAction::RecordReplay
                         && cfg.max_sysrecs > 0
@@ -249,9 +248,8 @@ mod tests {
 
     #[test]
     fn budget_limits_progress() {
-        let mut m = master(
-            "main:\n li r1, 1000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        );
+        let mut m =
+            master("main:\n li r1, 1000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n");
         let (used, event) = m.advance(10, 0, &cfg()).expect("advance");
         assert_eq!(event, MasterEvent::None);
         assert_eq!(used, 10);

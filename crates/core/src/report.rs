@@ -2,7 +2,6 @@
 
 use crate::signature::SignatureStats;
 use crate::slice::SliceEnd;
-use serde::Serialize;
 use superpin_dbi::{CacheStats, EngineStats};
 use superpin_vm::ptrace::PtraceStats;
 
@@ -33,7 +32,7 @@ pub struct SliceReport {
 
 /// The master's run-time decomposition, matching Figure 6's stacking:
 /// `total = native + fork&other + sleep + pipeline`.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TimeBreakdown {
     /// Pure native work: `master instructions × native CPI`.
     pub native_cycles: u64,

@@ -161,10 +161,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             }
             let mut slice = self.live.pop_front().expect("front exists");
             let num = slice.num();
-            slice
-                .tool_mut()
-                .inner
-                .on_slice_end(num, &self.shared);
+            slice.tool_mut().inner.on_slice_end(num, &self.shared);
             slice.set_merged();
             self.sig_stats.absorb(&slice.tool().sig_stats);
             self.finished.push(SliceReport {
@@ -291,8 +288,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     self.master_debt -= pay;
                     let remaining = budget - pay;
                     if remaining > 0 {
-                        let (used, event) =
-                            self.master.advance(remaining, self.now, &self.cfg)?;
+                        let (used, event) = self.master.advance(remaining, self.now, &self.cfg)?;
                         // Overshoot (a serviced syscall may exceed the
                         // budget) is owed to future quanta.
                         self.master_debt += used.saturating_sub(remaining);
@@ -316,7 +312,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
             // Master timeline for the Figure 6 decomposition.
             if self.master_exit_cycles.is_none() {
                 let label = if master_ran { "run" } else { "sleep" };
-                self.master_timeline.push(self.now, self.now + quantum, label);
+                self.master_timeline
+                    .push(self.now, self.now + quantum, label);
             }
 
             self.now += quantum;

@@ -8,9 +8,9 @@
 //! (paper §4.5). [`SharedArea`] is the shared-memory region those merges
 //! target; [`SharedMem`] is the per-run registry of areas.
 
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// How an area is merged when a slice ends (the `autoMerge` argument of
 /// `SP_CreateSharedArea`).
@@ -55,7 +55,7 @@ impl SharedArea {
 
     /// Number of words.
     pub fn len(&self) -> usize {
-        self.words.lock().len()
+        self.words.lock().expect("mutex poisoned").len()
     }
 
     /// Whether the area has zero words.
@@ -65,32 +65,37 @@ impl SharedArea {
 
     /// Reads word `i` (0 if out of range).
     pub fn read(&self, i: usize) -> u64 {
-        self.words.lock().get(i).copied().unwrap_or(0)
+        self.words
+            .lock()
+            .expect("mutex poisoned")
+            .get(i)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Writes word `i` (ignored if out of range).
     pub fn write(&self, i: usize, value: u64) {
-        if let Some(slot) = self.words.lock().get_mut(i) {
+        if let Some(slot) = self.words.lock().expect("mutex poisoned").get_mut(i) {
             *slot = value;
         }
     }
 
     /// Atomically adds `value` to word `i`.
     pub fn add(&self, i: usize, value: u64) {
-        if let Some(slot) = self.words.lock().get_mut(i) {
+        if let Some(slot) = self.words.lock().expect("mutex poisoned").get_mut(i) {
             *slot = slot.wrapping_add(value);
         }
     }
 
     /// A snapshot of all words.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.words.lock().clone()
+        self.words.lock().expect("mutex poisoned").clone()
     }
 
     /// Merges slice-local words into the area per its [`AutoMerge`] mode.
     /// [`AutoMerge::Manual`] areas are untouched.
     pub fn merge_locals(&self, locals: &[u64]) {
-        let mut words = self.words.lock();
+        let mut words = self.words.lock().expect("mutex poisoned");
         for (slot, &local) in words.iter_mut().zip(locals) {
             match self.auto {
                 AutoMerge::Manual => {}
@@ -132,7 +137,7 @@ impl SharedMem {
     /// Creates a zeroed area of `len` words (the `SP_CreateSharedArea`
     /// analogue) and returns its id.
     pub fn create_area(&self, len: usize, auto: AutoMerge) -> AreaId {
-        let mut areas = self.areas.lock();
+        let mut areas = self.areas.lock().expect("mutex poisoned");
         areas.push(SharedArea::new(len, auto));
         AreaId(areas.len() - 1)
     }
@@ -143,23 +148,26 @@ impl SharedMem {
     ///
     /// Panics if `id` was not produced by this registry.
     pub fn area(&self, id: AreaId) -> SharedArea {
-        self.areas.lock()[id.0].clone()
+        self.areas.lock().expect("mutex poisoned")[id.0].clone()
     }
 
     /// Number of registered areas.
     pub fn area_count(&self) -> usize {
-        self.areas.lock().len()
+        self.areas.lock().expect("mutex poisoned").len()
     }
 
     /// Appends bytes to the merged output stream (used by tracing tools
     /// during in-order merges).
     pub fn append_output(&self, bytes: &[u8]) {
-        self.output.lock().extend_from_slice(bytes);
+        self.output
+            .lock()
+            .expect("mutex poisoned")
+            .extend_from_slice(bytes);
     }
 
     /// The merged output so far.
     pub fn output(&self) -> Vec<u8> {
-        self.output.lock().clone()
+        self.output.lock().expect("mutex poisoned").clone()
     }
 }
 

@@ -12,8 +12,8 @@
 //! top-of-stack state.
 
 use superpin_dbi::trace::discover_trace;
-use superpin_vm::process::Process;
 use superpin_isa::{Reg, NUM_REGS};
+use superpin_vm::process::Process;
 
 /// Number of stack words captured and compared by the full check.
 pub const STACK_WORDS: usize = 100;
@@ -63,10 +63,7 @@ impl Signature {
             regs,
             stack,
             quick_regs,
-            quick_vals: [
-                regs[quick_regs[0].index()],
-                regs[quick_regs[1].index()],
-            ],
+            quick_vals: [regs[quick_regs[0].index()], regs[quick_regs[1].index()]],
         }
     }
 
@@ -114,11 +111,7 @@ pub fn infer_quick_regs(process: &Process) -> [Reg; 2] {
             }
         }
         // Follow the static fall-through / unconditional target.
-        let tail = trace
-            .bbls()
-            .last()
-            .expect("traces are non-empty")
-            .tail();
+        let tail = trace.bbls().last().expect("traces are non-empty").tail();
         pc = match tail.inst.static_target() {
             Some(target) if !matches!(tail.inst, superpin_isa::Inst::Branch { .. }) => target,
             _ => trace.fallthrough(),

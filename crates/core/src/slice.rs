@@ -198,9 +198,13 @@ impl<T: SuperTool> SliceRuntime<T> {
             sig_stats: SignatureStats::default(),
             slice_num: num,
         };
+        let mut engine = Engine::with_config(process, tool, cfg.cost, cfg.cache_capacity);
+        if let Some(live) = &cfg.liveness {
+            engine.set_liveness(Arc::clone(live));
+        }
         Ok(SliceRuntime {
             num,
-            engine: Engine::with_config(process, tool, cfg.cost, cfg.cache_capacity),
+            engine,
             records: VecDeque::new(),
             boundary: None,
             state: SliceState::Sleeping,
@@ -385,9 +389,7 @@ impl<T: SuperTool> SliceRuntime<T> {
         self.records_played += 1;
         if exited {
             self.finish(SliceEnd::Exited, now_cycles);
-        } else if self.records.is_empty()
-            && matches!(self.boundary, Some(Boundary::SyscallEnd))
-        {
+        } else if self.records.is_empty() && matches!(self.boundary, Some(Boundary::SyscallEnd)) {
             self.finish(SliceEnd::RecordsExhausted, now_cycles);
         }
         Ok(cycles)
@@ -459,9 +461,8 @@ mod tests {
     #[test]
     fn spawn_sleeps_until_woken() {
         let (process, bubble) = master("main:\n li r1, 5\n exit 0\n");
-        let slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         assert_eq!(slice.state(), SliceState::Sleeping);
         assert_eq!(slice.num(), 1);
         // The slice released the bubble; the master still holds it.
@@ -472,9 +473,8 @@ mod tests {
     #[test]
     fn slice_runs_to_program_exit_via_playback() {
         let (mut process, bubble) = master("main:\n li r1, 5\n li r2, 6\n exit 3\n");
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         // Master runs to completion, recording its (only) syscall.
         process.run_until_syscall(u64::MAX).expect("run");
         let record = process.do_syscall(0).expect("exit syscall");
@@ -496,9 +496,8 @@ mod tests {
         // Master: 10-iteration countdown; boundary captured at iteration 5.
         let src = "main:\n li r1, 10\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
         let (mut process, bubble) = master(src);
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         // Advance the master 1 + 2*5 instructions: li + 5×(subi,bne);
         // pc is now at `subi` with r1 == 5.
         process.run_until_syscall(11).expect("run");
@@ -524,16 +523,18 @@ mod tests {
         // every iteration but escalates only when the counter matches.
         let src = "main:\n li r1, 50\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
         let (mut process, bubble) = master(src);
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         process.run_until_syscall(1 + 2 * 40).expect("run");
         let sig = Signature::capture(&process);
         slice.wake(Boundary::Signature(Box::new(sig)), vec![], 0);
         slice.advance(u64::MAX / 8, 0).expect("advance");
         let stats = slice.tool().sig_stats;
         assert_eq!(stats.detections, 1);
-        assert_eq!(stats.quick_checks, 41, "one quick check per boundary-pc visit");
+        assert_eq!(
+            stats.quick_checks, 41,
+            "one quick check per boundary-pc visit"
+        );
         assert_eq!(
             stats.full_checks, 1,
             "quick filter must reject non-boundary iterations"
@@ -547,9 +548,8 @@ mod tests {
         // first getpid only (next slice forced at the second).
         let src = "main:\n li r0, 9\n syscall\n li r0, 9\n syscall\n exit 0\n";
         let (mut process, bubble) = master(src);
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         process.run_until_syscall(u64::MAX).expect("run to sys1");
         let rec1 = process.do_syscall(0).expect("sys1");
         slice.wake(Boundary::SyscallEnd, vec![rec1], 0);
@@ -565,9 +565,8 @@ mod tests {
         // Slice reaches a syscall but has no record for it.
         let src = "main:\n li r0, 9\n syscall\n exit 0\n";
         let (mut process, bubble) = master(src);
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         // Wake with a signature boundary that will never match before the
         // syscall.
         process.run_until_syscall(u64::MAX).expect("run");
@@ -583,9 +582,8 @@ mod tests {
     fn record_mismatch_is_detected() {
         let src = "main:\n li r0, 9\n syscall\n exit 0\n";
         let (mut process, bubble) = master(src);
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         process.run_until_syscall(u64::MAX).expect("run");
         let mut rec = process.do_syscall(0).expect("sys");
         rec.number = superpin_vm::kernel::SyscallNo::Read; // corrupt
@@ -611,10 +609,12 @@ mod tests {
         // Touch the pages in the master first so the slice's writes COW.
         let program_data = superpin_isa::DATA_BASE;
         process.mem.write_u64(program_data, 9).expect("touch");
-        process.mem.write_u64(program_data + 4096, 9).expect("touch");
-        let mut slice =
-            SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
-                .expect("spawn");
+        process
+            .mem
+            .write_u64(program_data + 4096, 9)
+            .expect("touch");
+        let mut slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
         // Keep an extra fork alive so page frames stay shared even after
         // the master's own writes copy them (in the real run, many slices
         // hold references simultaneously).

@@ -73,7 +73,10 @@ mod tests {
     #[test]
     fn data_calls_record_when_enabled() {
         assert_eq!(classify(SyscallNo::Read, true), SyscallAction::RecordReplay);
-        assert_eq!(classify(SyscallNo::GetTime, true), SyscallAction::RecordReplay);
+        assert_eq!(
+            classify(SyscallNo::GetTime, true),
+            SyscallAction::RecordReplay
+        );
     }
 
     #[test]
@@ -85,6 +88,9 @@ mod tests {
     #[test]
     fn exit_is_always_deliverable() {
         assert_eq!(classify(SyscallNo::Exit, true), SyscallAction::RecordReplay);
-        assert_eq!(classify(SyscallNo::Exit, false), SyscallAction::RecordReplay);
+        assert_eq!(
+            classify(SyscallNo::Exit, false),
+            SyscallAction::RecordReplay
+        );
     }
 }

@@ -12,9 +12,9 @@
 //! away from application memory, and restore the original context exactly
 //! before instrumented execution begins.
 
+use superpin_isa::Reg;
 use superpin_vm::mem::{MemError, RegionKind};
 use superpin_vm::process::Process;
-use superpin_isa::Reg;
 
 /// Base address of the private VM stack mapped into slices.
 pub const PRIVATE_STACK_BASE: u64 = 0x7000_0000;

@@ -1,0 +1,138 @@
+//! Save/restore elision wired through the full stack: a [`LiveMap`]
+//! installed via [`SuperPinConfig::with_liveness`] reaches every slice
+//! engine (and [`baseline::run_pin_configured`] for serial Pin),
+//! shrinking modeled analysis overhead while the merged instruction
+//! counts stay exactly equal to native.
+
+use std::sync::Arc;
+use superpin::baseline::{self, run_native};
+use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
+use superpin_dbi::{CostModel, IPoint, Inserter, LiveMap, Pintool, Trace};
+use superpin_isa::{Program, ProgramBuilder, Reg};
+use superpin_vm::process::Process;
+
+#[derive(Clone)]
+struct Count {
+    count: u64,
+    area: superpin::AreaId,
+}
+
+impl Pintool for Count {
+    fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>) {
+        for iref in trace.insts() {
+            inserter.insert_call(iref.addr, IPoint::Before, |t, _, _| t.count += 1, vec![]);
+        }
+    }
+}
+
+impl SuperTool for Count {
+    fn reset(&mut self, _slice: u32) {
+        self.count = 0;
+    }
+    fn on_slice_end(&mut self, _slice: u32, shared: &SharedMem) {
+        shared.area(self.area).add(0, self.count);
+    }
+}
+
+/// A countdown loop: at the loop head only `r0` and `r1` of the four
+/// analysis-clobbered registers are live, so two spills per call are
+/// elided once liveness is installed.
+fn loop_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R1, iters);
+    b.label("loop");
+    b.subi(Reg::R1, Reg::R1, 1);
+    b.bne(Reg::R1, Reg::R0, "loop");
+    b.exit(0);
+    b.build().expect("build")
+}
+
+fn run_super(program: &Program, cfg: SuperPinConfig) -> (u64, superpin::SuperPinReport) {
+    let shared = SharedMem::new();
+    let tool = Count {
+        count: 0,
+        area: shared.create_area(1, superpin::AutoMerge::Manual),
+    };
+    let area = tool.area;
+    let report = SuperPinRunner::new(
+        Process::load(1, program).expect("load"),
+        tool,
+        shared.clone(),
+        cfg,
+    )
+    .expect("setup")
+    .run()
+    .expect("run");
+    (shared.area(area).read(0), report)
+}
+
+fn cfg(timeslice: u64) -> SuperPinConfig {
+    let mut cfg = SuperPinConfig::paper_default();
+    cfg.timeslice_cycles = timeslice;
+    cfg.quantum_cycles = (timeslice / 20).max(100);
+    cfg
+}
+
+#[test]
+fn sliced_run_with_elision_stays_exact_and_costs_less() {
+    let program = loop_program(6_000);
+    let native = run_native(Process::load(1, &program).expect("load")).expect("native");
+    let live = Arc::new(LiveMap::compute(&program).expect("liveness"));
+
+    let (plain_count, plain) = run_super(&program, cfg(2_000));
+    let (thin_count, thin) = run_super(&program, cfg(2_000).with_liveness(live));
+
+    // Exactness is untouched: both runs merge to the native icount.
+    assert_eq!(plain_count, native.insts);
+    assert_eq!(thin_count, native.insts);
+    assert_eq!(thin.slice_inst_total(), thin.master_insts);
+
+    // Every slice does the same calls for fewer modeled cycles.
+    let analysis = |report: &superpin::SuperPinReport| -> (u64, u64) {
+        report.slices.iter().fold((0, 0), |(calls, cycles), slice| {
+            (
+                calls + slice.engine.analysis_calls,
+                cycles + slice.engine.cycles.analysis,
+            )
+        })
+    };
+    let (plain_calls, plain_cycles) = analysis(&plain);
+    let (thin_calls, thin_cycles) = analysis(&thin);
+    assert_eq!(plain_calls, thin_calls);
+    assert!(
+        thin_cycles < plain_cycles,
+        "elided analysis cycles {thin_cycles} must beat conservative {plain_cycles}"
+    );
+    // Cheaper slices can only help wall time.
+    assert!(thin.total_cycles <= plain.total_cycles);
+}
+
+#[test]
+fn serial_pin_with_elision_stays_exact_and_costs_less() {
+    let program = loop_program(6_000);
+    let live = Arc::new(LiveMap::compute(&program).expect("liveness"));
+    let cost = CostModel::paper_default();
+    let tool = || {
+        let shared = SharedMem::new();
+        Count {
+            count: 0,
+            area: shared.create_area(1, superpin::AutoMerge::Manual),
+        }
+    };
+
+    let load = || Process::load(1, &program).expect("load");
+    let plain = baseline::run_pin_with_cost(load(), tool(), &cost).expect("pin");
+    let thin = baseline::run_pin_configured(load(), tool(), &cost, Some(live)).expect("pin");
+
+    assert_eq!(thin.tool.count, plain.tool.count);
+    assert_eq!(thin.insts, plain.insts);
+    assert_eq!(thin.stats.analysis_calls, plain.stats.analysis_calls);
+    assert!(
+        thin.cycles < plain.cycles,
+        "elided serial Pin {} must beat conservative {}",
+        thin.cycles,
+        plain.cycles
+    );
+    assert_eq!(thin.stats.cycles.app, plain.stats.cycles.app);
+}

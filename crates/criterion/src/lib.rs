@@ -1,0 +1,134 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build with no registry access, so this crate
+//! provides the subset of the criterion API our benches use
+//! (`benchmark_group`, `sample_size`, `bench_function`, `iter`,
+//! `iter_batched`, `criterion_group!`/`criterion_main!`) with plain
+//! `std::time::Instant` timing. It reports min/mean/max per benchmark
+//! instead of criterion's statistical analysis — the figure data these
+//! benches exist for is virtual-time, not wall-time (see
+//! `crates/bench/benches/*.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Hint mirroring criterion's `BatchSize`; sampling here is simple
+/// enough that all variants behave identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle passed to each `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+        }
+        let (mut min, mut max, mut total) = (Duration::MAX, Duration::ZERO, Duration::ZERO);
+        for &sample in &bencher.samples {
+            min = min.min(sample);
+            max = max.max(sample);
+            total += sample;
+        }
+        if bencher.samples.is_empty() {
+            println!("  {name}: no samples");
+        } else {
+            let mean = total / bencher.samples.len() as u32;
+            println!(
+                "  {name}: min {min:?} / mean {mean:?} / max {max:?} ({} samples)",
+                bencher.samples.len()
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one call of `routine` and records it as a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let output = routine();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(output);
+    }
+
+    /// Times `routine` on a fresh `setup()` input, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let output = routine(input);
+        self.samples.push(start.elapsed());
+        std::hint::black_box(output);
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

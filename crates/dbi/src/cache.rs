@@ -1,17 +1,41 @@
 //! The code cache: compiled, instrumented traces keyed by entry address.
 
 use crate::inserter::{Call, IPoint, Inserter};
+use crate::spill::{required_saves, ClobberViolation};
 use crate::trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use superpin_isa::Inst;
+use superpin_analysis::{LiveMap, RegSet};
+use superpin_isa::{Inst, Reg};
 
 /// Default cache capacity in cached instructions. Workloads whose hot
 /// footprint exceeds this (the paper repeatedly calls out gcc's "large
 /// code footprint") take wholesale flushes and recompile, raising their
 /// compilation overhead exactly as in the paper.
 pub const DEFAULT_CAPACITY_INSTS: usize = 65_536;
+
+/// One analysis call as compiled into the cache: the tool's routine plus
+/// the register save/restore plan the compiler chose for it.
+pub struct InsertedCall<T> {
+    /// The analysis call.
+    pub call: Call<T>,
+    /// Clobbered registers bracketed with a save/restore around this
+    /// call. Without liveness information this is the full clobber set
+    /// ([`crate::spill::analysis_clobbers`]); with a
+    /// [`LiveMap`] installed, registers dead at the insertion point are
+    /// elided.
+    pub saves: RegSet,
+}
+
+impl<T> fmt::Debug for InsertedCall<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InsertedCall")
+            .field("call", &self.call)
+            .field("saves", &self.saves)
+            .finish()
+    }
+}
 
 /// One instruction of a compiled trace with its attached analysis calls.
 pub struct CompiledInst<T> {
@@ -22,9 +46,9 @@ pub struct CompiledInst<T> {
     /// Encoded size in bytes.
     pub size: u64,
     /// Calls to run before the instruction.
-    pub before: Vec<Call<T>>,
+    pub before: Vec<InsertedCall<T>>,
     /// Calls to run after the instruction.
-    pub after: Vec<Call<T>>,
+    pub after: Vec<InsertedCall<T>>,
 }
 
 impl<T> fmt::Debug for CompiledInst<T> {
@@ -87,6 +111,15 @@ pub struct CodeCache<T> {
     resident_insts: usize,
     capacity_insts: usize,
     stats: CacheStats,
+    /// Static liveness used to elide save/restores of dead registers
+    /// around analysis calls; `None` saves the full clobber set.
+    liveness: Option<Arc<LiveMap>>,
+    /// Test hook: a register deliberately omitted from every planned
+    /// save set, so the clobber-safety verifier has a bug to catch.
+    clobber_bug: Option<Reg>,
+    /// Clobber-safety violations found while compiling (populated in
+    /// debug/test builds only).
+    violations: Vec<ClobberViolation>,
 }
 
 impl<T> fmt::Debug for CodeCache<T> {
@@ -118,7 +151,33 @@ impl<T> CodeCache<T> {
             resident_insts: 0,
             capacity_insts: capacity_insts.max(1),
             stats: CacheStats::default(),
+            liveness: None,
+            clobber_bug: None,
+            violations: Vec::new(),
         }
+    }
+
+    /// Installs static liveness for the guest program. Subsequent
+    /// compilations elide save/restores of registers proven dead at each
+    /// insertion point. Must be installed while the cache is cold (or
+    /// after a flush): already-compiled traces keep their conservative
+    /// save sets.
+    pub fn set_liveness(&mut self, liveness: Arc<LiveMap>) {
+        self.liveness = Some(liveness);
+    }
+
+    /// Test hook: omit `reg` from every save set the compiler plans, so
+    /// the debug-build clobber-safety verifier has a deliberate bug to
+    /// catch. Never use outside negative tests.
+    pub fn inject_clobber_bug(&mut self, reg: Reg) {
+        self.clobber_bug = Some(reg);
+    }
+
+    /// Clobber-safety violations found while compiling. Verification
+    /// runs in debug/test builds (`debug_assertions`); release builds
+    /// always report an empty list.
+    pub fn clobber_violations(&self) -> &[ClobberViolation] {
+        &self.violations
     }
 
     /// Statistics so far.
@@ -180,10 +239,39 @@ impl<T> CodeCache<T> {
 
         for (addr, point, call) in inserter.into_calls() {
             if let Some(slot) = insts.iter_mut().find(|slot| slot.addr == addr) {
-                match point {
-                    IPoint::Before => slot.before.push(call),
-                    IPoint::After => slot.after.push(call),
+                // Live registers at the insertion point: before-calls see
+                // the instruction's own reads as live; after-calls see
+                // its live-out set. Unknown liveness saves everything.
+                let live = match &self.liveness {
+                    None => RegSet::ALL,
+                    Some(map) => match point {
+                        IPoint::Before => map.live_before(addr),
+                        IPoint::After => map.live_after(addr),
+                    },
+                };
+                let mut saves = required_saves(live);
+                if let Some(bug) = self.clobber_bug {
+                    saves.remove(bug);
                 }
+                let list = match point {
+                    IPoint::Before => &mut slot.before,
+                    IPoint::After => &mut slot.after,
+                };
+                if cfg!(debug_assertions) {
+                    // Clobber-safety verifier: every planned save set
+                    // must cover the live clobbered registers.
+                    let missing = required_saves(live).minus(saves);
+                    if !missing.is_empty() {
+                        self.violations.push(ClobberViolation {
+                            addr,
+                            point,
+                            call_index: list.len(),
+                            missing,
+                            live,
+                        });
+                    }
+                }
+                list.push(InsertedCall { call, saves });
             }
             // Calls aimed at addresses outside the trace are dropped,
             // mirroring Pin: instrumentation only applies to the trace

@@ -1,8 +1,9 @@
 //! The instrumentation engine: dispatcher + JIT loop over a guest process.
 
-use crate::cache::{CodeCache, CompiledInst, CompiledTrace, DEFAULT_CAPACITY_INSTS};
+use crate::cache::{CodeCache, CompiledInst, CompiledTrace, InsertedCall, DEFAULT_CAPACITY_INSTS};
 use crate::cost::CostModel;
 use crate::inserter::{Call, CallCtx, EngineCtl, IArg, Inserter};
+use crate::spill::ClobberViolation;
 use crate::tool::Pintool;
 use std::fmt;
 use std::sync::Arc;
@@ -184,6 +185,32 @@ impl<T: Pintool + 'static> Engine<T> {
         self.shared_traces = Some(index);
     }
 
+    /// Installs static liveness for the guest program (see
+    /// [`CodeCache::set_liveness`]): save/restores of registers proven
+    /// dead at an insertion point are elided, shrinking each analysis
+    /// call's charge from the conservative
+    /// [`CostModel::analysis_call`] to
+    /// [`CostModel::analysis_call_base`] plus
+    /// [`CostModel::save_restore_per_reg`] per live clobbered register.
+    /// Call execution itself is unchanged, so instrumentation results
+    /// (e.g. icounts) are identical with or without liveness.
+    pub fn set_liveness(&mut self, liveness: Arc<superpin_analysis::LiveMap>) {
+        self.cache.set_liveness(liveness);
+    }
+
+    /// Clobber-safety violations found while compiling instrumentation
+    /// (debug/test builds only; see
+    /// [`CodeCache::clobber_violations`]).
+    pub fn clobber_violations(&self) -> &[ClobberViolation] {
+        self.cache.clobber_violations()
+    }
+
+    /// Test hook: plant a deliberate save-set bug for the clobber
+    /// verifier to catch (see [`CodeCache::inject_clobber_bug`]).
+    pub fn inject_clobber_bug(&mut self, reg: superpin_isa::Reg) {
+        self.cache.inject_clobber_bug(reg);
+    }
+
     /// The guest process.
     pub fn process(&self) -> &Process {
         &self.process
@@ -266,7 +293,10 @@ impl<T: Pintool + 'static> Engine<T> {
                     if let EngineStop::Exited(_) = stop {
                         self.run_fini();
                     }
-                    return Ok(RunResult { stop, cycles: spent });
+                    return Ok(RunResult {
+                        stop,
+                        cycles: spent,
+                    });
                 }
                 TraceExit::Continue => {
                     if spent >= budget {
@@ -290,8 +320,7 @@ impl<T: Pintool + 'static> Engine<T> {
         }
         // A miss always routes through the dispatcher into the JIT.
         self.pending_dispatch = true;
-        let trace =
-            crate::trace::discover_trace_split(&self.process.mem, pc, self.split_point)?;
+        let trace = crate::trace::discover_trace_split(&self.process.mem, pc, self.split_point)?;
         let mut inserter = Inserter::new();
         self.tool.instrument_trace(&trace, &mut inserter);
         let (compiled, count) = self.cache.compile(&trace, inserter);
@@ -330,9 +359,7 @@ impl<T: Pintool + 'static> Engine<T> {
             let mem_ea = mem_effective_address(&self.process, slot.inst);
 
             // Before-calls.
-            if !slot.before.is_empty()
-                && self.run_calls(&slot.before, slot, mem_ea, None, spent)?
-            {
+            if !slot.before.is_empty() && self.run_calls(&slot.before, slot, mem_ea, None, spent)? {
                 // Stop requested before execution: the instruction is NOT
                 // executed; pc stays at the boundary (paper §4.4 — the
                 // boundary instruction belongs to the next slice).
@@ -398,22 +425,27 @@ impl<T: Pintool + 'static> Engine<T> {
     /// observe the boundary instruction — it belongs to the next slice.
     fn run_calls(
         &mut self,
-        calls: &[Call<T>],
+        calls: &[InsertedCall<T>],
         slot: &CompiledInst<T>,
         mem_ea: Option<(u64, u64)>,
         taken: Option<bool>,
         spent: &mut u64,
     ) -> Result<bool, VmError> {
         let mut stop = false;
-        for call in calls {
+        for inserted in calls {
             if stop {
                 break;
             }
-            match call {
+            // Invocation cost: call/return plus one save/restore per
+            // clobbered register the compiler decided to preserve. With
+            // no liveness installed the full clobber set is saved and
+            // this equals the flat `analysis_call`.
+            let invoke_cost = self.cost.analysis_call_base
+                + inserted.saves.len() as u64 * self.cost.save_restore_per_reg;
+            match &inserted.call {
                 Call::Plain { func, args } => {
                     let values = self.eval_args(args, slot, mem_ea, taken);
-                    let cost =
-                        self.cost.analysis_call + args.len() as u64 * self.cost.analysis_arg;
+                    let cost = invoke_cost + args.len() as u64 * self.cost.analysis_arg;
                     let mut ctl = EngineCtl::default();
                     let ctx = CallCtx {
                         pc: slot.addr,
@@ -433,8 +465,8 @@ impl<T: Pintool + 'static> Engine<T> {
                     then_args,
                 } => {
                     let pred_values = self.eval_args(pred_args, slot, mem_ea, taken);
-                    let mut charged = self.cost.inline_if_check
-                        + pred_args.len() as u64 * self.cost.analysis_arg;
+                    let mut charged =
+                        self.cost.inline_if_check + pred_args.len() as u64 * self.cost.analysis_arg;
                     self.stats.if_checks += 1;
                     let ctx = CallCtx {
                         pc: slot.addr,
@@ -448,7 +480,7 @@ impl<T: Pintool + 'static> Engine<T> {
                             args: &then_values,
                         };
                         then(&mut self.tool, &then_ctx, &mut ctl);
-                        charged += self.cost.analysis_call
+                        charged += invoke_cost
                             + then_args.len() as u64 * self.cost.analysis_arg
                             + ctl.extra_cycles();
                         self.stats.then_calls += 1;
@@ -588,7 +620,11 @@ fn mem_effective_address(process: &Process, inst: Inst) -> Option<(u64, u64)> {
             width,
             ..
         } => {
-            let ea = process.cpu.regs.get(base).wrapping_add(offset as i64 as u64);
+            let ea = process
+                .cpu
+                .regs
+                .get(base)
+                .wrapping_add(offset as i64 as u64);
             Some((ea, width.bytes() as u64))
         }
         _ => None,
@@ -659,7 +695,11 @@ mod tests {
         engine.run_to_exit().expect("run");
         let cache = engine.cache_stats();
         // Loop body trace compiled once, re-dispatched ~100 times.
-        assert!(cache.traces_compiled <= 4, "traces {}", cache.traces_compiled);
+        assert!(
+            cache.traces_compiled <= 4,
+            "traces {}",
+            cache.traces_compiled
+        );
         assert!(engine.stats().traces_executed >= 99);
         assert!(cache.hits >= 95, "hits {}", cache.hits);
     }

@@ -208,8 +208,14 @@ impl<T: 'static> Inserter<T> {
         func: impl Fn(&mut T, &CallCtx<'_>, &mut EngineCtl) + Send + Sync + 'static,
         args: Vec<IArg>,
     ) {
-        self.calls
-            .push((addr, point, Call::Plain { func: Arc::new(func), args }));
+        self.calls.push((
+            addr,
+            point,
+            Call::Plain {
+                func: Arc::new(func),
+                args,
+            },
+        ));
     }
 
     /// Inserts an if/then guarded pair at `addr`
@@ -333,7 +339,10 @@ mod tests {
             inner: Counter::default(),
             own: 0,
         };
-        let ctx = CallCtx { pc: 0x10, args: &[] };
+        let ctx = CallCtx {
+            pc: 0x10,
+            args: &[],
+        };
         let mut ctl = EngineCtl::default();
         for (_, _, call) in outer.into_calls() {
             if let Call::Plain { func, .. } = call {

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # superpin-dbi
 //!
@@ -52,12 +53,18 @@ pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod inserter;
+pub mod spill;
 pub mod tool;
 pub mod trace;
 
-pub use cache::{CacheStats, CodeCache};
+pub use cache::{CacheStats, CodeCache, InsertedCall};
 pub use cost::{cycles_to_secs, secs_to_cycles, CostModel, CYCLES_PER_SEC};
 pub use engine::{cycles_to_ns, CycleBreakdown, Engine, EngineStats, EngineStop, RunResult};
 pub use inserter::{AnalysisFn, Call, CallCtx, EngineCtl, IArg, IPoint, Inserter, PredicateFn};
+pub use spill::{analysis_clobbers, ClobberViolation};
 pub use tool::{NullTool, Pintool};
 pub use trace::{discover_trace, BasicBlock, InstRef, Trace};
+
+// Re-exported so DBI consumers can build and install liveness without
+// depending on `superpin-analysis` directly.
+pub use superpin_analysis::{LiveMap, RegSet};

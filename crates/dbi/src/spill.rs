@@ -1,0 +1,103 @@
+//! Register save/restore planning for analysis calls.
+//!
+//! Invoking an inserted analysis routine clobbers a fixed set of guest
+//! registers (the call's scratch/argument registers). The compiler must
+//! bracket every call with spills of the clobbered registers that are
+//! *live* at the insertion point; registers proven dead there need no
+//! save/restore, which is the paper's motivation for keeping inserted
+//! calls cheap ("register save/restore + call + return" in the cost
+//! model).
+//!
+//! Two consumers are built on this module:
+//!
+//! * **Elision** — [`CodeCache::compile`](crate::cache::CodeCache::compile)
+//!   intersects the clobber set with a [`LiveMap`](superpin_analysis::LiveMap)
+//!   (when one is installed via
+//!   [`Engine::set_liveness`](crate::Engine::set_liveness)) so the engine
+//!   charges [`save_restore_per_reg`](crate::CostModel::save_restore_per_reg)
+//!   only for registers that are actually live. Without liveness the full
+//!   clobber set is saved, which by construction costs exactly the legacy
+//!   flat [`analysis_call`](crate::CostModel::analysis_call).
+//! * **Verification** — in debug/test builds the compiler re-checks every
+//!   planned save set against the rule `saves ⊇ clobbers ∩ live` and
+//!   records a [`ClobberViolation`] for each inserted call that would
+//!   corrupt a live register.
+
+use std::fmt;
+use superpin_analysis::RegSet;
+use superpin_isa::Reg;
+
+use crate::inserter::IPoint;
+
+/// The guest registers an analysis-call invocation clobbers: the
+/// syscall/scratch register plus the first three argument registers,
+/// which the modeled calling convention uses for marshalling
+/// [`IArg`](crate::IArg) values.
+pub fn analysis_clobbers() -> RegSet {
+    RegSet::from_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3])
+}
+
+/// One clobber-safety violation found while compiling instrumentation:
+/// an analysis call whose planned save set misses a clobbered register
+/// that is live at the insertion point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClobberViolation {
+    /// Address of the instrumented instruction.
+    pub addr: u64,
+    /// Whether the offending call runs before or after the instruction.
+    pub point: IPoint,
+    /// Index of the call within its before/after list.
+    pub call_index: usize,
+    /// Clobbered-and-live registers the save set fails to cover.
+    pub missing: RegSet,
+    /// The full live set at the insertion point.
+    pub live: RegSet,
+}
+
+impl fmt::Display for ClobberViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let point = match self.point {
+            IPoint::Before => "before",
+            IPoint::After => "after",
+        };
+        write!(
+            f,
+            "analysis call {} {:#x} (#{}) clobbers live register(s) {:?} without saving them \
+             (live set {:?})",
+            point, self.addr, self.call_index, self.missing, self.live
+        )
+    }
+}
+
+/// The registers an analysis call at a point with live set `live` must
+/// save and restore: every clobbered register that is live there.
+pub fn required_saves(live: RegSet) -> RegSet {
+    analysis_clobbers().intersect(live)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_saves_is_clobbers_intersect_live() {
+        let live = RegSet::from_regs(&[Reg::R0, Reg::R8]);
+        assert_eq!(required_saves(live), RegSet::from_regs(&[Reg::R0]));
+        assert_eq!(required_saves(RegSet::ALL), analysis_clobbers());
+        assert_eq!(required_saves(RegSet::EMPTY), RegSet::EMPTY);
+    }
+
+    #[test]
+    fn violation_renders_the_missing_registers() {
+        let v = ClobberViolation {
+            addr: 0x1000,
+            point: IPoint::Before,
+            call_index: 0,
+            missing: RegSet::from_regs(&[Reg::R1]),
+            live: RegSet::from_regs(&[Reg::R1, Reg::R8]),
+        };
+        let text = v.to_string();
+        assert!(text.contains("0x1000"), "{text}");
+        assert!(text.contains("r1"), "{text}");
+    }
+}

@@ -176,10 +176,7 @@ pub fn discover_trace_split(
             bbls.push(BasicBlock {
                 insts: std::mem::take(&mut current),
             });
-            if !continues
-                || bbls.len() >= MAX_BBLS_PER_TRACE
-                || total >= MAX_INSTS_PER_TRACE
-            {
+            if !continues || bbls.len() >= MAX_BBLS_PER_TRACE || total >= MAX_INSTS_PER_TRACE {
                 break;
             }
         } else if total >= MAX_INSTS_PER_TRACE {
@@ -207,9 +204,7 @@ mod tests {
 
     #[test]
     fn single_block_ends_at_jmp() {
-        let (mem, entry) = mem_for(
-            "main:\n nop\n nop\n jmp main\n",
-        );
+        let (mem, entry) = mem_for("main:\n nop\n nop\n jmp main\n");
         let trace = discover_trace(&mem, entry).expect("trace");
         assert_eq!(trace.bbls().len(), 1);
         assert_eq!(trace.num_insts(), 3);
@@ -256,7 +251,10 @@ mod tests {
         let (mem, entry) = mem_for(&src);
         let trace = discover_trace(&mem, entry).expect("trace");
         assert_eq!(trace.num_insts(), MAX_INSTS_PER_TRACE);
-        assert_eq!(trace.fallthrough(), entry + (MAX_INSTS_PER_TRACE as u64) * 8);
+        assert_eq!(
+            trace.fallthrough(),
+            entry + (MAX_INSTS_PER_TRACE as u64) * 8
+        );
     }
 
     #[test]

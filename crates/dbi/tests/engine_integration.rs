@@ -41,9 +41,13 @@ fn cache_flushes_do_not_affect_tool_results() {
     let truth = native.inst_count();
 
     // Capacity far below the ~120-inst loop body forces flushes.
-    let mut engine = Engine::with_config(process(&src), ICount::default(), CostModel::default(), 64);
+    let mut engine =
+        Engine::with_config(process(&src), ICount::default(), CostModel::default(), 64);
     engine.run_to_exit().expect("run");
-    assert!(engine.cache_stats().flushes > 0, "test must exercise flushing");
+    assert!(
+        engine.cache_stats().flushes > 0,
+        "test must exercise flushing"
+    );
     assert_eq!(engine.tool().count, truth);
     assert_eq!(engine.process().inst_count(), truth);
 }
@@ -196,12 +200,7 @@ fn after_calls_skipped_when_before_stop_fires() {
                     },
                     vec![],
                 );
-                inserter.insert_call(
-                    iref.addr,
-                    IPoint::After,
-                    |t, _, _| t.after += 1,
-                    vec![],
-                );
+                inserter.insert_call(iref.addr, IPoint::After, |t, _, _| t.after += 1, vec![]);
             }
         }
     }
@@ -291,7 +290,8 @@ fn self_modifying_code_invalidates_translations() {
 fn trace_discovery_agrees_with_execution_paths() {
     // Every dynamically executed pc must appear in some discovered trace
     // starting from the addresses the engine dispatched.
-    let src = "main:\n li r1, 3\nloop:\n subi r1, r1, 1\n beq r1, r0, out\n jmp loop\nout:\n exit 0\n";
+    let src =
+        "main:\n li r1, 3\nloop:\n subi r1, r1, 1\n beq r1, r0, out\n jmp loop\nout:\n exit 0\n";
     let mut engine = Engine::new(process(src), ICount::default());
     engine.run_to_exit().expect("run");
     // icount == dynamic count is the strongest available witness.

@@ -152,8 +152,11 @@ fn find_label_colon(line: &str) -> Option<usize> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn handle_directive(
@@ -212,7 +215,10 @@ fn handle_directive(
             builder.bss(&label, len as u64);
         }
         other => {
-            return Err(AsmError::new(lineno, format!("unknown directive `.{other}`")));
+            return Err(AsmError::new(
+                lineno,
+                format!("unknown directive `.{other}`"),
+            ));
         }
     }
     Ok(())
@@ -224,17 +230,23 @@ fn parse_int(text: &str, lineno: usize) -> Result<i64, AsmError> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).map_err(|_| {
-            AsmError::new(lineno, format!("invalid hexadecimal literal `{text}`"))
-        })?
+    let value = if let Some(hex) = digits
+        .strip_prefix("0x")
+        .or_else(|| digits.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+            .map_err(|_| AsmError::new(lineno, format!("invalid hexadecimal literal `{text}`")))?
     } else {
         digits
             .parse::<u64>()
             .map_err(|_| AsmError::new(lineno, format!("invalid integer literal `{text}`")))?
     };
     let value = value as i64;
-    Ok(if negative { value.wrapping_neg() } else { value })
+    Ok(if negative {
+        value.wrapping_neg()
+    } else {
+        value
+    })
 }
 
 fn parse_int_list(text: &str, lineno: usize) -> Result<Vec<i64>, AsmError> {
@@ -272,7 +284,10 @@ fn parse_mem_operand(token: &str, lineno: usize) -> Result<(i32, Reg), AsmError>
 }
 
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn expect_arity(ops: &[&str], want: usize, mnemonic: &str, lineno: usize) -> Result<(), AsmError> {
@@ -281,7 +296,10 @@ fn expect_arity(ops: &[&str], want: usize, mnemonic: &str, lineno: usize) -> Res
     } else {
         Err(AsmError::new(
             lineno,
-            format!("`{mnemonic}` expects {want} operand(s), found {}", ops.len()),
+            format!(
+                "`{mnemonic}` expects {want} operand(s), found {}",
+                ops.len()
+            ),
         ))
     }
 }
@@ -380,7 +398,10 @@ fn parse_instruction(
             expect_arity(&ops, 2, mnemonic, lineno)?;
             let rd = parse_reg(ops[0], lineno)?;
             if !is_ident(ops[1]) {
-                return Err(AsmError::new(lineno, format!("invalid symbol `{}`", ops[1])));
+                return Err(AsmError::new(
+                    lineno,
+                    format!("invalid symbol `{}`", ops[1]),
+                ));
             }
             builder.la(rd, ops[1]);
         }
@@ -510,12 +531,34 @@ mod tests {
         .expect("assemble");
         assert_eq!(program.symbol("table").map(|s| s.addr), Some(DATA_BASE));
         assert_eq!(program.symbol("buf").map(|s| s.addr), Some(DATA_BASE + 24));
-        assert_eq!(program.symbol("bytes").map(|s| s.addr), Some(DATA_BASE + 56));
+        assert_eq!(
+            program.symbol("bytes").map(|s| s.addr),
+            Some(DATA_BASE + 56)
+        );
         assert_eq!(&program.data()[16..24], &9u64.to_le_bytes());
         let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
-        assert!(matches!(insts[1], Inst::Ld { width: MemWidth::D, offset: 16, .. }));
-        assert!(matches!(insts[2], Inst::Ld { width: MemWidth::W, .. }));
-        assert!(matches!(insts[3], Inst::St { width: MemWidth::B, .. }));
+        assert!(matches!(
+            insts[1],
+            Inst::Ld {
+                width: MemWidth::D,
+                offset: 16,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insts[2],
+            Inst::Ld {
+                width: MemWidth::W,
+                ..
+            }
+        ));
+        assert!(matches!(
+            insts[3],
+            Inst::St {
+                width: MemWidth::B,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -533,7 +576,14 @@ mod tests {
         .expect("assemble");
         let insts: Vec<Inst> = program.instructions().map(|(_, i)| i).collect();
         assert!(matches!(insts[0], Inst::Jal { rd: Reg::RA, .. }));
-        assert!(matches!(insts[5], Inst::Jalr { rs: Reg::RA, offset: 0, .. }));
+        assert!(matches!(
+            insts[5],
+            Inst::Jalr {
+                rs: Reg::RA,
+                offset: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -589,10 +639,8 @@ mod tests {
 
     #[test]
     fn comments_are_ignored() {
-        let program = assemble(
-            "; leading comment\nmain: exit 0 ; trailing\n# hash comment\n",
-        )
-        .expect("assemble");
+        let program = assemble("; leading comment\nmain: exit 0 ; trailing\n# hash comment\n")
+            .expect("assemble");
         assert_eq!(program.static_inst_count(), 3);
     }
 }

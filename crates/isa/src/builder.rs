@@ -161,32 +161,62 @@ impl ProgramBuilder {
 
     /// `rd := rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd := rs1 - rs2`.
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd := rs1 * rs2`.
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd := rs1 ^ rs2`.
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd := rs1 & rs2`.
     pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd := rs1 | rs2`.
     pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+        self.inst(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// Generic register-form ALU operation.
@@ -196,7 +226,12 @@ impl ProgramBuilder {
 
     /// `rd := rs1 + imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Add, rd, rs1, imm })
+        self.inst(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd := rs1 - imm` (encoded as `addi` with a negated immediate).
@@ -206,22 +241,42 @@ impl ProgramBuilder {
 
     /// `rd := rs1 * imm`.
     pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Mul, rd, rs1, imm })
+        self.inst(Inst::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd := rs1 & imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::And, rd, rs1, imm })
+        self.inst(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd := rs1 << imm`.
     pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Shl, rd, rs1, imm })
+        self.inst(Inst::AluImm {
+            op: AluOp::Shl,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `rd := rs1 >> imm` (logical).
     pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Shr, rd, rs1, imm })
+        self.inst(Inst::AluImm {
+            op: AluOp::Shr,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// Generic immediate-form ALU operation.
@@ -250,22 +305,42 @@ impl ProgramBuilder {
 
     /// 64-bit load: `rd := mem[base + offset]`.
     pub fn ld(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::Ld { rd, base, offset, width: MemWidth::D })
+        self.inst(Inst::Ld {
+            rd,
+            base,
+            offset,
+            width: MemWidth::D,
+        })
     }
 
     /// 64-bit store: `mem[base + offset] := rs`.
     pub fn st(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::St { rs, base, offset, width: MemWidth::D })
+        self.inst(Inst::St {
+            rs,
+            base,
+            offset,
+            width: MemWidth::D,
+        })
     }
 
     /// Load with explicit width.
     pub fn ld_w(&mut self, width: MemWidth, rd: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::Ld { rd, base, offset, width })
+        self.inst(Inst::Ld {
+            rd,
+            base,
+            offset,
+            width,
+        })
     }
 
     /// Store with explicit width.
     pub fn st_w(&mut self, width: MemWidth, rs: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::St { rs, base, offset, width })
+        self.inst(Inst::St {
+            rs,
+            base,
+            offset,
+            width,
+        })
     }
 
     // --- control flow -----------------------------------------------------
@@ -297,7 +372,11 @@ impl ProgramBuilder {
     /// (unused) fall-through address, matching the ISA's read-then-write
     /// `jalr` semantics.
     pub fn ret(&mut self) -> &mut Self {
-        self.inst(Inst::Jalr { rd: Reg::RA, rs: Reg::RA, offset: 0 })
+        self.inst(Inst::Jalr {
+            rd: Reg::RA,
+            rs: Reg::RA,
+            offset: 0,
+        })
     }
 
     /// Conditional branch to a label.
@@ -416,8 +495,13 @@ impl ProgramBuilder {
         for pending in &self.insts {
             let inst = match pending {
                 Pending::Ready(inst) => *inst,
-                Pending::Jmp(label) => Inst::Jmp { target: resolve(label)? },
-                Pending::Jal(rd, label) => Inst::Jal { rd: *rd, target: resolve(label)? },
+                Pending::Jmp(label) => Inst::Jmp {
+                    target: resolve(label)?,
+                },
+                Pending::Jal(rd, label) => Inst::Jal {
+                    rd: *rd,
+                    target: resolve(label)?,
+                },
                 Pending::Branch(kind, rs1, rs2, label) => Inst::Branch {
                     kind: *kind,
                     rs1: *rs1,
@@ -433,10 +517,7 @@ impl ProgramBuilder {
         }
 
         let entry_label = self.entry_label.as_deref().unwrap_or("main");
-        let entry = *self
-            .labels
-            .get(entry_label)
-            .ok_or(BuildError::NoEntry)?;
+        let entry = *self.labels.get(entry_label).ok_or(BuildError::NoEntry)?;
 
         let mut symbols: Vec<Symbol> = self
             .labels
@@ -532,7 +613,13 @@ mod tests {
         let program = b.build().expect("build");
         assert_eq!(table, DATA_BASE);
         let (first, _) = program.decode_at(program.entry()).expect("decode");
-        assert_eq!(first, Inst::Li { rd: Reg::R2, imm: DATA_BASE as i64 });
+        assert_eq!(
+            first,
+            Inst::Li {
+                rd: Reg::R2,
+                imm: DATA_BASE as i64
+            }
+        );
         assert_eq!(&program.data()[8..16], &20u64.to_le_bytes());
     }
 

@@ -66,18 +66,15 @@ mod tests {
 
     #[test]
     fn branch_targets_are_annotated() {
-        let program =
-            assemble("main:\nloop:\n nop\n jmp loop\n").expect("assemble");
+        let program = assemble("main:\nloop:\n nop\n jmp loop\n").expect("assemble");
         let listing = disassemble(&program);
         assert!(listing.contains("; -> loop") || listing.contains("; -> main"));
     }
 
     #[test]
     fn mid_symbol_targets_show_offsets() {
-        let program = assemble(
-            "main:\n nop\n nop\n jmp target\n target: exit 0\n",
-        )
-        .expect("assemble");
+        let program =
+            assemble("main:\n nop\n nop\n jmp target\n target: exit 0\n").expect("assemble");
         // `target` is its own label, so the jump annotates exactly.
         let listing = disassemble(&program);
         assert!(listing.contains("; -> target"));

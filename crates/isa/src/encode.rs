@@ -68,14 +68,9 @@ fn pack(op: Opcode, sub: u8, r1: u8, r2: u8, r3: u8, imm: u32) -> u64 {
 pub fn encode(inst: Inst, out: &mut Vec<u8>) {
     let word = match inst {
         Inst::Nop => pack(Opcode::Nop, 0, 0, 0, 0, 0),
-        Inst::Alu { op, rd, rs1, rs2 } => pack(
-            Opcode::Alu,
-            op.to_byte(),
-            rd.raw(),
-            rs1.raw(),
-            rs2.raw(),
-            0,
-        ),
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            pack(Opcode::Alu, op.to_byte(), rd.raw(), rs1.raw(), rs2.raw(), 0)
+        }
         Inst::AluImm { op, rd, rs1, imm } => pack(
             Opcode::AluImm,
             op.to_byte(),
@@ -125,14 +120,9 @@ pub fn encode(inst: Inst, out: &mut Vec<u8>) {
             let t = u32::try_from(target).expect("call target exceeds 32-bit encoding field");
             pack(Opcode::Jal, 0, rd.raw(), 0, 0, t)
         }
-        Inst::Jalr { rd, rs, offset } => pack(
-            Opcode::Jalr,
-            0,
-            rd.raw(),
-            rs.raw(),
-            0,
-            offset as u32,
-        ),
+        Inst::Jalr { rd, rs, offset } => {
+            pack(Opcode::Jalr, 0, rd.raw(), rs.raw(), 0, offset as u32)
+        }
         Inst::Branch {
             kind,
             rs1,
@@ -140,14 +130,7 @@ pub fn encode(inst: Inst, out: &mut Vec<u8>) {
             target,
         } => {
             let t = u32::try_from(target).expect("branch target exceeds 32-bit encoding field");
-            pack(
-                Opcode::Branch,
-                kind.to_nibble(),
-                rs1.raw(),
-                rs2.raw(),
-                0,
-                t,
-            )
+            pack(Opcode::Branch, kind.to_nibble(), rs1.raw(), rs2.raw(), 0, t)
         }
         Inst::Syscall => pack(Opcode::Syscall, 0, 0, 0, 0, 0),
         Inst::Halt => pack(Opcode::Halt, 0, 0, 0, 0, 0),
@@ -222,9 +205,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
             offset: imm as i32,
             width: MemWidth::from_nibble(sub).ok_or(DecodeError::BadSubOp(sub))?,
         },
-        Opcode::Jmp => Inst::Jmp {
-            target: imm as u64,
-        },
+        Opcode::Jmp => Inst::Jmp { target: imm as u64 },
         Opcode::Jal => Inst::Jal {
             rd: reg_field(r1)?,
             target: imm as u64,
@@ -320,7 +301,13 @@ mod tests {
         assert_eq!(decode(&[0u8; 4]), Err(DecodeError::Truncated));
         // Li needs 16 bytes.
         let mut buf = Vec::new();
-        encode(Inst::Li { rd: Reg::R1, imm: 7 }, &mut buf);
+        encode(
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 7,
+            },
+            &mut buf,
+        );
         assert_eq!(decode(&buf[..8]), Err(DecodeError::Truncated));
     }
 
@@ -386,8 +373,11 @@ mod tests {
                 rd,
                 target: t as u64
             }),
-            (arb_reg(), arb_reg(), any::<i32>())
-                .prop_map(|(rd, rs, offset)| Inst::Jalr { rd, rs, offset }),
+            (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, offset)| Inst::Jalr {
+                rd,
+                rs,
+                offset
+            }),
             (0u8..6, arb_reg(), arb_reg(), any::<u32>()).prop_map(|(k, rs1, rs2, t)| {
                 Inst::Branch {
                     kind: BranchKind::from_nibble(k).expect("valid"),

@@ -496,7 +496,14 @@ mod tests {
     #[test]
     fn sizes_and_block_ends() {
         assert_eq!(Inst::Nop.size_bytes(), 8);
-        assert_eq!(Inst::Li { rd: Reg::R1, imm: 0 }.size_bytes(), 16);
+        assert_eq!(
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 0
+            }
+            .size_bytes(),
+            16
+        );
         assert!(Inst::Syscall.ends_basic_block());
         assert!(Inst::Halt.ends_basic_block());
         assert!(!Inst::Nop.ends_basic_block());

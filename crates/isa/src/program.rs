@@ -198,8 +198,8 @@ impl Program {
             return Err(ProgramError::AddrOutOfCode(addr));
         }
         let offset = (addr - self.code_base) as usize;
-        let (inst, len) = decode(&self.code[offset..])
-            .map_err(|source| ProgramError::Decode { addr, source })?;
+        let (inst, len) =
+            decode(&self.code[offset..]).map_err(|source| ProgramError::Decode { addr, source })?;
         Ok((inst, len as u64))
     }
 
@@ -246,7 +246,13 @@ mod tests {
 
     fn tiny_program() -> Program {
         let mut code = Vec::new();
-        encode(Inst::Li { rd: Reg::R0, imm: 0 }, &mut code);
+        encode(
+            Inst::Li {
+                rd: Reg::R0,
+                imm: 0,
+            },
+            &mut code,
+        );
         encode(Inst::Syscall, &mut code);
         Program::from_parts(
             code,
@@ -282,7 +288,13 @@ mod tests {
     fn decode_at_walks_variable_length() {
         let program = tiny_program();
         let (first, len) = program.decode_at(CODE_BASE).expect("decode first");
-        assert_eq!(first, Inst::Li { rd: Reg::R0, imm: 0 });
+        assert_eq!(
+            first,
+            Inst::Li {
+                rd: Reg::R0,
+                imm: 0
+            }
+        );
         assert_eq!(len, 16);
         let (second, _) = program.decode_at(CODE_BASE + 16).expect("decode second");
         assert_eq!(second, Inst::Syscall);

@@ -110,7 +110,9 @@ mod tests {
         let sched = QuantumScheduler::new(Machine::smp(4), Policy::FairShare);
         let shares = sched.shares(&[1, 2, 3]);
         assert_eq!(shares.len(), 3);
-        assert!(shares.windows(2).all(|w| w[0].throughput == w[1].throughput));
+        assert!(shares
+            .windows(2)
+            .all(|w| w[0].throughput == w[1].throughput));
         assert!(shares[0].throughput < 1.0, "SMP tax applies");
     }
 

@@ -1,8 +1,8 @@
 //! Basic-block execution profiling (Pin's classic `bblcount` shape).
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use superpin::{SharedMem, SuperTool};
 use superpin_dbi::{IPoint, Inserter, Pintool, Trace};
 
@@ -30,12 +30,18 @@ impl BblCount {
 
     /// Snapshot of the merged table.
     pub fn merged_blocks(&self) -> BTreeMap<u64, u64> {
-        self.merged.lock().clone()
+        self.merged.lock().expect("mutex poisoned").clone()
     }
 
     /// The `n` hottest blocks, descending, from the merged table.
     pub fn hottest(&self, n: usize) -> Vec<(u64, u64)> {
-        let mut blocks: Vec<(u64, u64)> = self.merged.lock().iter().map(|(&a, &c)| (a, c)).collect();
+        let mut blocks: Vec<(u64, u64)> = self
+            .merged
+            .lock()
+            .expect("mutex poisoned")
+            .iter()
+            .map(|(&a, &c)| (a, c))
+            .collect();
         blocks.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         blocks.truncate(n);
         blocks
@@ -65,7 +71,7 @@ impl SuperTool for BblCount {
     }
 
     fn on_slice_end(&mut self, _slice_num: u32, _shared: &SharedMem) {
-        let mut merged = self.merged.lock();
+        let mut merged = self.merged.lock().expect("mutex poisoned");
         for (&addr, &count) in &self.local {
             *merged.entry(addr).or_insert(0) += count;
         }
@@ -81,13 +87,11 @@ mod tests {
 
     #[test]
     fn loop_head_is_hottest() {
-        let program = assemble(
-            "main:\n li r1, 50\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        )
-        .expect("assemble");
+        let program =
+            assemble("main:\n li r1, 50\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")
+                .expect("assemble");
         let loop_head = program.entry() + 16;
-        let pin = run_pin(Process::load(1, &program).expect("load"), BblCount::new())
-            .expect("pin");
+        let pin = run_pin(Process::load(1, &program).expect("load"), BblCount::new()).expect("pin");
         let blocks = pin.tool.local_blocks();
         // The first pass through the loop body runs inside the entry
         // trace's block (blocks split at control flow, and `li` falls

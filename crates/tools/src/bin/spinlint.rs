@@ -1,0 +1,186 @@
+//! `spinlint` — static lints over superpin programs.
+//!
+//! Runs the `superpin-analysis` lint suite (undefined register reads,
+//! unreachable blocks, fall-off-end, stack imbalance, dead stores)
+//! over assembly files or generated workloads and prints the findings
+//! compiler-style.
+//!
+//! ```text
+//! spinlint prog.s another.s      # lint assembly source files
+//! spinlint --workload gcc        # lint one generated workload
+//! spinlint --all-workloads       # lint the whole catalog
+//! ```
+//!
+//! Exit status: 0 if every linted program is free of errors and
+//! warnings (info findings are advisory), 1 otherwise, 2 on usage or
+//! input errors.
+
+use std::process::ExitCode;
+
+use superpin_analysis::{run_lints, LintReport, Severity};
+use superpin_isa::{asm, Program};
+use superpin_workloads::{catalog, find, Scale};
+
+const USAGE: &str = "\
+usage: spinlint [options] [file.s ...]
+  <file.s>            lint assembly source files
+  --workload <name>   lint the generated workload <name>
+  --all-workloads     lint every workload in the catalog
+  --scale <s>         workload scale: tiny | small | medium | large (default tiny)
+  --input <n>         workload input id (default 0)
+  --quiet             suppress info-severity findings
+  --help              show this help";
+
+struct Options {
+    files: Vec<String>,
+    workloads: Vec<String>,
+    all_workloads: bool,
+    scale: Scale,
+    input: u64,
+    quiet: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        files: Vec::new(),
+        workloads: Vec::new(),
+        all_workloads: false,
+        scale: Scale::Tiny,
+        input: 0,
+        quiet: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workload" => {
+                let name = iter.next().ok_or("--workload needs a name")?;
+                options.workloads.push(name.clone());
+            }
+            "--all-workloads" => options.all_workloads = true,
+            "--scale" => {
+                options.scale = match iter.next().map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("medium") => Scale::Medium,
+                    Some("large") => Scale::Large,
+                    Some(other) => return Err(format!("unknown scale `{other}`")),
+                    None => return Err("--scale needs a value".to_owned()),
+                };
+            }
+            "--input" => {
+                let raw = iter.next().ok_or("--input needs a value")?;
+                options.input = raw.parse().map_err(|_| format!("bad input id `{raw}`"))?;
+            }
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            file => options.files.push(file.to_owned()),
+        }
+    }
+    if options.files.is_empty() && options.workloads.is_empty() && !options.all_workloads {
+        return Err("nothing to lint".to_owned());
+    }
+    Ok(options)
+}
+
+/// Lints one program; returns true if it is clean of errors/warnings.
+fn lint_one(name: &str, program: &Program, quiet: bool) -> bool {
+    let report = match run_lints(program) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("{name}: analysis failed: {e}");
+            return false;
+        }
+    };
+    print_report(name, &report, quiet);
+    report.is_clean()
+}
+
+fn print_report(name: &str, report: &LintReport, quiet: bool) {
+    let mut shown = 0usize;
+    for finding in report.findings() {
+        if quiet && finding.severity() == Severity::Info {
+            continue;
+        }
+        println!("{name}: {finding}");
+        shown += 1;
+    }
+    let suppressed = report.findings().len() - shown;
+    let status = if report.is_clean() { "clean" } else { "DIRTY" };
+    println!(
+        "{name}: {} — {} error(s), {} warning(s), {} info ({} shown)",
+        status,
+        report.errors(),
+        report.warnings(),
+        report.infos(),
+        report.findings().len() - suppressed,
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("spinlint: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut all_clean = true;
+    for path in &options.files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("spinlint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match asm::assemble(&source) {
+            Ok(program) => all_clean &= lint_one(path, &program, options.quiet),
+            Err(e) => {
+                eprintln!("spinlint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut specs = Vec::new();
+    if options.all_workloads {
+        specs.extend(catalog());
+    } else {
+        for name in &options.workloads {
+            match find(name) {
+                Some(spec) => specs.push(spec),
+                None => {
+                    eprintln!(
+                        "spinlint: unknown workload `{name}` (try one of: {})",
+                        catalog()
+                            .iter()
+                            .map(|s| s.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    for spec in specs {
+        let program = spec.build_with_input(options.scale, options.input);
+        all_clean &= lint_one(spec.name, &program, options.quiet);
+    }
+
+    if all_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

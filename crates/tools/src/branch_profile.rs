@@ -1,8 +1,8 @@
 //! Per-branch-site taken/fall-through profiling.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use superpin::{SharedMem, SuperTool};
 use superpin_dbi::{IArg, IPoint, Inserter, Pintool, Trace};
 use superpin_isa::Inst;
@@ -50,7 +50,7 @@ impl BranchProfile {
 
     /// Snapshot of the merged table.
     pub fn merged_sites(&self) -> BTreeMap<u64, BranchSiteStats> {
-        self.merged.lock().clone()
+        self.merged.lock().expect("mutex poisoned").clone()
     }
 
     fn observe(&mut self, pc: u64, taken: bool) {
@@ -88,7 +88,7 @@ impl SuperTool for BranchProfile {
     }
 
     fn on_slice_end(&mut self, _slice_num: u32, _shared: &SharedMem) {
-        let mut merged = self.merged.lock();
+        let mut merged = self.merged.lock().expect("mutex poisoned");
         for (&pc, &stats) in &self.local {
             let entry = merged.entry(pc).or_default();
             entry.taken += stats.taken;
@@ -106,13 +106,15 @@ mod tests {
 
     #[test]
     fn profiles_loop_branch() {
-        let program = assemble(
-            "main:\n li r1, 10\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        )
-        .expect("assemble");
+        let program =
+            assemble("main:\n li r1, 10\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")
+                .expect("assemble");
         let branch_pc = program.entry() + 24;
-        let pin = run_pin(Process::load(1, &program).expect("load"), BranchProfile::new())
-            .expect("pin");
+        let pin = run_pin(
+            Process::load(1, &program).expect("load"),
+            BranchProfile::new(),
+        )
+        .expect("pin");
         let sites = pin.tool.local_sites();
         let site = sites[&branch_pc];
         assert_eq!(site.taken, 9);
@@ -134,6 +136,12 @@ mod tests {
         slice2.observe(0x10, true);
         slice2.on_slice_end(2, &shared);
         let merged = slice2.merged_sites();
-        assert_eq!(merged[&0x10], BranchSiteStats { taken: 2, not_taken: 1 });
+        assert_eq!(
+            merged[&0x10],
+            BranchSiteStats {
+                taken: 2,
+                not_taken: 1
+            }
+        );
     }
 }

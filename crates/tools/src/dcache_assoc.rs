@@ -346,10 +346,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn sliced_result(
-        cfg: AssocDCacheConfig,
-        chunks: &[&[u64]],
-    ) -> DCacheResult {
+    fn sliced_result(cfg: AssocDCacheConfig, chunks: &[&[u64]]) -> DCacheResult {
         let shared = SharedMem::new();
         let template = AssocDCache::new(&shared, cfg);
         let mut tool = template.clone();

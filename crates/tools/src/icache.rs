@@ -81,10 +81,9 @@ mod tests {
 
     #[test]
     fn hot_loop_hits_after_cold_fetches() {
-        let program = assemble(
-            "main:\n li r1, 100\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        )
-        .expect("assemble");
+        let program =
+            assemble("main:\n li r1, 100\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")
+                .expect("assemble");
         let shared = SharedMem::new();
         let pin = run_pin(
             Process::load(1, &program).expect("load"),

@@ -130,8 +130,7 @@ mod tests {
     use superpin_isa::asm::assemble;
     use superpin_vm::process::Process;
 
-    const SRC: &str =
-        "main:\n li r1, 300\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+    const SRC: &str = "main:\n li r1, 300\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
 
     fn process() -> Process {
         Process::load(1, &assemble(SRC).expect("assemble")).expect("load")

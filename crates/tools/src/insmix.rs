@@ -44,9 +44,7 @@ impl MixCategory {
             Inst::Ld { .. } => MixCategory::Load,
             Inst::St { .. } => MixCategory::Store,
             Inst::Branch { .. } => MixCategory::Branch,
-            Inst::Jmp { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => {
-                MixCategory::ControlTransfer
-            }
+            Inst::Jmp { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => MixCategory::ControlTransfer,
             Inst::Syscall => MixCategory::Syscall,
             Inst::Halt | Inst::Nop => MixCategory::Other,
         }
@@ -177,20 +175,46 @@ mod tests {
         let cases = [
             (Inst::Nop, MixCategory::Other),
             (
-                Inst::Alu { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 },
+                Inst::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::R1,
+                    rs1: Reg::R2,
+                    rs2: Reg::R3,
+                },
                 MixCategory::Alu,
             ),
-            (Inst::Li { rd: Reg::R1, imm: 1 }, MixCategory::Alu),
             (
-                Inst::Ld { rd: Reg::R1, base: Reg::R2, offset: 0, width: MemWidth::D },
+                Inst::Li {
+                    rd: Reg::R1,
+                    imm: 1,
+                },
+                MixCategory::Alu,
+            ),
+            (
+                Inst::Ld {
+                    rd: Reg::R1,
+                    base: Reg::R2,
+                    offset: 0,
+                    width: MemWidth::D,
+                },
                 MixCategory::Load,
             ),
             (
-                Inst::St { rs: Reg::R1, base: Reg::R2, offset: 0, width: MemWidth::D },
+                Inst::St {
+                    rs: Reg::R1,
+                    base: Reg::R2,
+                    offset: 0,
+                    width: MemWidth::D,
+                },
                 MixCategory::Store,
             ),
             (
-                Inst::Branch { kind: BranchKind::Eq, rs1: Reg::R1, rs2: Reg::R2, target: 0 },
+                Inst::Branch {
+                    kind: BranchKind::Eq,
+                    rs1: Reg::R1,
+                    rs2: Reg::R2,
+                    target: 0,
+                },
                 MixCategory::Branch,
             ),
             (Inst::Jmp { target: 0 }, MixCategory::ControlTransfer),
@@ -223,8 +247,11 @@ mod tests {
         .expect("assemble");
         let native = run_native(Process::load(1, &program).expect("load")).expect("native");
         let shared = SharedMem::new();
-        let pin = run_pin(Process::load(1, &program).expect("load"), InsMix::new(&shared))
-            .expect("pin");
+        let pin = run_pin(
+            Process::load(1, &program).expect("load"),
+            InsMix::new(&shared),
+        )
+        .expect("pin");
         let mix = pin.tool.local_counts();
         assert_eq!(mix.total(), native.insts);
         assert_eq!(mix.get(MixCategory::Load), 20);

@@ -74,16 +74,11 @@ mod tests {
 
     #[test]
     fn serial_trace_follows_execution_order() {
-        let program = assemble(
-            "main:\n li r1, 2\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        )
-        .expect("assemble");
+        let program =
+            assemble("main:\n li r1, 2\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n")
+                .expect("assemble");
         let entry = program.entry();
-        let pin = run_pin(
-            Process::load(1, &program).expect("load"),
-            ITrace::new(),
-        )
-        .expect("pin");
+        let pin = run_pin(Process::load(1, &program).expect("load"), ITrace::new()).expect("pin");
         let trace = ITrace::decode(pin.tool.local_buffer());
         assert_eq!(trace.len() as u64, pin.insts);
         assert_eq!(trace[0], entry);

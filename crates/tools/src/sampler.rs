@@ -7,9 +7,9 @@
 //! `sample_budget` instructions of each slice, then ends the slice
 //! immediately — the un-sampled remainder of the span costs nothing.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use superpin::{SharedMem, SuperTool};
 use superpin_dbi::{IPoint, Inserter, Pintool, Trace};
 
@@ -46,12 +46,12 @@ impl Sampler {
 
     /// Merged histogram: code bucket → samples.
     pub fn merged_histogram(&self) -> BTreeMap<u64, u64> {
-        self.merged.lock().clone()
+        self.merged.lock().expect("mutex poisoned").clone()
     }
 
     /// Total samples merged.
     pub fn merged_samples(&self) -> u64 {
-        *self.total_samples.lock()
+        *self.total_samples.lock().expect("mutex poisoned")
     }
 }
 
@@ -87,11 +87,11 @@ impl SuperTool for Sampler {
     }
 
     fn on_slice_end(&mut self, _slice_num: u32, _shared: &SharedMem) {
-        let mut merged = self.merged.lock();
+        let mut merged = self.merged.lock().expect("mutex poisoned");
         for (&bucket, &count) in &self.local {
             *merged.entry(bucket).or_insert(0) += count;
         }
-        *self.total_samples.lock() += self.sampled;
+        *self.total_samples.lock().expect("mutex poisoned") += self.sampled;
     }
 }
 
@@ -105,12 +105,15 @@ mod tests {
         // Drive the analysis closure directly.
         let mut sampler = Sampler::new(3);
         sampler.reset(1);
-        let ctx = CallCtx { pc: 0x100, args: &[] };
+        let ctx = CallCtx {
+            pc: 0x100,
+            args: &[],
+        };
         for i in 0..3 {
             let mut ctl = EngineCtl::default();
             sampler.sampled += 0; // explicit: state drives the check
-            // Reimplement the closure body to keep the test independent
-            // of instrumentation plumbing (covered by integration tests).
+                                  // Reimplement the closure body to keep the test independent
+                                  // of instrumentation plumbing (covered by integration tests).
             sampler.sampled += 1;
             *sampler.local.entry(ctx.pc / BUCKET_BYTES).or_insert(0) += 1;
             if sampler.sampled >= sampler.sample_budget() {

@@ -85,8 +85,7 @@ pub fn fetch(cpu: &CpuState, mem: &AddressSpace) -> Result<(Inst, u64), VmError>
         Err(DecodeError::Truncated) => {
             // Two-word instruction (`li`): fetch the payload word.
             mem.read(pc + 8, &mut buf[8..]).map_err(VmError::from)?;
-            let (inst, len) =
-                decode(&buf).map_err(|source| VmError::Decode { pc, source })?;
+            let (inst, len) = decode(&buf).map_err(|source| VmError::Decode { pc, source })?;
             Ok((inst, len as u64))
         }
         Err(source) => Err(VmError::Decode { pc, source }),
@@ -212,7 +211,8 @@ fn load(mem: &AddressSpace, addr: u64, width: MemWidth) -> Result<u64, VmError> 
 
 fn store(mem: &mut AddressSpace, addr: u64, value: u64, width: MemWidth) -> Result<(), VmError> {
     let bytes = value.to_le_bytes();
-    mem.write(addr, &bytes[..width.bytes()]).map_err(VmError::from)
+    mem.write(addr, &bytes[..width.bytes()])
+        .map_err(VmError::from)
 }
 
 #[cfg(test)]
@@ -229,7 +229,8 @@ mod tests {
         let mut mem = AddressSpace::new(0x0100_0000);
         mem.map_region(0x1000, code.len().max(1) as u64, RegionKind::Code)
             .expect("map code");
-        mem.map_region(0x8000, 4096, RegionKind::Data).expect("map data");
+        mem.map_region(0x8000, 4096, RegionKind::Data)
+            .expect("map data");
         mem.write(0x1000, &code).expect("write code");
         (mem, 0x1000)
     }
@@ -237,8 +238,16 @@ mod tests {
     #[test]
     fn alu_and_li_execute() {
         let (mut mem, entry) = space_with_code(&[
-            Inst::Li { rd: Reg::R1, imm: 40 },
-            Inst::AluImm { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R1, imm: 2 },
+            Inst::Li {
+                rd: Reg::R1,
+                imm: 40,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R1,
+                imm: 2,
+            },
         ]);
         let mut cpu = CpuState::at(entry);
         assert_eq!(step(&mut cpu, &mut mem).expect("step"), ExecOutcome::Next);
@@ -250,10 +259,26 @@ mod tests {
     #[test]
     fn loads_and_stores_round_trip() {
         let (mut mem, entry) = space_with_code(&[
-            Inst::Li { rd: Reg::R2, imm: 0x8000 },
-            Inst::Li { rd: Reg::R3, imm: 0x1_0000 },
-            Inst::St { rs: Reg::R3, base: Reg::R2, offset: 8, width: MemWidth::D },
-            Inst::Ld { rd: Reg::R4, base: Reg::R2, offset: 8, width: MemWidth::B },
+            Inst::Li {
+                rd: Reg::R2,
+                imm: 0x8000,
+            },
+            Inst::Li {
+                rd: Reg::R3,
+                imm: 0x1_0000,
+            },
+            Inst::St {
+                rs: Reg::R3,
+                base: Reg::R2,
+                offset: 8,
+                width: MemWidth::D,
+            },
+            Inst::Ld {
+                rd: Reg::R4,
+                base: Reg::R2,
+                offset: 8,
+                width: MemWidth::B,
+            },
         ]);
         let mut cpu = CpuState::at(entry);
         for _ in 0..4 {
@@ -267,9 +292,20 @@ mod tests {
     #[test]
     fn sub_word_store_truncates() {
         let (mut mem, entry) = space_with_code(&[
-            Inst::Li { rd: Reg::R2, imm: 0x8000 },
-            Inst::Li { rd: Reg::R3, imm: 0x1234_5678_9abc_def0 },
-            Inst::St { rs: Reg::R3, base: Reg::R2, offset: 0, width: MemWidth::H },
+            Inst::Li {
+                rd: Reg::R2,
+                imm: 0x8000,
+            },
+            Inst::Li {
+                rd: Reg::R3,
+                imm: 0x1234_5678_9abc_def0,
+            },
+            Inst::St {
+                rs: Reg::R3,
+                base: Reg::R2,
+                offset: 0,
+                width: MemWidth::H,
+            },
         ]);
         let mut cpu = CpuState::at(entry);
         for _ in 0..3 {
@@ -282,7 +318,12 @@ mod tests {
     fn branch_taken_and_not_taken() {
         let target = 0x1000 + 32;
         let (mut mem, entry) = space_with_code(&[
-            Inst::Branch { kind: superpin_isa::BranchKind::Eq, rs1: Reg::R1, rs2: Reg::R2, target },
+            Inst::Branch {
+                kind: superpin_isa::BranchKind::Eq,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                target,
+            },
             Inst::Nop,
             Inst::Nop,
             Inst::Nop,
@@ -301,9 +342,16 @@ mod tests {
     #[test]
     fn jal_links_and_jalr_returns() {
         let (mut mem, entry) = space_with_code(&[
-            Inst::Jal { rd: Reg::RA, target: 0x1000 + 16 },
+            Inst::Jal {
+                rd: Reg::RA,
+                target: 0x1000 + 16,
+            },
             Inst::Nop,
-            Inst::Jalr { rd: Reg::RA, rs: Reg::RA, offset: 0 },
+            Inst::Jalr {
+                rd: Reg::RA,
+                rs: Reg::RA,
+                offset: 0,
+            },
         ]);
         let mut cpu = CpuState::at(entry);
         step(&mut cpu, &mut mem).expect("jal");
@@ -317,7 +365,10 @@ mod tests {
     fn syscall_and_halt_stop_without_advancing() {
         let (mut mem, entry) = space_with_code(&[Inst::Syscall, Inst::Halt]);
         let mut cpu = CpuState::at(entry);
-        assert_eq!(step(&mut cpu, &mut mem).expect("step"), ExecOutcome::Syscall);
+        assert_eq!(
+            step(&mut cpu, &mut mem).expect("step"),
+            ExecOutcome::Syscall
+        );
         assert_eq!(cpu.pc, entry, "pc parked at syscall for the supervisor");
         cpu.pc = entry + 8;
         assert_eq!(step(&mut cpu, &mut mem).expect("step"), ExecOutcome::Halt);
@@ -341,6 +392,9 @@ mod tests {
         }]);
         let mut cpu = CpuState::at(entry);
         let err = step(&mut cpu, &mut mem).unwrap_err();
-        assert!(matches!(err, VmError::Mem(crate::mem::MemError::Unmapped(0))));
+        assert!(matches!(
+            err,
+            VmError::Mem(crate::mem::MemError::Unmapped(0))
+        ));
     }
 }

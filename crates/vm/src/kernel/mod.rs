@@ -20,7 +20,9 @@ pub use fs::{FdTable, FsError};
 use crate::cpu::CpuState;
 use crate::error::VmError;
 use crate::mem::AddressSpace;
-use bytes::Bytes;
+/// Cheaply-clonable immutable byte buffer for recorded syscall
+/// effects (stand-in for `bytes::Bytes`; the build is offline).
+pub type Bytes = std::sync::Arc<[u8]>;
 use std::fmt;
 use superpin_isa::Reg;
 
@@ -304,10 +306,7 @@ pub fn execute_syscall(
             match mem.map_anonymous(hint, args[1]) {
                 Ok(addr) => {
                     record.ret = addr;
-                    record.map_ops.push(MapOp::Map {
-                        addr,
-                        len: args[1],
-                    });
+                    record.map_ops.push(MapOp::Map { addr, len: args[1] });
                 }
                 Err(_) => record.ret = SYSCALL_ERROR,
             }
@@ -370,7 +369,9 @@ pub fn execute_syscall(
             let saved_ra = mem.read_u64(frame + 8)?;
             record.ret = 0;
             record.reg_writes.push((Reg::RA, saved_ra));
-            record.reg_writes.push((Reg::SP, frame + SIGNAL_FRAME_BYTES));
+            record
+                .reg_writes
+                .push((Reg::SP, frame + SIGNAL_FRAME_BYTES));
             record.pc_override = Some(resume_pc);
         }
     }
@@ -466,7 +467,13 @@ mod tests {
     fn write_to_stdout_collects_output() {
         let (mut cpu, mut mem, mut state) = setup();
         mem.write(0x8000, b"hi").expect("write");
-        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Write, &[1, 0x8000, 2]);
+        let record = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Write,
+            &[1, 0x8000, 2],
+        );
         assert_eq!(record.ret, 2);
         assert_eq!(state.fds.stdout(), b"hi");
         assert!(record.mem_writes.is_empty());
@@ -476,7 +483,13 @@ mod tests {
     fn read_from_stdin_records_memory_delta() {
         let (mut cpu, mut mem, mut state) = setup();
         state.fds.set_stdin(b"abcdef".to_vec());
-        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[0, 0x8000, 4]);
+        let record = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Read,
+            &[0, 0x8000, 4],
+        );
         assert_eq!(record.ret, 4);
         assert_eq!(mem.read_bytes(0x8000, 4).expect("read"), b"abcd");
         assert_eq!(record.mem_writes.len(), 1);
@@ -488,15 +501,40 @@ mod tests {
     fn open_write_read_file_round_trip() {
         let (mut cpu, mut mem, mut state) = setup();
         mem.write(0x8000, b"f.txt").expect("write name");
-        let open = call(&mut cpu, &mut mem, &mut state, SyscallNo::Open, &[0x8000, 5]);
+        let open = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Open,
+            &[0x8000, 5],
+        );
         let fd = open.ret;
         assert!(fd >= 3);
         mem.write(0x8100, b"data").expect("write payload");
-        call(&mut cpu, &mut mem, &mut state, SyscallNo::Write, &[fd, 0x8100, 4]);
+        call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Write,
+            &[fd, 0x8100, 4],
+        );
         call(&mut cpu, &mut mem, &mut state, SyscallNo::Close, &[fd]);
         // Re-open and read back.
-        let fd2 = call(&mut cpu, &mut mem, &mut state, SyscallNo::Open, &[0x8000, 5]).ret;
-        let read = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[fd2, 0x8200, 16]);
+        let fd2 = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Open,
+            &[0x8000, 5],
+        )
+        .ret;
+        let read = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Read,
+            &[fd2, 0x8200, 16],
+        );
         assert_eq!(read.ret, 4);
         assert_eq!(mem.read_bytes(0x8200, 4).expect("read"), b"data");
     }
@@ -504,7 +542,13 @@ mod tests {
     #[test]
     fn brk_and_mmap_record_map_ops() {
         let (mut cpu, mut mem, mut state) = setup();
-        let brk = call(&mut cpu, &mut mem, &mut state, SyscallNo::Brk, &[0x0100_2000]);
+        let brk = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Brk,
+            &[0x0100_2000],
+        );
         assert_eq!(brk.ret, 0x0100_2000);
         assert_eq!(brk.map_ops, vec![MapOp::Brk { brk: 0x0100_2000 }]);
 
@@ -554,7 +598,13 @@ mod tests {
         // Fork "slice" before the syscall runs in the master.
         let mut slice_cpu = cpu;
         let mut slice_mem = mem.fork();
-        let record = call(&mut cpu, &mut mem, &mut state, SyscallNo::Read, &[0, 0x8000, 3]);
+        let record = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Read,
+            &[0, 0x8000, 3],
+        );
 
         // Slice plays back instead of executing.
         slice_cpu.regs.set(Reg::R0, SyscallNo::Read as u64);
@@ -611,7 +661,13 @@ mod signal_tests {
     #[test]
     fn sigaction_installs_handler() {
         let (mut cpu, mut mem, mut state) = setup();
-        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[3, 0x2000]);
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::SigAction,
+            &[3, 0x2000],
+        );
         assert_eq!(rec.ret, 0);
         assert_eq!(state.handler(3), 0x2000);
         // Out-of-range signal errors.
@@ -639,7 +695,13 @@ mod signal_tests {
     fn raise_transfers_to_handler_and_sigreturn_resumes() {
         let (mut cpu, mut mem, mut state) = setup();
         cpu.regs.set(Reg::RA, 0x5555);
-        call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[2, 0x3000]);
+        call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::SigAction,
+            &[2, 0x3000],
+        );
         let raise_pc = cpu.pc;
         let sp_before = cpu.regs.get(Reg::SP);
 
@@ -664,7 +726,13 @@ mod signal_tests {
         let mut replica_cpu = cpu;
         let mut replica_mem = mem.fork();
 
-        let install = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigAction, &[1, 0x4000]);
+        let install = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::SigAction,
+            &[1, 0x4000],
+        );
         let deliver = call(&mut cpu, &mut mem, &mut state, SyscallNo::Raise, &[1]);
         let ret = call(&mut cpu, &mut mem, &mut state, SyscallNo::SigReturn, &[]);
 

@@ -276,7 +276,8 @@ impl AddressSpace {
         let old_end = page_align_up(self.brk);
         let new_end = page_align_up(new_brk);
         // Rebuild the heap region to span [heap_base, new_end).
-        self.regions.retain(|region| region.kind != RegionKind::Heap);
+        self.regions
+            .retain(|region| region.kind != RegionKind::Heap);
         if new_end > self.heap_base {
             self.regions.push(Region {
                 start: self.heap_base,
@@ -303,9 +304,7 @@ impl AddressSpace {
 
     fn region_for(&self, addr: u64) -> Option<&Region> {
         // Regions are sorted; binary search by start.
-        let idx = self
-            .regions
-            .partition_point(|region| region.start <= addr);
+        let idx = self.regions.partition_point(|region| region.start <= addr);
         idx.checked_sub(1)
             .map(|i| &self.regions[i])
             .filter(|region| region.contains(addr))
@@ -545,7 +544,9 @@ mod tests {
     #[test]
     fn unmap_releases_pages() {
         let mut space = AddressSpace::new(0x0100_0000);
-        let addr = space.map_anonymous(None, 2 * PAGE_SIZE as u64).expect("map");
+        let addr = space
+            .map_anonymous(None, 2 * PAGE_SIZE as u64)
+            .expect("map");
         space.write_u64(addr, 1).expect("write");
         assert_eq!(space.resident_pages(), 1);
         space.unmap(addr).expect("unmap");

@@ -248,9 +248,8 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_pauses_and_resumes() {
-        let mut p = load(
-            "main:\n li r1, 100\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        );
+        let mut p =
+            load("main:\n li r1, 100\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n");
         assert_eq!(p.run(10, 0).expect("run"), RunExit::BudgetExhausted);
         assert_eq!(p.inst_count(), 10);
         assert_eq!(p.run(u64::MAX, 0).expect("run"), RunExit::Exited(0));
@@ -284,18 +283,28 @@ mod tests {
     #[test]
     fn fork_isolates_memory() {
         // brk(HEAP_BASE + 0x100) so the heap exists, then exit.
-        let mut parent = load(
-            "main:\n li r0, 5\n li r1, 0x1000100\n syscall\n exit 0\n",
-        );
+        let mut parent = load("main:\n li r0, 5\n li r1, 0x1000100\n syscall\n exit 0\n");
         parent.run_until_syscall(u64::MAX).expect("run");
         parent.do_syscall(0).expect("brk");
-        parent.mem.write_u64(superpin_isa::HEAP_BASE, 11).expect("write heap");
+        parent
+            .mem
+            .write_u64(superpin_isa::HEAP_BASE, 11)
+            .expect("write heap");
 
         let mut child = parent.fork(2);
         assert_eq!(child.pid(), 2);
-        assert_eq!(child.mem.read_u64(superpin_isa::HEAP_BASE).expect("read"), 11);
-        child.mem.write_u64(superpin_isa::HEAP_BASE, 22).expect("write");
-        assert_eq!(parent.mem.read_u64(superpin_isa::HEAP_BASE).expect("read"), 11);
+        assert_eq!(
+            child.mem.read_u64(superpin_isa::HEAP_BASE).expect("read"),
+            11
+        );
+        child
+            .mem
+            .write_u64(superpin_isa::HEAP_BASE, 22)
+            .expect("write");
+        assert_eq!(
+            parent.mem.read_u64(superpin_isa::HEAP_BASE).expect("read"),
+            11
+        );
         assert_eq!(child.mem.stats().cow_copies, 1);
     }
 

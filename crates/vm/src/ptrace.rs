@@ -116,15 +116,22 @@ mod tests {
 
     #[test]
     fn stops_at_each_syscall() {
-        let mut ctl = controller(
-            "main:\n li r0, 9\n syscall\n li r0, 9\n syscall\n exit 0\n",
+        let mut ctl = controller("main:\n li r0, 9\n syscall\n li r0, 9\n syscall\n exit 0\n");
+        assert_eq!(
+            ctl.resume(u64::MAX).expect("resume"),
+            StopReason::SyscallEntry
         );
-        assert_eq!(ctl.resume(u64::MAX).expect("resume"), StopReason::SyscallEntry);
         let rec = ctl.step_over_syscall(0).expect("syscall");
         assert_eq!(rec.number, SyscallNo::GetPid);
-        assert_eq!(ctl.resume(u64::MAX).expect("resume"), StopReason::SyscallEntry);
+        assert_eq!(
+            ctl.resume(u64::MAX).expect("resume"),
+            StopReason::SyscallEntry
+        );
         ctl.step_over_syscall(0).expect("syscall");
-        assert_eq!(ctl.resume(u64::MAX).expect("resume"), StopReason::SyscallEntry);
+        assert_eq!(
+            ctl.resume(u64::MAX).expect("resume"),
+            StopReason::SyscallEntry
+        );
         let rec = ctl.step_over_syscall(0).expect("exit");
         assert_eq!(rec.exited, Some(0));
         assert_eq!(ctl.stats().syscall_stops, 3);
@@ -132,9 +139,8 @@ mod tests {
 
     #[test]
     fn timeout_stop_counts() {
-        let mut ctl = controller(
-            "main:\n li r1, 1000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n",
-        );
+        let mut ctl =
+            controller("main:\n li r1, 1000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n");
         assert_eq!(ctl.resume(10).expect("resume"), StopReason::Timeout);
         assert_eq!(ctl.resume(10).expect("resume"), StopReason::Timeout);
         assert_eq!(ctl.stats().timeout_stops, 2);

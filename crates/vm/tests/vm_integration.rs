@@ -48,17 +48,30 @@ fn cow_accounting_under_page_storm() {
     let mut parent = Process::load(1, &program).expect("load");
     let arena = superpin_isa::DATA_BASE;
     for page in 0..16u64 {
-        parent.mem.write_u64(arena + page * 4096, page).expect("touch");
+        parent
+            .mem
+            .write_u64(arena + page * 4096, page)
+            .expect("touch");
     }
     let mut child = parent.fork(2);
     assert_eq!(child.mem.stats().cow_copies, 0);
     for page in 0..16u64 {
-        child.mem.write_u64(arena + page * 4096, 100 + page).expect("dirty");
+        child
+            .mem
+            .write_u64(arena + page * 4096, 100 + page)
+            .expect("dirty");
     }
-    assert_eq!(child.mem.stats().cow_copies, 16, "one copy per dirtied page");
+    assert_eq!(
+        child.mem.stats().cow_copies,
+        16,
+        "one copy per dirtied page"
+    );
     // Re-dirtying costs nothing further.
     for page in 0..16u64 {
-        child.mem.write_u64(arena + page * 4096, 200 + page).expect("re-dirty");
+        child
+            .mem
+            .write_u64(arena + page * 4096, 200 + page)
+            .expect("re-dirty");
     }
     assert_eq!(child.mem.stats().cow_copies, 16);
 }

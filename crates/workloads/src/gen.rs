@@ -15,10 +15,8 @@
 //! | r11 | inner-loop counter |
 //! | r12 | stride-buffer base |
 
+use crate::rng::WorkloadRng;
 use crate::spec::{Scale, SyscallKind, WorkloadSpec};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use superpin_isa::{AluOp, Program, ProgramBuilder, Reg, HEAP_BASE};
 
 const CHASE_NODES: usize = 64;
@@ -58,7 +56,8 @@ fn est_insts_per_iter(spec: &WorkloadSpec) -> u64 {
 /// Generates the program for `spec` at `scale` with an input id (the
 /// analogue of a SPEC reference input; 0 is the default input).
 pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Program {
-    let mut rng = SmallRng::seed_from_u64(fnv(spec.name) ^ input.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut rng =
+        WorkloadRng::seed_from_u64(fnv(spec.name) ^ input.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let mut b = ProgramBuilder::new();
 
     // --- data -----------------------------------------------------------
@@ -66,7 +65,7 @@ pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Pro
     let chase_base = b.data_cursor();
     if spec.chase_iters > 0 {
         let mut order: Vec<usize> = (0..CHASE_NODES).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut next = vec![0u64; CHASE_NODES];
         for i in 0..CHASE_NODES {
             let from = order[i];
@@ -76,7 +75,7 @@ pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Pro
         let mut words = Vec::with_capacity(CHASE_NODES * 2);
         for (node, &next_addr) in next.iter().enumerate() {
             words.push(next_addr);
-            words.push(rng.gen::<u32>() as u64 ^ node as u64);
+            words.push(rng.gen_u32() as u64 ^ node as u64);
         }
         b.data_words("chase_nodes", &words);
     }
@@ -104,12 +103,12 @@ pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Pro
         // Prologue: seed scratch from live state.
         b.mov(Reg::R2, Reg::R8);
         b.mov(Reg::R3, Reg::R10);
-        b.li(Reg::R6, rng.gen::<u32>() as i64);
+        b.li(Reg::R6, rng.gen_u32() as i64);
         for _ in 0..spec.unit_body {
             let rd = scratch[rng.gen_range(0..scratch.len())];
             if rng.gen_bool(0.3) {
                 let op = [AluOp::Add, AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::And]
-                    [rng.gen_range(0..5)];
+                    [rng.gen_range(0..5usize)];
                 let imm = match op {
                     AluOp::Shl | AluOp::Shr => rng.gen_range(1..16),
                     _ => rng.gen_range(-1000..1000),
@@ -140,6 +139,10 @@ pub fn generate_with_input(spec: &WorkloadSpec, scale: Scale, input: u64) -> Pro
     let target = scale.target_insts() * spec.duration_eighths.max(1) as u64 / 8;
     let iters = (target / est_insts_per_iter(spec)).max(4) as i64;
     b.label("main");
+    // The accumulator starts at zero; set it explicitly rather than
+    // relying on the loader's zero-init (spinlint's undefined-read
+    // pass treats loader zeroing of scratch registers as incidental).
+    b.li(Reg::R8, 0);
     b.la(Reg::R9, "unit_table");
     if spec.chase_iters > 0 {
         b.la(Reg::R4, "chase_nodes");
@@ -269,7 +272,12 @@ mod tests {
             let exit = process
                 .run(10 * Scale::Tiny.target_insts(), 0)
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-            assert_eq!(exit, RunExit::Exited(0), "{} did not exit cleanly", spec.name);
+            assert_eq!(
+                exit,
+                RunExit::Exited(0),
+                "{} did not exit cleanly",
+                spec.name
+            );
         }
     }
 
@@ -280,8 +288,7 @@ mod tests {
             let mut process = Process::load(1, &program).expect("load");
             process.run(u64::MAX, 0).expect("run");
             let insts = process.inst_count();
-            let target =
-                Scale::Tiny.target_insts() * spec.duration_eighths.max(1) as u64 / 8;
+            let target = Scale::Tiny.target_insts() * spec.duration_eighths.max(1) as u64 / 8;
             assert!(
                 insts > target / 4 && insts < target * 4,
                 "{}: {insts} instructions vs target {target}",
@@ -397,6 +404,9 @@ mod input_tests {
     #[test]
     fn default_input_is_input_zero() {
         let spec = find("gzip").expect("gzip");
-        assert_eq!(spec.build(Scale::Tiny), spec.build_with_input(Scale::Tiny, 0));
+        assert_eq!(
+            spec.build(Scale::Tiny),
+            spec.build_with_input(Scale::Tiny, 0)
+        );
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # superpin-workloads
 //!
@@ -35,6 +36,7 @@
 //! ```
 
 mod gen;
+mod rng;
 mod spec;
 
 pub use spec::{catalog, find, Category, MemIntensity, Scale, SyscallKind, WorkloadSpec};

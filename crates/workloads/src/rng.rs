@@ -1,0 +1,122 @@
+//! Deterministic PRNG for program generation.
+//!
+//! The workspace builds with no registry access, so this replaces
+//! `rand::SmallRng` with an in-repo splitmix64 generator. Generation
+//! must be reproducible across runs and machines (the determinism
+//! tests in `gen.rs` depend on it); splitmix64 is small, fast, and
+//! has no platform-dependent behavior.
+
+use std::ops::Range;
+
+/// Splitmix64 generator seeded per workload+input.
+#[derive(Clone, Debug)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// Seeds the generator (same name/shape as `SmallRng::seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> WorkloadRng {
+        WorkloadRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value.
+    pub fn gen_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in a half-open range.
+    pub fn gen_range<T>(&mut self, range: impl SampleRange<T>) -> T {
+        range.sample(self)
+    }
+
+    /// True with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Range types [`WorkloadRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut WorkloadRng) -> T;
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut WorkloadRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<i32> for Range<i32> {
+    fn sample(self, rng: &mut WorkloadRng) -> i32 {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.below(span) as i64) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = WorkloadRng::seed_from_u64(42);
+        let mut b = WorkloadRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = WorkloadRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-1000..1000);
+            assert!((-1000..1000).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = WorkloadRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..64).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = WorkloadRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_000..4_000).contains(&hits), "hits = {hits}");
+    }
+}

@@ -6,9 +6,8 @@
 //! cargo run --release --example custom_tool
 //! ```
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use superpin::baseline::run_pin;
 use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
 use superpin_dbi::{IArg, IPoint, Inserter, Pintool, Trace};
@@ -27,7 +26,7 @@ struct CallCounter {
 
 impl CallCounter {
     fn merged_calls(&self) -> BTreeMap<u64, u64> {
-        self.merged.lock().clone()
+        self.merged.lock().expect("merged table poisoned").clone()
     }
 }
 
@@ -66,7 +65,7 @@ impl SuperTool for CallCounter {
     }
 
     fn on_slice_end(&mut self, _slice: u32, _shared: &SharedMem) {
-        let mut merged = self.merged.lock();
+        let mut merged = self.merged.lock().expect("merged table poisoned");
         for (&callee, &count) in &self.local {
             *merged.entry(callee).or_insert(0) += count;
         }
@@ -87,13 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SuperPinConfig::paper_default();
     cfg.timeslice_cycles = 15_000;
     cfg.quantum_cycles = 500;
-    let report = SuperPinRunner::new(
-        Process::load(1, &program)?,
-        tool.clone(),
-        shared,
-        cfg,
-    )?
-    .run()?;
+    let report =
+        SuperPinRunner::new(Process::load(1, &program)?, tool.clone(), shared, cfg)?.run()?;
     let merged = tool.merged_calls();
 
     println!(

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Annotate lines whose address is a counted block head.
         let addr = u64::from_str_radix(
-            line.trim_start_matches("0x").split([':', ' ']).next().unwrap_or(""),
+            line.trim_start_matches("0x")
+                .split([':', ' '])
+                .next()
+                .unwrap_or(""),
             16,
         )
         .unwrap_or(0);

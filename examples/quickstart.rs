@@ -57,8 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pin.cycles as f64 / report.total_cycles as f64
     );
 
-    assert_eq!(pin.tool.local_count(), native.insts, "Pin count must be exact");
-    assert_eq!(tool.total(&shared), native.insts, "merged count must be exact");
-    println!("counts agree: every mode saw exactly {} instructions", native.insts);
+    assert_eq!(
+        pin.tool.local_count(),
+        native.insts,
+        "Pin count must be exact"
+    );
+    assert_eq!(
+        tool.total(&shared),
+        native.insts,
+        "merged count must be exact"
+    );
+    println!(
+        "counts agree: every mode saw exactly {} instructions",
+        native.insts
+    );
     Ok(())
 }

@@ -20,13 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SuperPinConfig::paper_default();
     cfg.timeslice_cycles = 10_000;
     cfg.quantum_cycles = 500;
-    let report = SuperPinRunner::new(
-        Process::load(1, &program)?,
-        tool.clone(),
-        shared,
-        cfg,
-    )?
-    .run()?;
+    let report =
+        SuperPinRunner::new(Process::load(1, &program)?, tool.clone(), shared, cfg)?.run()?;
 
     let histogram = tool.merged_histogram();
     println!(

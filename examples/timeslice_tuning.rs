@@ -25,13 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut cfg = SuperPinConfig::paper_default();
         cfg.timeslice_cycles = timeslice;
         cfg.quantum_cycles = (timeslice / 50).max(250);
-        let report = SuperPinRunner::new(
-            Process::load(1, &program)?,
-            tool,
-            shared,
-            cfg,
-        )?
-        .run()?;
+        let report = SuperPinRunner::new(Process::load(1, &program)?, tool, shared, cfg)?.run()?;
         let b = &report.breakdown;
         println!(
             "{:>10} {:>9} {:>12} {:>9} {:>10} {:>9} {:>7}",

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Workspace-level re-exports for the SuperPin-RS reproduction.
 //!

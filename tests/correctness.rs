@@ -110,7 +110,9 @@ fn counts_exact_across_machine_shapes() {
     ] {
         let shared = SharedMem::new();
         let tool = ICount2::new(&shared);
-        let mut cfg = config(2_000).with_machine(machine).with_max_slices(max_slices);
+        let mut cfg = config(2_000)
+            .with_machine(machine)
+            .with_max_slices(max_slices);
         cfg.policy = superpin_sched::Policy::FairShare;
         superpin_run(&program, tool.clone(), &shared, cfg);
         assert_eq!(
@@ -184,7 +186,10 @@ fn itrace_merge_reconstructs_serial_trace() {
     let shared = SharedMem::new();
     let report = superpin_run(&program, ITrace::new(), &shared, config(3_000));
     let merged = ITrace::merged_trace(&shared);
-    assert!(report.slice_count() > 1, "need multiple slices to be meaningful");
+    assert!(
+        report.slice_count() > 1,
+        "need multiple slices to be meaningful"
+    );
     assert_eq!(
         merged, serial,
         "in-order merge must reconstruct the exact serial trace (paper §4.5)"
@@ -223,8 +228,7 @@ fn bblcount_merged_agrees_with_serial_up_to_block_splits() {
     // exactly invariant and tested elsewhere.
     use superpin_tools::BblCount;
     let program = find("twolf").expect("twolf").build(Scale::Tiny);
-    let pin = run_pin(Process::load(1, &program).expect("load"), BblCount::new())
-        .expect("pin");
+    let pin = run_pin(Process::load(1, &program).expect("load"), BblCount::new()).expect("pin");
     let serial = pin.tool.local_blocks().clone();
     let serial_entries: u64 = serial.values().sum();
 
@@ -257,8 +261,11 @@ fn insmix_merged_equals_serial() {
     use superpin_tools::{InsMix, MixCategory};
     let program = find("equake").expect("equake").build(Scale::Tiny);
     let shared = SharedMem::new();
-    let pin = run_pin(Process::load(1, &program).expect("load"), InsMix::new(&shared))
-        .expect("pin");
+    let pin = run_pin(
+        Process::load(1, &program).expect("load"),
+        InsMix::new(&shared),
+    )
+    .expect("pin");
     let serial = pin.tool.local_counts();
 
     let shared = SharedMem::new();

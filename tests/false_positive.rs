@@ -7,12 +7,12 @@
 //! case, we may trigger a false positive match on the first iteration
 //! rather than a subsequent iteration."
 
+use superpin::bubble::Bubble;
 use superpin::signature::Signature;
 use superpin::slice::{Boundary, SliceEnd, SliceRuntime, SliceState};
-use superpin::bubble::Bubble;
 use superpin::{SharedMem, SuperPinConfig, SuperTool};
 use superpin_dbi::{IPoint, Inserter, Pintool, Trace};
-use superpin_isa::{ProgramBuilder, Program, Reg};
+use superpin_isa::{Program, ProgramBuilder, Reg};
 use superpin_vm::process::Process;
 
 /// Minimal counting SuperTool for the demonstration.
@@ -64,8 +64,8 @@ fn memory_only_loop_counter_triggers_false_positive() {
     let cfg = SuperPinConfig::paper_default();
 
     // Slice 1 forks at program start.
-    let mut slice = SliceRuntime::spawn(1, &master, &Count::default(), &bubble, &cfg, 0)
-        .expect("spawn");
+    let mut slice =
+        SliceRuntime::spawn(1, &master, &Count::default(), &bubble, &cfg, 0).expect("spawn");
     assert_eq!(slice.state(), SliceState::Sleeping);
 
     // Master runs 2 instructions (la) + 5 full iterations (6 insts each),
@@ -109,8 +109,8 @@ fn register_loop_counter_does_not_false_positive() {
     let mut master = Process::load(1, &program).expect("load");
     let bubble = Bubble::reserve(&mut master.mem).expect("bubble");
     let cfg = SuperPinConfig::paper_default();
-    let mut slice = SliceRuntime::spawn(1, &master, &Count::default(), &bubble, &cfg, 0)
-        .expect("spawn");
+    let mut slice =
+        SliceRuntime::spawn(1, &master, &Count::default(), &bubble, &cfg, 0).expect("spawn");
 
     master.run_until_syscall(1 + 5 * 2).expect("advance master");
     let truth = master.inst_count();

@@ -12,12 +12,12 @@ use superpin_vm::process::Process;
 /// ALU work, stores, and optional getpid syscalls.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        2u32..40,                                   // outer iterations
-        1u32..20,                                   // inner iterations
-        0u32..6,                                    // ALU ops per inner pass
-        any::<bool>(),                              // do stores
-        any::<bool>(),                              // do syscalls
-        0u64..1_000,                                // data seed
+        2u32..40,      // outer iterations
+        1u32..20,      // inner iterations
+        0u32..6,       // ALU ops per inner pass
+        any::<bool>(), // do stores
+        any::<bool>(), // do syscalls
+        0u64..1_000,   // data seed
     )
         .prop_map(|(outer, inner, alu, stores, syscalls, seed)| {
             let mut b = ProgramBuilder::new();

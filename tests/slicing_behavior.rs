@@ -104,7 +104,10 @@ fn max_slices_one_serializes_instrumentation() {
         serial_ish.total_cycles,
         parallel.total_cycles
     );
-    assert!(serial_ish.stall_events > 0, "the master must stall at spmp=1");
+    assert!(
+        serial_ish.stall_events > 0,
+        "the master must stall at spmp=1"
+    );
 }
 
 #[test]
@@ -118,8 +121,7 @@ fn pipeline_delay_bounded_by_model() {
     for timeslice in [10_000u64, 20_000] {
         let cfg = config(timeslice);
         let report = run(&program, cfg.clone());
-        let compile_allowance =
-            program.static_inst_count() as u64 * cfg.cost.compile_per_inst;
+        let compile_allowance = program.static_inst_count() as u64 * cfg.cost.compile_per_inst;
         let bound = (cfg.max_slices as u64 + 2) * timeslice + 2 * compile_allowance;
         assert!(
             report.breakdown.pipeline_cycles <= bound,
@@ -176,7 +178,10 @@ fn signature_statistics_populate() {
     let program = find("swim").expect("swim").build(Scale::Tiny);
     let report = run(&program, config(2_000));
     let stats = report.sig_stats;
-    assert!(stats.detections > 0, "timeout slices must detect signatures");
+    assert!(
+        stats.detections > 0,
+        "timeout slices must detect signatures"
+    );
     assert!(stats.quick_checks >= stats.full_checks);
     assert!(stats.full_checks >= stats.stack_checks);
     assert!(stats.stack_checks >= stats.detections);
