@@ -2,9 +2,10 @@
 //! invocation and switches (§2.2, §5):
 //!
 //! ```text
-//! superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N]
+//! superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-threads N]
 //!          -t icount1|icount2|dcache|itrace|branch|mem|sampler
 //!          -- <benchmark> [tiny|small|medium|large]
+//! superpin --emit-json [PATH] [--scale SCALE]
 //! ```
 //!
 //! Examples:
@@ -13,7 +14,15 @@
 //! superpin -t icount2 -- gzip small
 //! superpin -sp 1 -spmsec 500 -spmp 16 -t icount1 -- gcc medium
 //! superpin -sp 0 -t dcache -- mcf small        # traditional Pin mode
+//! superpin -threads 4 -t icount1 -- gcc medium # 4 host worker threads
+//! superpin --emit-json BENCH_parallel.json     # wall-clock tracker
 //! ```
+//!
+//! `-threads N` fans slice execution out over N host worker threads; the
+//! report is bit-identical to `-threads 1` (see the parallel-runner
+//! section in DESIGN.md). `--emit-json` runs the serial-vs-parallel
+//! wall-clock tracker over a fixed benchmark set and writes the
+//! `BENCH_parallel.json` tracking file instead of running one tool.
 
 use superpin::baseline::run_pin;
 use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
@@ -30,15 +39,19 @@ struct Options {
     spmsec: u64,
     spmp: usize,
     spsysrecs: usize,
+    threads: usize,
+    emit_json: Option<String>,
     tool: String,
     benchmark: String,
     scale: Scale,
+    scale_explicit: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-gantt] \
+        "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-threads N] [-gantt] \
          -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
+         \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large]\n\
          tools: icount1 icount2 dcache dcache-assoc icache bblcount insmix itrace branch mem sampler"
     );
     std::process::exit(2);
@@ -51,9 +64,12 @@ fn parse_args() -> Options {
         spmsec: 1000,
         spmp: 8,
         spsysrecs: 1000,
+        threads: 1,
+        emit_json: None,
         tool: String::new(),
         benchmark: String::new(),
         scale: Scale::Small,
+        scale_explicit: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter().peekable();
@@ -77,6 +93,25 @@ fn parse_args() -> Options {
                 None => usage(),
             },
             "-gantt" => options.gantt = true,
+            "-threads" | "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.threads = v,
+                None => usage(),
+            },
+            "--emit-json" => {
+                // Optional path operand; defaults to BENCH_parallel.json.
+                let path = match iter.peek() {
+                    Some(next) if !next.starts_with('-') => iter.next().cloned(),
+                    _ => None,
+                };
+                options.emit_json = Some(path.unwrap_or_else(|| "BENCH_parallel.json".to_owned()));
+            }
+            "--scale" => match iter.next() {
+                Some(v) => {
+                    options.scale = parse_scale(v);
+                    options.scale_explicit = true;
+                }
+                None => usage(),
+            },
             "-t" => match iter.next() {
                 Some(v) => options.tool = v.clone(),
                 None => usage(),
@@ -87,20 +122,28 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
+    if options.emit_json.is_some() {
+        return options;
+    }
     if after_dashes.is_empty() || options.tool.is_empty() {
         usage();
     }
     options.benchmark = after_dashes[0].clone();
     if let Some(scale) = after_dashes.get(1) {
-        options.scale = match scale.as_str() {
-            "tiny" => Scale::Tiny,
-            "small" => Scale::Small,
-            "medium" => Scale::Medium,
-            "large" => Scale::Large,
-            _ => usage(),
-        };
+        options.scale = parse_scale(scale);
+        options.scale_explicit = true;
     }
     options
+}
+
+fn parse_scale(text: &str) -> Scale {
+    match text {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        _ => usage(),
+    }
 }
 
 fn run_super<T: SuperTool>(
@@ -111,7 +154,8 @@ fn run_super<T: SuperTool>(
 ) -> superpin::SuperPinReport {
     let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
         .with_max_slices(options.spmp)
-        .with_max_sysrecs(options.spsysrecs);
+        .with_max_sysrecs(options.spsysrecs)
+        .with_threads(options.threads);
     let present = cfg.clone();
     let report = SuperPinRunner::new(
         Process::load(1, program).expect("load"),
@@ -146,6 +190,27 @@ fn run_super<T: SuperTool>(
 
 fn main() {
     let options = parse_args();
+    if let Some(path) = &options.emit_json {
+        // Wall-clock tracker mode: serial vs parallel over a fixed set.
+        let scale = if options.scale_explicit {
+            options.scale
+        } else {
+            Scale::Medium
+        };
+        let rows = superpin_bench::parallel::run_parallel_bench(
+            scale,
+            superpin_bench::parallel::DEFAULT_SET,
+        );
+        print!("{}", superpin_bench::parallel::render_parallel(&rows));
+        let json = superpin_bench::parallel::parallel_to_json(scale, &rows);
+        std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+        if rows.iter().any(|row| !row.identical) {
+            eprintln!("determinism violation: parallel report differed from serial");
+            std::process::exit(1);
+        }
+        return;
+    }
     let Some(spec) = find(&options.benchmark) else {
         eprintln!("unknown benchmark `{}`", options.benchmark);
         std::process::exit(2);
@@ -167,7 +232,8 @@ fn main() {
             if options.sp {
                 let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
                     .with_max_slices(options.spmp)
-                    .with_max_sysrecs(options.spsysrecs);
+                    .with_max_sysrecs(options.spsysrecs)
+                    .with_threads(options.threads);
                 SuperPinRunner::new(
                     Process::load(1, &program).expect("load"),
                     tool.clone(),

@@ -31,5 +31,6 @@
 
 pub mod figures;
 pub mod json;
+pub mod parallel;
 pub mod render;
 pub mod runs;

@@ -1,0 +1,322 @@
+//! Wall-clock benchmark for the parallel runner (`--emit-json`).
+//!
+//! Every other module in this crate measures *simulated* cycles — host
+//! time never appears in a figure. This module is the exception: it
+//! exists to track the tentpole claim that fanning slice execution out
+//! over host threads makes the reproduction's wall clock behave like the
+//! system it models. Each benchmark runs twice over the identical
+//! program — `threads = 1` and `threads = 4` — and the row records both
+//! wall-clock times, the (identical) simulated cycle count, and whether
+//! the two reports were bit-identical, which the parallel runner
+//! guarantees by construction.
+//!
+//! # Hosts with fewer cores than threads
+//!
+//! A measured 4-thread speedup requires 4 host cores; on a smaller host
+//! (CI containers are often 1–2 vCPUs) the workers timeshare and the
+//! measured ratio can only show that the parallel path adds no
+//! overhead, not that it scales. The tracker therefore also records the
+//! run's **measured phase split** from [`superpin::HostProfile`] — how
+//! much of the `threads = 1` wall clock was parallelizable slice work
+//! versus serial supervisor work — and the Amdahl projection of that
+//! split to [`PARALLEL_THREADS`] cores. `host_cpus` in the JSON says
+//! which regime produced the numbers; the projection is labeled as a
+//! model, never substituted into the measured column.
+
+use crate::runs::{run_superpin_profiled, time_scale_for};
+use std::fmt::Write as _;
+use std::time::Instant;
+use superpin::{HostProfile, SharedMem, SuperPinConfig, SuperPinReport};
+use superpin_tools::ICount1;
+use superpin_workloads::{find, Scale};
+
+/// Host thread count the parallel column uses.
+pub const PARALLEL_THREADS: usize = 4;
+
+/// The benchmarks the parallel tracker runs: a spread of code
+/// footprints, syscall rates, and run lengths, all of which fork well
+/// over four slices at the tracker's 2 s timeslice.
+pub const DEFAULT_SET: &[&str] = &[
+    "gcc", "gzip", "mcf", "crafty", "equake", "parser", "swim", "vortex",
+];
+
+/// Host cores available to this process (1 if undeterminable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// One benchmark's wall-clock comparison.
+#[derive(Clone, Debug)]
+pub struct ParallelRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Slices the run forked (same for both thread counts).
+    pub slices: usize,
+    /// Scheduling epochs the run executed (same for both thread counts).
+    pub epochs: u64,
+    /// Simulated total cycles (identical across thread counts).
+    pub simulated_cycles: u64,
+    /// Wall-clock milliseconds at `threads = 1`.
+    pub wall_ms_serial: f64,
+    /// Wall-clock milliseconds at [`PARALLEL_THREADS`].
+    pub wall_ms_parallel: f64,
+    /// Fraction of the `threads = 1` wall clock spent in the
+    /// parallelizable slice phase (measured, [`HostProfile`]).
+    pub slice_fraction: f64,
+    /// Amdahl projection of the measured split to [`PARALLEL_THREADS`]
+    /// cores (a model, not a measurement — see the module docs).
+    pub modeled_speedup: f64,
+    /// Whether the two `SuperPinReport`s compared equal field-for-field.
+    pub identical: bool,
+}
+
+impl ParallelRow {
+    /// Measured wall-clock speedup of the parallel run over the serial
+    /// run (bounded by `host_cpus`, not by the thread count).
+    pub fn speedup(&self) -> f64 {
+        self.wall_ms_serial / self.wall_ms_parallel.max(1e-9)
+    }
+}
+
+/// The tracker's configuration: a 2 s paper timeslice (so each epoch
+/// spans many quanta and thread-pool synchronization is well amortized)
+/// with the standard 8-slice, 8-CPU figure machine.
+pub fn bench_config(scale: Scale) -> SuperPinConfig {
+    SuperPinConfig::scaled(2000, time_scale_for(scale))
+}
+
+fn timed_run(
+    program: &superpin_isa::Program,
+    scale: Scale,
+    threads: usize,
+    name: &str,
+) -> (f64, SuperPinReport, HostProfile) {
+    let shared = SharedMem::new();
+    let tool = ICount1::new(&shared);
+    let cfg = bench_config(scale).with_threads(threads);
+    let start = Instant::now();
+    let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
+    (start.elapsed().as_secs_f64() * 1e3, report, profile)
+}
+
+/// Runs the serial/parallel wall-clock comparison over `names`.
+///
+/// # Panics
+///
+/// Panics on unknown benchmark names or simulator errors.
+pub fn run_parallel_bench(scale: Scale, names: &[&str]) -> Vec<ParallelRow> {
+    names
+        .iter()
+        .map(|name| {
+            let spec = find(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+            let program = spec.build(scale);
+            let (wall_ms_serial, serial, profile) = timed_run(&program, scale, 1, spec.name);
+            let (wall_ms_parallel, parallel, _) =
+                timed_run(&program, scale, PARALLEL_THREADS, spec.name);
+            ParallelRow {
+                name: spec.name,
+                slices: serial.slice_count(),
+                epochs: serial.epochs,
+                simulated_cycles: serial.total_cycles,
+                wall_ms_serial,
+                wall_ms_parallel,
+                slice_fraction: profile.slice_fraction(),
+                modeled_speedup: profile.modeled_speedup(PARALLEL_THREADS),
+                identical: serial == parallel,
+            }
+        })
+        .collect()
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let (log_sum, n) = values.fold((0.0f64, 0usize), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        return 1.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Geometric-mean measured speedup across rows.
+pub fn geomean_speedup(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(ParallelRow::speedup))
+}
+
+/// Geometric-mean modeled (Amdahl) speedup across rows.
+pub fn geomean_modeled_speedup(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(|row| row.modeled_speedup))
+}
+
+/// Serializes the comparison as the `BENCH_parallel.json` tracking
+/// format (same hand-rolled emitter policy as [`crate::json`]).
+pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"scale\":\"{scale:?}\",\"threads_serial\":1,\"threads_parallel\":{PARALLEL_THREADS},\
+         \"host_cpus\":{},\"benchmarks\":[",
+        host_cpus()
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"slices\":{},\"epochs\":{},\"simulated_cycles\":{},\
+             \"wall_ms_threads1\":{:.2},\"wall_ms_threads{}\":{:.2},\
+             \"speedup\":{:.3},\"slice_fraction\":{:.3},\
+             \"modeled_speedup_threads{}\":{:.3},\"identical\":{}}}",
+            row.name,
+            row.slices,
+            row.epochs,
+            row.simulated_cycles,
+            row.wall_ms_serial,
+            PARALLEL_THREADS,
+            row.wall_ms_parallel,
+            row.speedup(),
+            row.slice_fraction,
+            PARALLEL_THREADS,
+            row.modeled_speedup,
+            row.identical,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3}}}",
+        geomean_speedup(rows),
+        rows.iter().map(ParallelRow::speedup).fold(0.0, f64::max),
+        geomean_modeled_speedup(rows),
+    );
+    out
+}
+
+/// Renders the comparison as a text table for the terminal.
+pub fn render_parallel(rows: &[ParallelRow]) -> String {
+    let cpus = host_cpus();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Parallel runner wall clock (threads=1 vs threads={PARALLEL_THREADS}, host cpus={cpus}):"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>7} {:>16} {:>10} {:>10} {:>8} {:>7} {:>8}  identical",
+        "benchmark",
+        "slices",
+        "epochs",
+        "sim cycles",
+        "t1 ms",
+        "tN ms",
+        "speedup",
+        "par%",
+        "modeled"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7} {:>7} {:>16} {:>10.1} {:>10.1} {:>7.2}x {:>6.0}% {:>7.2}x  {}",
+            row.name,
+            row.slices,
+            row.epochs,
+            row.simulated_cycles,
+            row.wall_ms_serial,
+            row.wall_ms_parallel,
+            row.speedup(),
+            row.slice_fraction * 100.0,
+            row.modeled_speedup,
+            row.identical,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "geomean speedup: {:.2}x measured, {:.2}x modeled at {PARALLEL_THREADS} cores",
+        geomean_speedup(rows),
+        geomean_modeled_speedup(rows)
+    );
+    if cpus < PARALLEL_THREADS {
+        let _ = writeln!(
+            out,
+            "note: host has {cpus} cpu(s) < {PARALLEL_THREADS} threads; measured speedup is \
+             an overhead check, the modeled column is the Amdahl projection of the \
+             measured phase split"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<ParallelRow> {
+        vec![
+            ParallelRow {
+                name: "gcc",
+                slices: 52,
+                epochs: 120,
+                simulated_cycles: 3_000_000,
+                wall_ms_serial: 400.0,
+                wall_ms_parallel: 160.0,
+                slice_fraction: 0.75,
+                modeled_speedup: 2.29,
+                identical: true,
+            },
+            ParallelRow {
+                name: "swim",
+                slices: 51,
+                epochs: 110,
+                simulated_cycles: 4_000_000,
+                wall_ms_serial: 300.0,
+                wall_ms_parallel: 200.0,
+                slice_fraction: 0.60,
+                modeled_speedup: 1.82,
+                identical: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let json = parallel_to_json(Scale::Medium, &sample_rows());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"name\":\"gcc\""));
+        assert!(json.contains("\"wall_ms_threads1\":400.00"));
+        assert!(json.contains("\"wall_ms_threads4\":160.00"));
+        assert!(json.contains("\"host_cpus\":"));
+        assert!(json.contains("\"slice_fraction\":0.750"));
+        assert!(json.contains("\"modeled_speedup_threads4\":2.290"));
+        assert!(json.contains("\"identical\":true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let rows = sample_rows();
+        let speedups: Vec<f64> = rows.iter().map(ParallelRow::speedup).collect();
+        let geomean = geomean_speedup(&rows);
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(0.0, f64::max);
+        assert!(geomean >= min && geomean <= max, "geomean {geomean}");
+        assert!((geomean_speedup(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_speedup_follows_amdahl() {
+        // 75% parallelizable at 4 cores: 1 / (0.25 + 0.75/4) ≈ 2.286.
+        let profile = HostProfile {
+            supervisor_ns: 250,
+            slice_ns: 750,
+        };
+        assert!((profile.modeled_speedup(4) - 1.0 / (0.25 + 0.75 / 4.0)).abs() < 1e-9);
+        assert!((profile.modeled_speedup(1) - 1.0).abs() < 1e-9);
+        assert!((profile.slice_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_set_names_exist_in_catalog() {
+        for name in DEFAULT_SET {
+            assert!(find(name).is_some(), "`{name}` not in catalog");
+        }
+    }
+}

@@ -153,10 +153,26 @@ pub fn run_superpin<T: SuperTool>(
     cfg: SuperPinConfig,
     name: &str,
 ) -> SuperPinReport {
+    run_superpin_profiled(program, tool, shared, cfg, name).0
+}
+
+/// Like [`run_superpin`], but also returns the host-side wall-clock
+/// phase profile (used by the parallel wall-clock tracker).
+///
+/// # Panics
+///
+/// Panics on simulator errors.
+pub fn run_superpin_profiled<T: SuperTool>(
+    program: &superpin_isa::Program,
+    tool: T,
+    shared: &SharedMem,
+    cfg: SuperPinConfig,
+    name: &str,
+) -> (SuperPinReport, superpin::HostProfile) {
     let process = Process::load(1, program).expect("load");
     SuperPinRunner::new(process, tool, shared.clone(), cfg)
         .unwrap_or_else(|e| panic!("{name} superpin setup: {e}"))
-        .run()
+        .run_profiled()
         .unwrap_or_else(|e| panic!("{name} superpin: {e}"))
 }
 

@@ -27,7 +27,12 @@ use superpin_dbi::Pintool;
 ///
 /// When SuperPin is disabled (`-sp 0`), the tool runs as a plain
 /// [`Pintool`] and the slice hooks never fire.
-pub trait SuperTool: Pintool + Clone + 'static {
+///
+/// `Send` is required because the parallel runner moves each slice —
+/// engine, tool clone and all — into a scoped worker thread. Tools share
+/// state through [`SharedMem`] (internally synchronized), not through
+/// their clones, so the bound costs nothing in practice.
+pub trait SuperTool: Pintool + Clone + Send + 'static {
     /// Clears slice-local statistics (the `SP_Init` reset function).
     fn reset(&mut self, slice_num: u32);
 

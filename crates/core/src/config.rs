@@ -64,6 +64,16 @@ pub struct SuperPinConfig {
     /// full-clobber-set spill, which charges exactly the legacy flat
     /// [`CostModel::analysis_call`] rate.
     pub liveness: Option<Arc<LiveMap>>,
+    /// Host worker threads for slice execution (`--threads`). 1 runs
+    /// every slice inline on the supervisor thread; N > 1 fans slice
+    /// epochs out across a `std::thread::scope` pool. The report is
+    /// bit-identical either way — epoch batching fixes every scheduling
+    /// decision before workers start.
+    pub threads: usize,
+    /// Epoch cap in quanta: the most virtual time workers may burn
+    /// between synchronization barriers. 1 degenerates to a barrier per
+    /// quantum (maximal sync overhead, same reports).
+    pub epoch_max_quanta: u64,
 }
 
 impl SuperPinConfig {
@@ -84,6 +94,8 @@ impl SuperPinConfig {
             adaptive_estimate: None,
             shared_code_cache: false,
             liveness: None,
+            threads: 1,
+            epoch_max_quanta: 256,
         }
     }
 
@@ -124,6 +136,20 @@ impl SuperPinConfig {
     /// dead registers (see [`SuperPinConfig::liveness`]).
     pub fn with_liveness(mut self, liveness: Arc<LiveMap>) -> SuperPinConfig {
         self.liveness = Some(liveness);
+        self
+    }
+
+    /// Sets the host worker-thread count for slice execution
+    /// (`--threads`; see [`SuperPinConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> SuperPinConfig {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the epoch cap in quanta (see
+    /// [`SuperPinConfig::epoch_max_quanta`]).
+    pub fn with_epoch_max_quanta(mut self, quanta: u64) -> SuperPinConfig {
+        self.epoch_max_quanta = quanta.max(1);
         self
     }
 
@@ -194,5 +220,8 @@ mod tests {
     fn builders_clamp() {
         let cfg = SuperPinConfig::paper_default().with_max_slices(0);
         assert_eq!(cfg.max_slices, 1);
+        let cfg = cfg.with_threads(0).with_epoch_max_quanta(0);
+        assert_eq!(cfg.threads, 1);
+        assert_eq!(cfg.epoch_max_quanta, 1);
     }
 }

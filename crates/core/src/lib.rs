@@ -99,7 +99,7 @@ pub use api::SuperTool;
 pub use config::SuperPinConfig;
 pub use error::SpError;
 pub use report::{SliceReport, SuperPinReport, TimeBreakdown};
-pub use runner::SuperPinRunner;
+pub use runner::{HostProfile, SuperPinRunner};
 pub use shared::{AreaId, AutoMerge, SharedArea, SharedMem};
 pub use signature::{Signature, SignatureStats};
 pub use slice::{Boundary, SliceEnd, SliceRuntime, SliceState, SpSliceTool};

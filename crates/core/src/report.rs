@@ -6,7 +6,10 @@ use superpin_dbi::{CacheStats, EngineStats};
 use superpin_vm::ptrace::PtraceStats;
 
 /// Per-slice results.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` back the determinism suite: a `threads=N` run must
+/// produce slice reports bit-identical to `threads=1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SliceReport {
     /// Slice number (fork order, 1-based).
     pub num: u32,
@@ -32,7 +35,7 @@ pub struct SliceReport {
 
 /// The master's run-time decomposition, matching Figure 6's stacking:
 /// `total = native + fork&other + sleep + pipeline`.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TimeBreakdown {
     /// Pure native work: `master instructions × native CPI`.
     pub native_cycles: u64,
@@ -54,7 +57,10 @@ impl TimeBreakdown {
 }
 
 /// Complete results of one SuperPin run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` exist so whole reports can be compared bit-for-bit
+/// across host thread counts (the parallel runner's contract).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SuperPinReport {
     /// Wall time until the last slice merged (cycles).
     pub total_cycles: u64,
@@ -80,6 +86,10 @@ pub struct SuperPinReport {
     pub stall_events: u64,
     /// Master COW page copies (fork overhead, paper §6.3).
     pub master_cow_copies: u64,
+    /// Scheduling epochs executed (barrier-to-barrier spans). A pure
+    /// function of the virtual-time state, so it must be identical
+    /// across host thread counts like every other field.
+    pub epochs: u64,
 }
 
 impl SuperPinReport {

@@ -3,11 +3,38 @@
 //!
 //! This is the top of the system — the analogue of running
 //! `pin -sp 1 -t tool -- app` on the paper's 8-way Xeon. Virtual time
-//! advances in quanta; each quantum the runnable tasks (master + running
-//! slices) receive fair shares of the machine (`superpin-sched`), the
-//! master runs natively under ptrace-style control, slices execute
-//! instrumented code with record playback and signature detection, and
-//! completed slices merge **in slice order** (paper §4.5).
+//! advances in quanta; the runnable tasks (master + running slices)
+//! receive fair shares of the machine (`superpin-sched`), the master
+//! runs natively under ptrace-style control, slices execute instrumented
+//! code with record playback and signature detection, and completed
+//! slices merge **in slice order** (paper §4.5).
+//!
+//! # Epochs and host parallelism
+//!
+//! Quanta are batched into **epochs** planned by
+//! [`EpochPlanner`](superpin_sched::EpochPlanner): spans of quanta over
+//! which the runnable set — and with it every per-quantum budget — is
+//! frozen. Each epoch runs in three strictly ordered phases:
+//!
+//! 1. **Master first, serially.** The master advances quantum by quantum
+//!    on the supervisor thread. A master event (forced syscall, exit)
+//!    truncates the epoch at that quantum, so the following barrier
+//!    lands exactly where the classic per-quantum loop would have
+//!    reacted.
+//! 2. **Slices, in parallel.** Every running slice receives the whole
+//!    (possibly truncated) epoch's budget and advances independently —
+//!    inline when `threads == 1`, fanned out over a
+//!    `std::thread::scope` worker pool otherwise. Slices never touch
+//!    the scheduler, the master, or each other, and shared-cache
+//!    consistency uses per-epoch snapshots, so host interleaving cannot
+//!    leak into any simulated quantity.
+//! 3. **Barrier.** Virtual time jumps to the epoch end; freshly compiled
+//!    traces are published into the sharded shared index *in slice
+//!    order*; completed slices merge in slice order; forks happen.
+//!
+//! Because every scheduling decision is fixed before workers start and
+//! every cross-slice effect is applied in slice order at the barrier,
+//! the report is bit-identical for any `threads` value.
 
 use crate::api::SuperTool;
 use crate::bubble::Bubble;
@@ -19,7 +46,10 @@ use crate::shared::SharedMem;
 use crate::signature::{Signature, SignatureStats};
 use crate::slice::{Boundary, SliceRuntime, SliceState};
 use std::collections::VecDeque;
-use superpin_sched::{QuantumScheduler, Timeline};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+use superpin_dbi::SharedTraceIndex;
+use superpin_sched::{EpochPlanner, QuantumScheduler, SliceEta, Timeline};
 use superpin_vm::process::Process;
 
 /// Why the runner wants to fork while no slot is free.
@@ -29,10 +59,81 @@ enum PendingFork {
     Syscall,
 }
 
+/// One epoch's worth of work for one **worker**: its whole share of the
+/// runnable slices, dispatched by value in a single message. Slices are
+/// moved out of the queue, advanced on the worker, and moved back into
+/// their original positions at the barrier. Each job's `usize` is the
+/// slice's position in the live queue, which both restores queue order
+/// and picks the deterministic first error. Batching per worker (rather
+/// than per slice) halves-to-quarters the channel traffic per epoch,
+/// which is the dominant synchronization cost at fine epoch grain.
+struct EpochBatch<T: SuperTool> {
+    /// `(queue position, slice, per-quantum budget)` for each slice.
+    jobs: Vec<(usize, SliceRuntime<T>, u64)>,
+    quanta: u64,
+    epoch_start: u64,
+    quantum: u64,
+}
+
+type BatchDone<T> = Vec<(usize, SliceRuntime<T>, Result<(), SpError>)>;
+
+/// Host-side (wall-clock) phase timing of one run, from
+/// [`SuperPinRunner::run_profiled`].
+///
+/// Deliberately **not** part of [`SuperPinReport`]: host nanoseconds
+/// vary run to run and machine to machine, while the report is
+/// bit-identical across thread counts. The bench harness uses this
+/// split to report how much of a run is parallelizable slice work —
+/// and, on hosts with fewer cores than requested threads, to model the
+/// speedup the epoch structure admits (Amdahl over the measured split).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostProfile {
+    /// Wall nanoseconds in the serial supervisor sections: control
+    /// steps, planning, master quanta, and epoch barriers.
+    pub supervisor_ns: u64,
+    /// Wall nanoseconds in the slice phase (inline or fanned out).
+    pub slice_ns: u64,
+}
+
+impl HostProfile {
+    /// Total profiled wall nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.supervisor_ns + self.slice_ns
+    }
+
+    /// Fraction of the run spent in the (parallelizable) slice phase.
+    pub fn slice_fraction(&self) -> f64 {
+        self.slice_ns as f64 / (self.total_ns() as f64).max(1.0)
+    }
+
+    /// Amdahl projection from the measured split: the wall-clock speedup
+    /// if the slice phase were spread over `threads` cores and the
+    /// supervisor sections stayed serial.
+    pub fn modeled_speedup(&self, threads: usize) -> f64 {
+        let parallel = self.slice_ns as f64 / threads.max(1) as f64;
+        self.total_ns() as f64 / (self.supervisor_ns as f64 + parallel).max(1.0)
+    }
+}
+
+/// The slice-execution backend for one run. The pool variant holds
+/// channels to workers spawned **once** for the whole run (inside
+/// `run`'s `thread::scope`); per-epoch cost is one channel round trip
+/// per busy worker, not a thread spawn.
+enum WorkerPool<T: SuperTool> {
+    /// `threads = 1`: advance slices inline on the supervisor thread.
+    Inline,
+    /// `threads > 1`: persistent scoped workers fed round-robin.
+    Pool {
+        senders: Vec<mpsc::Sender<EpochBatch<T>>>,
+        results: mpsc::Receiver<BatchDone<T>>,
+    },
+}
+
 /// Drives one complete SuperPin run. See the crate docs for an example.
 pub struct SuperPinRunner<T: SuperTool> {
     cfg: SuperPinConfig,
     scheduler: QuantumScheduler,
+    planner: EpochPlanner,
     master: MasterRuntime,
     bubble: Bubble,
     tool_template: T,
@@ -53,7 +154,10 @@ pub struct SuperPinRunner<T: SuperTool> {
     stall_events: u64,
     stalled: Option<PendingFork>,
     /// Shared compiled-trace index across slices (paper §8 extension).
-    shared_traces: Option<std::sync::Arc<std::sync::Mutex<std::collections::HashSet<u64>>>>,
+    /// Slices consult per-epoch snapshots of it, never the live index.
+    shared_traces: Option<Arc<SharedTraceIndex>>,
+    epochs: u64,
+    host_profile: HostProfile,
 }
 
 impl<T: SuperTool> SuperPinRunner<T> {
@@ -73,12 +177,14 @@ impl<T: SuperTool> SuperPinRunner<T> {
         let mut master_process = process;
         let bubble = Bubble::reserve(&mut master_process.mem)?;
         let scheduler = QuantumScheduler::new(cfg.machine, cfg.policy);
+        let planner = EpochPlanner::new(cfg.epoch_max_quanta);
         let shared_traces = cfg
             .shared_code_cache
-            .then(|| std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new())));
+            .then(|| Arc::new(SharedTraceIndex::new()));
         Ok(SuperPinRunner {
             cfg,
             scheduler,
+            planner,
             master: MasterRuntime::new(master_process),
             bubble,
             tool_template: tool,
@@ -98,6 +204,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
             stall_events: 0,
             stalled: None,
             shared_traces,
+            epochs: 0,
+            host_profile: HostProfile::default(),
         })
     }
 
@@ -128,12 +236,14 @@ impl<T: SuperTool> SuperPinRunner<T> {
             self.now,
         )?;
         if let Some(index) = &self.shared_traces {
-            slice.set_shared_trace_index(std::sync::Arc::clone(index));
+            slice.enter_shared_epoch(index.snapshot());
         }
         let records = self.master.take_span_records();
+        let span = self.master.process().inst_count() - self.master_insts_at_last_fork;
         if let Some(prev) = self.live.back_mut() {
             let boundary = boundary.expect("boundary required when a slice is sleeping");
             prev.wake(boundary, records, self.now);
+            prev.set_span_insts(span);
         }
         self.live.push_back(slice);
         self.last_fork = self.now;
@@ -143,12 +253,14 @@ impl<T: SuperTool> SuperPinRunner<T> {
     }
 
     /// Delivers the final boundary to the last sleeping slice when the
-    /// master exits.
-    fn deliver_final_boundary(&mut self) {
+    /// master exits at virtual time `now_cycles`.
+    fn deliver_final_boundary(&mut self, now_cycles: u64) {
         let records = self.master.take_span_records();
+        let span = self.master.process().inst_count() - self.master_insts_at_last_fork;
         if let Some(last) = self.live.back_mut() {
             if last.state() == SliceState::Sleeping {
-                last.wake(Boundary::ProgramExit, records, self.now);
+                last.wake(Boundary::ProgramExit, records, now_cycles);
+                last.set_span_insts(span);
             }
         }
     }
@@ -179,7 +291,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
     }
 
-    /// Handles fork triggers at a quantum boundary: resolves a pending
+    /// Handles fork triggers at an epoch barrier: resolves a pending
     /// forced-fork syscall, or performs a timer fork, stalling the master
     /// when no slot is free.
     fn control_step(&mut self) -> Result<(), SpError> {
@@ -189,15 +301,13 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
         if self.master.pending_force() {
             if self.can_fork() {
-                if self.stalled.take().is_some() {
-                    // Stall just ended.
-                }
+                self.stalled = None;
                 let cycles = self.master.resolve_forced_syscall(self.now, &self.cfg)?;
                 self.master_debt += cycles;
                 self.forks_on_syscall += 1;
                 self.fork_slice(Some(Boundary::SyscallEnd))?;
                 if self.master.exited() {
-                    self.note_master_exit();
+                    self.note_master_exit(self.now);
                 }
             } else {
                 if self.stalled.is_none() {
@@ -231,25 +341,255 @@ impl<T: SuperTool> SuperPinRunner<T> {
         Ok(())
     }
 
-    fn note_master_exit(&mut self) {
+    /// Records the master's exit during the quantum starting at
+    /// `quantum_start` and wakes the final slice.
+    fn note_master_exit(&mut self, quantum_start: u64) {
         if self.master_exit_cycles.is_none() {
-            self.master_exit_cycles = Some(self.now + self.cfg.quantum_cycles);
-            self.deliver_final_boundary();
+            self.master_exit_cycles = Some(quantum_start + self.cfg.quantum_cycles.max(1));
+            self.deliver_final_boundary(quantum_start);
+        }
+    }
+
+    /// Quanta until the timer-fork deadline, evaluated against the
+    /// (possibly adaptive) timeslice at each candidate barrier time.
+    /// `None` when no deadline falls within the epoch cap.
+    fn fork_deadline_quanta(&self, quantum: u64) -> Option<u64> {
+        (1..=self.planner.max_quanta).find(|&k| {
+            let barrier = self.now + k * quantum;
+            barrier.saturating_sub(self.last_fork) >= self.cfg.effective_timeslice(barrier)
+        })
+    }
+
+    /// Advances the master `planned` quanta (serially, on the supervisor
+    /// thread), truncating the epoch at the quantum where a master event
+    /// fires. Returns `(epoch_len, run_quanta_for_timeline)`.
+    fn advance_master_epoch(
+        &mut self,
+        budget: u64,
+        planned: u64,
+        quantum: u64,
+    ) -> Result<(u64, u64), SpError> {
+        for j in 0..planned {
+            let quantum_start = self.now + j * quantum;
+            // Pay fork/ptrace debt out of this quantum first.
+            let pay = self.master_debt.min(budget);
+            self.master_debt -= pay;
+            let remaining = budget - pay;
+            if remaining == 0 {
+                continue;
+            }
+            let (used, event) = self.master.advance(remaining, quantum_start, &self.cfg)?;
+            // Overshoot (a serviced syscall may exceed the budget) is
+            // owed to future quanta.
+            self.master_debt += used.saturating_sub(remaining);
+            match event {
+                MasterEvent::Exited => {
+                    self.note_master_exit(quantum_start);
+                    // The exit quantum is not recorded as master runtime.
+                    return Ok((j + 1, j));
+                }
+                MasterEvent::NeedForkAtSyscall => {
+                    // Barrier here so the control step resolves the fork
+                    // exactly one quantum after the syscall parked — the
+                    // same instant the per-quantum loop would.
+                    return Ok((j + 1, j + 1));
+                }
+                MasterEvent::None => {}
+            }
+        }
+        Ok((planned, planned))
+    }
+
+    /// Advances every running slice through the epoch — inline on the
+    /// supervisor thread, or fanned out over the persistent worker pool.
+    /// Both paths drive the identical per-quantum
+    /// [`SliceRuntime::advance_epoch`] loop, so they are bit-equivalent;
+    /// errors are reported for the frontmost slice regardless of which
+    /// worker hit one first.
+    fn advance_slices_epoch(
+        &mut self,
+        pool: &mut WorkerPool<T>,
+        budgets: &[(u32, u64)],
+        quanta: u64,
+        epoch_start: u64,
+        quantum: u64,
+    ) -> Result<(), SpError> {
+        let budget_of = |num: u32| budgets.iter().find(|&&(n, _)| n == num).map(|&(_, b)| b);
+        let runnable_jobs = self
+            .live
+            .iter()
+            .filter(|slice| {
+                slice.state() == SliceState::Running && budget_of(slice.num()).is_some()
+            })
+            .count();
+        let (senders, results) = match pool {
+            WorkerPool::Pool { senders, results } if runnable_jobs >= 2 => (senders, results),
+            // A single runnable slice gains nothing from a channel round
+            // trip; threads = 1 always lands here.
+            _ => {
+                for slice in self.live.iter_mut() {
+                    if slice.state() != SliceState::Running {
+                        continue;
+                    }
+                    let Some(budget) = budget_of(slice.num()) else {
+                        continue;
+                    };
+                    slice.advance_epoch(budget, quanta, epoch_start, quantum)?;
+                }
+                return Ok(());
+            }
+        };
+        // Move each running slice out of the queue into a per-worker
+        // batch (round-robin, by value), leave a placeholder, and
+        // reassemble the queue in original order at the barrier. One
+        // message each way per busy worker.
+        let mut slots: Vec<Option<SliceRuntime<T>>> = self.live.drain(..).map(Some).collect();
+        let worker_count = senders.len();
+        let mut batches: Vec<Vec<(usize, SliceRuntime<T>, u64)>> =
+            (0..worker_count).map(|_| Vec::new()).collect();
+        let mut sent = 0usize;
+        for (order, slot) in slots.iter_mut().enumerate() {
+            let eligible = slot
+                .as_ref()
+                .is_some_and(|slice| slice.state() == SliceState::Running);
+            if !eligible {
+                continue;
+            }
+            let slice = slot.take().expect("eligibility checked");
+            let Some(budget) = budget_of(slice.num()) else {
+                *slot = Some(slice);
+                continue;
+            };
+            batches[sent % worker_count].push((order, slice, budget));
+            sent += 1;
+        }
+        let mut busy = 0usize;
+        for (sender, jobs) in senders.iter().zip(batches) {
+            if jobs.is_empty() {
+                continue;
+            }
+            sender
+                .send(EpochBatch {
+                    jobs,
+                    quanta,
+                    epoch_start,
+                    quantum,
+                })
+                .expect("worker thread alive");
+            busy += 1;
+        }
+        let mut first_err: Option<(usize, SpError)> = None;
+        for _ in 0..busy {
+            for (order, slice, outcome) in results.recv().expect("worker thread alive") {
+                slots[order] = Some(slice);
+                if let Err(err) = outcome {
+                    if first_err.as_ref().is_none_or(|&(o, _)| order < o) {
+                        first_err = Some((order, err));
+                    }
+                }
+            }
+        }
+        self.live.extend(
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("all slices returned")),
+        );
+        match first_err {
+            Some((_, err)) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// Epoch-barrier shared-cache synchronization: publish every slice's
+    /// fresh compilations into the sharded index **in slice order**, then
+    /// hand all slices one common snapshot for the next epoch.
+    fn sync_shared_cache(&mut self) {
+        let Some(index) = &self.shared_traces else {
+            return;
+        };
+        for slice in self.live.iter_mut() {
+            index.publish(slice.take_fresh_traces());
+        }
+        let snapshot = index.snapshot();
+        for slice in self.live.iter_mut() {
+            slice.enter_shared_epoch(Arc::clone(&snapshot));
         }
     }
 
     /// Runs the full simulation to completion and produces the report.
     ///
+    /// With `threads > 1` this spawns the worker pool **once** (scoped,
+    /// std-only) and keeps it alive for the whole run; the epoch loop
+    /// itself is identical for every backend.
+    ///
     /// # Errors
     ///
     /// Propagates guest errors and slice-divergence detections.
-    pub fn run(mut self) -> Result<SuperPinReport, SpError> {
+    pub fn run(self) -> Result<SuperPinReport, SpError> {
+        self.run_profiled().map(|(report, _)| report)
+    }
+
+    /// Like [`run`](SuperPinRunner::run), but also returns the
+    /// host-side [`HostProfile`] phase timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors and slice-divergence detections.
+    pub fn run_profiled(mut self) -> Result<(SuperPinReport, HostProfile), SpError> {
         // "At the start of execution, the application forks off its first
         // instrumented timeslice" (paper §3).
         self.fork_slice(None)?;
 
+        // More workers than the `-spmp` cap can never be fed.
+        let workers = self.cfg.threads.min(self.cfg.max_slices);
+        if workers <= 1 {
+            let report = self.run_epochs(&mut WorkerPool::Inline)?;
+            return Ok((report, self.host_profile));
+        }
+        let report = std::thread::scope(|scope| {
+            let (result_tx, results) = mpsc::channel::<BatchDone<T>>();
+            let senders = (0..workers)
+                .map(|_| {
+                    let (tx, rx) = mpsc::channel::<EpochBatch<T>>();
+                    let result_tx = result_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(batch) = rx.recv() {
+                            let EpochBatch {
+                                jobs,
+                                quanta,
+                                epoch_start,
+                                quantum,
+                            } = batch;
+                            let mut done = Vec::with_capacity(jobs.len());
+                            for (order, mut slice, budget) in jobs {
+                                let outcome =
+                                    slice.advance_epoch(budget, quanta, epoch_start, quantum);
+                                done.push((order, slice, outcome));
+                            }
+                            if result_tx.send(done).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    tx
+                })
+                .collect();
+            let mut pool = WorkerPool::Pool { senders, results };
+            self.run_epochs(&mut pool)
+            // `pool` drops at the end of this closure, disconnecting the
+            // job channels; workers see the hangup and exit before the
+            // scope joins them.
+        })?;
+        Ok((report, self.host_profile))
+    }
+
+    /// The epoch loop (see the module docs for the three-phase shape).
+    fn run_epochs(&mut self, pool: &mut WorkerPool<T>) -> Result<SuperPinReport, SpError> {
         let quantum = self.cfg.quantum_cycles.max(1);
         loop {
+            // Host timing only — two `Instant` reads per epoch, no
+            // effect on any simulated quantity.
+            let supervisor_start = Instant::now();
             self.control_step()?;
 
             // Build the runnable set: master (task 0) + running slices.
@@ -277,47 +617,69 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 return Err(SpError::NoProgress);
             }
 
+            // Budgets for the whole epoch are fixed here: they depend
+            // only on the runnable set, which the barrier structure keeps
+            // constant until the next control step.
             let shares = self.scheduler.shares(&runnable);
-            let mut master_ran = false;
-            for share in shares {
-                let budget = ((quantum as f64) * share.throughput).max(1.0) as u64;
-                if share.task == 0 {
-                    master_ran = true;
-                    // Pay fork/ptrace debt out of this quantum first.
-                    let pay = self.master_debt.min(budget);
-                    self.master_debt -= pay;
-                    let remaining = budget - pay;
-                    if remaining > 0 {
-                        let (used, event) = self.master.advance(remaining, self.now, &self.cfg)?;
-                        // Overshoot (a serviced syscall may exceed the
-                        // budget) is owed to future quanta.
-                        self.master_debt += used.saturating_sub(remaining);
-                        if event == MasterEvent::Exited {
-                            self.note_master_exit();
-                        }
-                        // NeedForkAtSyscall is resolved by the next
-                        // quantum's control step.
-                    }
-                } else {
-                    let num = share.task as u32;
-                    let slice = self
-                        .live
-                        .iter_mut()
-                        .find(|slice| slice.num() == num)
-                        .expect("runnable slice is live");
-                    slice.advance(budget, self.now + quantum)?;
-                }
-            }
+            let master_budget = master_runnable.then(|| shares[0].budget(quantum));
+            let slice_budgets: Vec<(u32, u64)> = shares
+                .iter()
+                .filter(|share| share.task != 0)
+                .map(|share| (share.task as u32, share.budget(quantum)))
+                .collect();
+
+            // Plan the epoch: next fork deadline and predicted slice
+            // completions, all from virtual state only.
+            let deadline = if master_runnable {
+                self.fork_deadline_quanta(quantum)
+            } else {
+                None
+            };
+            let etas: Vec<(SliceEta, u64)> = self
+                .live
+                .iter()
+                .filter(|slice| slice.state() == SliceState::Running)
+                .map(|slice| {
+                    let budget = slice_budgets
+                        .iter()
+                        .find(|(num, _)| *num == slice.num())
+                        .map(|&(_, budget)| budget)
+                        .unwrap_or(1);
+                    (slice.eta(), budget)
+                })
+                .collect();
+            let planned = self.planner.plan(deadline, etas);
+            self.epochs += 1;
+
+            // Phase 1: master, serially; a master event truncates the
+            // epoch so the barrier lands where the event must be handled.
+            let exited_before_epoch = self.master_exit_cycles.is_some();
+            let (epoch_len, run_quanta) = match master_budget {
+                Some(budget) => self.advance_master_epoch(budget, planned, quantum)?,
+                None => (planned, planned),
+            };
 
             // Master timeline for the Figure 6 decomposition.
-            if self.master_exit_cycles.is_none() {
-                let label = if master_ran { "run" } else { "sleep" };
+            if !exited_before_epoch && run_quanta > 0 {
+                let label = if master_runnable { "run" } else { "sleep" };
                 self.master_timeline
-                    .push(self.now, self.now + quantum, label);
+                    .push(self.now, self.now + run_quanta * quantum, label);
             }
 
-            self.now += quantum;
+            // Phase 2: slices, in parallel across host threads.
+            let slice_start = Instant::now();
+            self.host_profile.supervisor_ns +=
+                slice_start.duration_since(supervisor_start).as_nanos() as u64;
+            self.advance_slices_epoch(pool, &slice_budgets, epoch_len, self.now, quantum)?;
+            let barrier_start = Instant::now();
+            self.host_profile.slice_ns +=
+                barrier_start.duration_since(slice_start).as_nanos() as u64;
+
+            // Phase 3: barrier — time, shared-cache publication, merges.
+            self.now += epoch_len * quantum;
+            self.sync_shared_cache();
             self.merge_ready();
+            self.host_profile.supervisor_ns += barrier_start.elapsed().as_nanos() as u64;
         }
 
         // All slices merged: render the final result.
@@ -344,12 +706,13 @@ impl<T: SuperTool> SuperPinRunner<T> {
             master_insts: self.master.process().inst_count(),
             master_syscalls: self.master.syscall_count(),
             ptrace: self.master.ptrace_stats(),
-            slices: self.finished,
+            slices: std::mem::take(&mut self.finished),
             sig_stats: self.sig_stats,
             forks_on_timeout: self.forks_on_timeout,
             forks_on_syscall: self.forks_on_syscall,
             stall_events: self.stall_events,
             master_cow_copies: self.master.process().mem.stats().cow_copies,
+            epochs: self.epochs,
         })
     }
 }

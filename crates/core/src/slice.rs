@@ -163,6 +163,10 @@ pub struct SliceRuntime<T: SuperTool> {
     /// complete atomically); repaid before new work runs.
     debt: u64,
     merged: bool,
+    /// Instructions the master executed in this slice's span — known
+    /// exactly once the slice wakes (the master already ran it natively).
+    /// Feeds the epoch planner's completion prediction.
+    span_insts: Option<u64>,
 }
 
 impl<T: SuperTool> SliceRuntime<T> {
@@ -216,6 +220,7 @@ impl<T: SuperTool> SliceRuntime<T> {
             cow_charged: 0,
             debt: 0,
             merged: false,
+            span_insts: None,
         })
     }
 
@@ -265,14 +270,36 @@ impl<T: SuperTool> SliceRuntime<T> {
         self.merged
     }
 
-    /// Installs the cross-slice shared code-cache index (paper §8
+    /// Installs a shared code-cache snapshot for the next epoch (paper §8
     /// extension; see [`crate::config::SuperPinConfig::shared_code_cache`]).
-    /// Must be called before the slice wakes.
-    pub fn set_shared_trace_index(
-        &mut self,
-        index: std::sync::Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
-    ) {
-        self.engine.set_shared_trace_index(index);
+    /// The runner refreshes this at every epoch barrier; the engine never
+    /// touches the live index mid-epoch, which keeps its cycle accounting
+    /// independent of host thread interleaving.
+    pub fn enter_shared_epoch(&mut self, snapshot: Arc<std::collections::HashSet<u64>>) {
+        self.engine.enter_shared_epoch(snapshot);
+    }
+
+    /// Drains trace pcs this slice compiled at full price since the last
+    /// barrier (sorted). The runner publishes them into the shared index
+    /// in slice order.
+    pub fn take_fresh_traces(&mut self) -> Vec<u64> {
+        self.engine.take_fresh_traces()
+    }
+
+    /// Records how many master instructions this slice's span covers
+    /// (set by the runner at wake, when the span length is known).
+    pub fn set_span_insts(&mut self, insts: u64) {
+        self.span_insts = Some(insts);
+    }
+
+    /// Progress snapshot for the epoch planner: abstract-tick spend,
+    /// instructions done, and the known span length (0 if not yet woken).
+    pub fn eta(&self) -> superpin_sched::SliceEta {
+        superpin_sched::SliceEta {
+            ticks_spent: self.engine.stats().cycles.total(),
+            insts_done: self.engine.process().inst_count(),
+            insts_total: self.span_insts.unwrap_or(0),
+        }
     }
 
     /// Marks the merge as done (set by the runner after calling the
@@ -365,6 +392,35 @@ impl<T: SuperTool> SliceRuntime<T> {
         // Anything beyond this quantum's budget is owed to future quanta.
         self.debt += used.saturating_sub(budget);
         Ok(repaid + used.min(budget))
+    }
+
+    /// Advances the slice through a whole epoch: up to `quanta` quanta of
+    /// `budget_per_quantum` cycles each, with virtual time stepped by
+    /// `quantum_cycles` from `epoch_start`. Stops early when the slice
+    /// finishes.
+    ///
+    /// This is exactly the per-quantum [`advance`](SliceRuntime::advance)
+    /// loop the serial runner would drive — debt repayment and finish
+    /// timestamps land on identical quantum boundaries — so running it on
+    /// a worker thread cannot change any report bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`advance`](SliceRuntime::advance) error.
+    pub fn advance_epoch(
+        &mut self,
+        budget_per_quantum: u64,
+        quanta: u64,
+        epoch_start: u64,
+        quantum_cycles: u64,
+    ) -> Result<(), SpError> {
+        for j in 0..quanta {
+            if self.state != SliceState::Running {
+                break;
+            }
+            self.advance(budget_per_quantum, epoch_start + (j + 1) * quantum_cycles)?;
+        }
+        Ok(())
     }
 
     fn playback_next(&mut self, now_cycles: u64) -> Result<u64, SpError> {

@@ -3,8 +3,10 @@
 use crate::cache::{CodeCache, CompiledInst, CompiledTrace, InsertedCall, DEFAULT_CAPACITY_INSTS};
 use crate::cost::CostModel;
 use crate::inserter::{Call, CallCtx, EngineCtl, IArg, Inserter};
+use crate::shared_index::SharedTraceIndex;
 use crate::spill::ClobberViolation;
 use crate::tool::Pintool;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use superpin_isa::Inst;
@@ -53,6 +55,13 @@ pub struct EngineStats {
     /// Compilations that adopted a shared-cache trace at the cheaper
     /// consistency-check rate (paper §8 extension).
     pub shared_cache_adoptions: u64,
+    /// Compilations that probed the shared index and claimed the trace
+    /// first (full JIT price while sharing). Zero without a shared cache.
+    pub shared_cache_misses: u64,
+    /// Shared-index probes that had to block on a contended shard lock.
+    /// Structurally zero in epoch-snapshot mode, where engines never
+    /// touch the live index mid-run.
+    pub shared_cache_contention: u64,
 }
 
 /// Why [`Engine::run`] returned.
@@ -87,6 +96,23 @@ enum TraceExit {
     Stop(EngineStop),
 }
 
+/// How an engine consults the shared-trace index (paper §8).
+enum SharedTraceMode {
+    /// Probe-and-publish against the live sharded index on every compile.
+    /// Right for standalone engines and single-threaded supervisors, but
+    /// racy across threads: who compiles first depends on host timing.
+    Live(Arc<SharedTraceIndex>),
+    /// Epoch-snapshot consistency: consult an immutable snapshot taken at
+    /// the last epoch barrier, record own fresh compiles locally. The
+    /// supervisor drains `fresh` at the barrier and publishes it in slice
+    /// order, making the cycle accounting independent of host
+    /// interleaving.
+    Epoch {
+        snapshot: Arc<HashSet<u64>>,
+        fresh: HashSet<u64>,
+    },
+}
+
 /// A Pin-like execution engine: owns the guest [`Process`], the tool, and
 /// a (cold) code cache.
 ///
@@ -118,7 +144,7 @@ pub struct Engine<T: Pintool> {
     /// When present, compiling an already-indexed trace charges
     /// [`CostModel::shared_cache_check`] per instruction instead of the
     /// full JIT cost (paper §8's shared code cache).
-    shared_traces: Option<Arc<std::sync::Mutex<std::collections::HashSet<u64>>>>,
+    shared_traces: Option<SharedTraceMode>,
     /// The guest code version last observed; a mismatch means the guest
     /// wrote into its code region (self-modifying code) and every
     /// translation must be discarded.
@@ -176,13 +202,42 @@ impl<T: Pintool + 'static> Engine<T> {
     }
 
     /// Installs a shared compiled-trace index (paper §8's shared code
-    /// cache): traces another engine already compiled are adopted at the
-    /// consistency-check rate rather than recompiled from scratch.
-    pub fn set_shared_trace_index(
-        &mut self,
-        index: Arc<std::sync::Mutex<std::collections::HashSet<u64>>>,
-    ) {
-        self.shared_traces = Some(index);
+    /// cache) in **live** mode: traces another engine already compiled
+    /// are adopted at the consistency-check rate rather than recompiled
+    /// from scratch, and fresh compiles are published immediately.
+    pub fn set_shared_trace_index(&mut self, index: Arc<SharedTraceIndex>) {
+        self.shared_traces = Some(SharedTraceMode::Live(index));
+    }
+
+    /// Switches shared-cache consistency to **epoch-snapshot** mode: the
+    /// engine consults `snapshot` (plus its own fresh compiles) without
+    /// touching the live index, keeping its cycle accounting a pure
+    /// function of virtual time. Fresh compiles accumulated in a previous
+    /// epoch and not yet drained are carried over.
+    ///
+    /// The supervisor calls this at every epoch barrier after draining
+    /// [`take_fresh_traces`](Engine::take_fresh_traces) and publishing in
+    /// slice order.
+    pub fn enter_shared_epoch(&mut self, snapshot: Arc<HashSet<u64>>) {
+        let fresh = match self.shared_traces.take() {
+            Some(SharedTraceMode::Epoch { fresh, .. }) => fresh,
+            _ => HashSet::new(),
+        };
+        self.shared_traces = Some(SharedTraceMode::Epoch { snapshot, fresh });
+    }
+
+    /// Drains the trace pcs this engine compiled at full price since the
+    /// last drain (epoch-snapshot mode only; empty in live mode). Sorted,
+    /// so barrier publication is deterministic.
+    pub fn take_fresh_traces(&mut self) -> Vec<u64> {
+        match &mut self.shared_traces {
+            Some(SharedTraceMode::Epoch { fresh, .. }) => {
+                let mut pcs: Vec<u64> = fresh.drain().collect();
+                pcs.sort_unstable();
+                pcs
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Installs static liveness for the guest program (see
@@ -324,16 +379,31 @@ impl<T: Pintool + 'static> Engine<T> {
         let mut inserter = Inserter::new();
         self.tool.instrument_trace(&trace, &mut inserter);
         let (compiled, count) = self.cache.compile(&trace, inserter);
-        let per_inst = match &self.shared_traces {
-            Some(index) => {
-                let mut index = index.lock().expect("shared trace index lock");
-                if index.insert(pc) {
-                    // First compiler of this trace pays full price.
-                    self.cost.compile_per_inst
-                } else {
+        let per_inst = match &mut self.shared_traces {
+            Some(SharedTraceMode::Live(index)) => {
+                let probe = index.probe_insert(pc);
+                if probe.contended {
+                    self.stats.shared_cache_contention += 1;
+                }
+                if probe.adopted {
                     // Someone already shared it: consistency check only.
                     self.stats.shared_cache_adoptions += 1;
                     self.cost.shared_cache_check
+                } else {
+                    // First compiler of this trace pays full price.
+                    self.stats.shared_cache_misses += 1;
+                    self.cost.compile_per_inst
+                }
+            }
+            Some(SharedTraceMode::Epoch { snapshot, fresh }) => {
+                // `!fresh.insert(pc)` covers this engine recompiling its
+                // own trace after a cache flush within the epoch.
+                if snapshot.contains(&pc) || !fresh.insert(pc) {
+                    self.stats.shared_cache_adoptions += 1;
+                    self.cost.shared_cache_check
+                } else {
+                    self.stats.shared_cache_misses += 1;
+                    self.cost.compile_per_inst
                 }
             }
             None => self.cost.compile_per_inst,
@@ -600,6 +670,18 @@ impl<T: Pintool + 'static> Engine<T> {
         }
     }
 }
+
+// The parallel runner moves engines into scoped worker threads, so
+// `Engine<T>: Send` for any `Send` tool is a load-bearing property:
+// losing it (say, by caching an `Rc` somewhere) must fail compilation
+// here rather than at the runner's distant spawn site.
+const _: () = {
+    const fn assert_send<S: Send>() {}
+    #[allow(dead_code)]
+    const fn engine_is_send_for_send_tools<T: Pintool + Send + 'static>() {
+        assert_send::<Engine<T>>();
+    }
+};
 
 /// Converts 2.2 GHz cycles to virtual nanoseconds.
 pub fn cycles_to_ns(cycles: u64) -> u64 {
@@ -879,22 +961,22 @@ mod tests {
 
     #[test]
     fn shared_trace_index_discounts_recompilation() {
-        use std::collections::HashSet;
-        use std::sync::Mutex;
-        let index = Arc::new(Mutex::new(HashSet::new()));
+        let index = Arc::new(SharedTraceIndex::new());
 
         let mut first = Engine::new(process_for(LOOP_100), NullTool);
         first.set_shared_trace_index(Arc::clone(&index));
         first.run_to_exit().expect("first");
         assert_eq!(first.stats().shared_cache_adoptions, 0);
+        assert!(first.stats().shared_cache_misses > 0, "first claims traces");
         let full_jit = first.stats().cycles.jit;
-        assert!(!index.lock().expect("lock").is_empty());
+        assert!(!index.is_empty());
 
         let mut second = Engine::new(process_for(LOOP_100), NullTool);
         second.set_shared_trace_index(Arc::clone(&index));
         second.run_to_exit().expect("second");
         let stats = second.stats();
         assert!(stats.shared_cache_adoptions > 0, "second engine must adopt");
+        assert_eq!(stats.shared_cache_misses, 0, "nothing new to claim");
         assert!(
             stats.cycles.jit * 4 < full_jit,
             "adopted compilation {} should be far below full {}",
@@ -906,6 +988,42 @@ mod tests {
         let mut solo = Engine::new(process_for(LOOP_100), NullTool);
         solo.run_to_exit().expect("solo");
         assert_eq!(solo.stats().cycles.jit, full_jit);
+    }
+
+    #[test]
+    fn epoch_snapshot_mode_matches_live_accounting() {
+        // Live mode, serial: first engine pays full, second adopts all.
+        let live_index = Arc::new(SharedTraceIndex::new());
+        let mut live_first = Engine::new(process_for(LOOP_100), NullTool);
+        live_first.set_shared_trace_index(Arc::clone(&live_index));
+        live_first.run_to_exit().expect("live first");
+        let mut live_second = Engine::new(process_for(LOOP_100), NullTool);
+        live_second.set_shared_trace_index(Arc::clone(&live_index));
+        live_second.run_to_exit().expect("live second");
+
+        // Epoch mode with a barrier between the two engines must produce
+        // the same stats: engine one runs against an empty snapshot, its
+        // fresh traces are published, engine two snapshots and adopts.
+        let epoch_index = SharedTraceIndex::new();
+        let mut epoch_first = Engine::new(process_for(LOOP_100), NullTool);
+        epoch_first.enter_shared_epoch(epoch_index.snapshot());
+        epoch_first.run_to_exit().expect("epoch first");
+        let fresh = epoch_first.take_fresh_traces();
+        assert!(!fresh.is_empty());
+        epoch_index.publish(fresh);
+        let mut epoch_second = Engine::new(process_for(LOOP_100), NullTool);
+        epoch_second.enter_shared_epoch(epoch_index.snapshot());
+        epoch_second.run_to_exit().expect("epoch second");
+        assert!(epoch_second.take_fresh_traces().is_empty());
+
+        assert_eq!(epoch_first.stats(), live_first.stats());
+        let live = live_second.stats();
+        let epoch = epoch_second.stats();
+        assert_eq!(epoch.cycles, live.cycles);
+        assert_eq!(epoch.shared_cache_adoptions, live.shared_cache_adoptions);
+        assert_eq!(epoch.shared_cache_misses, 0);
+        // Epoch mode never touches the live index mid-run.
+        assert_eq!(epoch.shared_cache_contention, 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod cache;
 pub mod cost;
 pub mod engine;
 pub mod inserter;
+pub mod shared_index;
 pub mod spill;
 pub mod tool;
 pub mod trace;
@@ -61,6 +62,7 @@ pub use cache::{CacheStats, CodeCache, InsertedCall};
 pub use cost::{cycles_to_secs, secs_to_cycles, CostModel, CYCLES_PER_SEC};
 pub use engine::{cycles_to_ns, CycleBreakdown, Engine, EngineStats, EngineStop, RunResult};
 pub use inserter::{AnalysisFn, Call, CallCtx, EngineCtl, IArg, IPoint, Inserter, PredicateFn};
+pub use shared_index::{ProbeOutcome, SharedIndexStats, SharedTraceIndex};
 pub use spill::{analysis_clobbers, ClobberViolation};
 pub use tool::{NullTool, Pintool};
 pub use trace::{discover_trace, BasicBlock, InstRef, Trace};

@@ -1,0 +1,275 @@
+//! Sharded shared-trace index: the concurrent registry behind the
+//! shared code cache (paper §8).
+//!
+//! Engines record which trace entry pcs *some* engine has already
+//! compiled; later compilers of the same trace adopt it at the cheap
+//! consistency-check rate instead of paying full JIT cost. The original
+//! implementation was a single `Mutex<HashSet<u64>>` — one global lock
+//! on the hottest path of every cold engine, which serializes exactly
+//! the phase the parallel runner wants to overlap.
+//!
+//! [`SharedTraceIndex`] replaces it with `RwLock` shards selected by pc
+//! hash. Reads (the overwhelmingly common case once caches warm) take a
+//! shard read lock; only the first compiler of a trace takes the shard's
+//! write lock. Hit/miss/contention counters are atomics, surfaced per
+//! engine in [`EngineStats`](crate::EngineStats) and per run in the
+//! `SliceReport`.
+//!
+//! ## Two consistency modes
+//!
+//! * **Live** ([`SharedTraceIndex::probe_insert`]) — probe and publish in
+//!   one step. Right for standalone engines and single-threaded runs,
+//!   but *racy across threads*: which engine compiles a trace first
+//!   would depend on host scheduling, and with it the jit-cycle
+//!   accounting.
+//! * **Epoch snapshot** ([`SharedTraceIndex::snapshot`] +
+//!   [`SharedTraceIndex::publish`]) — the parallel runner hands every
+//!   slice an immutable snapshot at each epoch barrier; slices record
+//!   their own fresh compilations locally and the runner publishes them
+//!   *in slice order* at the next barrier. What each engine pays is then
+//!   a pure function of virtual time, independent of host interleaving —
+//!   this is what keeps `threads=N` reports bit-identical to
+//!   `threads=1`.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashSet;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of shards. A small power of two: enough to spread the handful
+/// of concurrently-cold engines (`max_slices` ≤ 16 in practice) across
+/// independent locks without bloating the structure.
+pub const SHARDS: usize = 16;
+
+/// Counter snapshot from a [`SharedTraceIndex`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharedIndexStats {
+    /// Probes that found the pc already indexed (an adoption upstream).
+    pub hits: u64,
+    /// Probes that claimed a pc first (full JIT price upstream).
+    pub misses: u64,
+    /// Lock acquisitions that had to block because another thread held
+    /// the shard (read-side or write-side).
+    pub contention: u64,
+}
+
+/// Outcome of a live-mode [`SharedTraceIndex::probe_insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The pc was already indexed: the caller should adopt the trace at
+    /// the consistency-check rate. `false` means this probe claimed the
+    /// pc first and the caller pays full JIT price.
+    pub adopted: bool,
+    /// A shard lock was held by another thread and this probe had to
+    /// block for it.
+    pub contended: bool,
+}
+
+/// A sharded, concurrently-readable index of compiled trace entry pcs.
+#[derive(Debug, Default)]
+pub struct SharedTraceIndex {
+    shards: [RwLock<HashSet<u64>>; SHARDS],
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    contention: AtomicU64,
+}
+
+impl SharedTraceIndex {
+    /// Creates an empty index.
+    pub fn new() -> SharedTraceIndex {
+        SharedTraceIndex::default()
+    }
+
+    fn shard_for(&self, pc: u64) -> &RwLock<HashSet<u64>> {
+        &self.shards[(self.hasher.hash_one(pc) as usize) % SHARDS]
+    }
+
+    /// Live-mode probe: checks whether `pc` is indexed and claims it if
+    /// not, in one step.
+    ///
+    /// Fast path is a shard read lock; only a first-compile upgrades to
+    /// the write lock.
+    pub fn probe_insert(&self, pc: u64) -> ProbeOutcome {
+        let shard = self.shard_for(pc);
+        let mut contended = false;
+        let known = {
+            let guard = match shard.try_read() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    contended = true;
+                    shard.read().expect("shared-trace shard poisoned")
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => {
+                    panic!("shared-trace shard poisoned")
+                }
+            };
+            guard.contains(&pc)
+        };
+        let adopted = if known {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            let mut guard = match shard.try_write() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    contended = true;
+                    shard.write().expect("shared-trace shard poisoned")
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("shared-trace shard poisoned"),
+            };
+            if guard.insert(pc) {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                false
+            } else {
+                // Lost the upgrade race: someone indexed it between our
+                // read and write — an adoption after all.
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+        };
+        if contended {
+            self.contention.fetch_add(1, Ordering::Relaxed);
+        }
+        ProbeOutcome { adopted, contended }
+    }
+
+    /// Epoch-mode read: an immutable copy of the whole index, for engines
+    /// to consult lock-free during an epoch.
+    pub fn snapshot(&self) -> Arc<HashSet<u64>> {
+        let mut all = HashSet::new();
+        for shard in &self.shards {
+            all.extend(shard.read().expect("shared-trace shard poisoned").iter());
+        }
+        Arc::new(all)
+    }
+
+    /// Epoch-mode write: publishes pcs freshly compiled during an epoch.
+    /// The parallel runner calls this at the barrier, slice by slice in
+    /// slice order.
+    pub fn publish(&self, pcs: impl IntoIterator<Item = u64>) {
+        for pc in pcs {
+            let inserted = self
+                .shard_for(pc)
+                .write()
+                .expect("shared-trace shard poisoned")
+                .insert(pc);
+            if inserted {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|shard| {
+            shard
+                .read()
+                .expect("shared-trace shard poisoned")
+                .is_empty()
+        })
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().expect("shared-trace shard poisoned").len())
+            .sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SharedIndexStats {
+        SharedIndexStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            contention: self.contention.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_probe_claims_later_probes_adopt() {
+        let index = SharedTraceIndex::new();
+        assert!(
+            !index.probe_insert(0x1000).adopted,
+            "first compiler pays full"
+        );
+        assert!(index.probe_insert(0x1000).adopted, "second adopts");
+        assert!(index.probe_insert(0x1000).adopted);
+        let stats = index.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_and_publish_lands() {
+        let index = SharedTraceIndex::new();
+        index.publish([0x10, 0x20]);
+        let snap = index.snapshot();
+        assert!(snap.contains(&0x10) && snap.contains(&0x20));
+        index.publish([0x30]);
+        // The old snapshot does not see later publishes.
+        assert!(!snap.contains(&0x30));
+        assert!(index.snapshot().contains(&0x30));
+        assert_eq!(index.len(), 3);
+    }
+
+    #[test]
+    fn publish_is_idempotent() {
+        let index = SharedTraceIndex::new();
+        index.publish([0x10]);
+        index.publish([0x10, 0x10]);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.stats().misses, 1);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let index = SharedTraceIndex::new();
+        index.publish((0..1024).map(|i| i * 8));
+        assert_eq!(index.len(), 1024);
+        let occupied = index
+            .shards
+            .iter()
+            .filter(|shard| !shard.read().unwrap().is_empty())
+            .count();
+        assert!(occupied > SHARDS / 2, "only {occupied} shards occupied");
+    }
+
+    #[test]
+    fn concurrent_probes_agree_on_one_claimant() {
+        let index = Arc::new(SharedTraceIndex::new());
+        let claims: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let index = Arc::clone(&index);
+                    scope.spawn(move || {
+                        let mut claimed = 0usize;
+                        for pc in 0..256u64 {
+                            if !index.probe_insert(pc * 8).adopted {
+                                claimed += 1;
+                            }
+                        }
+                        claimed
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|handle| handle.join().expect("join"))
+                .sum()
+        });
+        // Each pc has exactly one first compiler across all threads.
+        assert_eq!(claims, 256);
+        assert_eq!(index.len(), 256);
+        let stats = index.stats();
+        assert_eq!(stats.misses, 256);
+        assert_eq!(stats.hits, 8 * 256 - 256);
+    }
+}

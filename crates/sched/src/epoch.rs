@@ -1,0 +1,212 @@
+//! Epoch planning: batching quanta between scheduling events.
+//!
+//! The SuperPin runner advances every runnable task once per quantum.
+//! Paying a thread-pool synchronization per quantum would dwarf the work
+//! inside it, so the runner batches quanta into **epochs**: a span of
+//! quanta over which the runnable set — and therefore every per-quantum
+//! budget — is fixed. Workers receive a whole epoch of budget at once
+//! and synchronize only at epoch boundaries, where forks, merges, and
+//! share recomputation happen.
+//!
+//! The planner's job is to predict the next *scheduling event* so the
+//! epoch ends on (or just before) it:
+//!
+//! * **fork deadline** — the timer fork fires at a known virtual time;
+//!   the caller converts it to "quanta from now".
+//! * **predicted slice completion** — a slice finishing changes the
+//!   runnable set. Completion is estimated from the slice's known work
+//!   span and its observed ticks-per-instruction (see
+//!   [`predict_completion_quanta`]). A prediction that lands short costs
+//!   one extra barrier and re-plan (after which the shrinking remainder
+//!   converges); one that lands long leaves the finished slice idle
+//!   until the barrier — bounded by the prediction error, which decays
+//!   as observed ticks-per-instruction accumulates.
+//! * **forced syscalls** cannot be predicted; the runner discovers them
+//!   while advancing the master serially and truncates the epoch, so
+//!   the planner never needs to see them.
+//!
+//! Everything here is pure integer arithmetic over virtual-time state,
+//! so a plan is a deterministic function of the simulation state —
+//! independent of host thread count or timing. That is what keeps
+//! `threads=N` runs bit-identical to `threads=1`.
+
+/// Progress snapshot of one running slice, in the planner's units
+/// (abstract ticks; the runner uses cycles).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SliceEta {
+    /// Ticks the slice has consumed so far (all accounts: app, analysis,
+    /// JIT, dispatch, syscall).
+    pub ticks_spent: u64,
+    /// Instructions the slice has executed so far.
+    pub insts_done: u64,
+    /// Total instructions the slice will execute — known exactly in
+    /// SuperPin because the master already ran the span natively. 0 when
+    /// unknown (the slice is then ignored for planning).
+    pub insts_total: u64,
+}
+
+/// Fallback ticks-per-instruction for a slice that has not executed
+/// anything yet (the paper's ~12× icount slowdown ballpark).
+pub const DEFAULT_TICKS_PER_INST: u64 = 12;
+
+/// Predicts how many quanta until a slice completes, given its
+/// per-quantum tick budget: `⌈remaining_insts × observed_tpi / budget⌉`.
+///
+/// Observed ticks-per-instruction is rounded up (and is itself inflated
+/// by cold-cache JIT early in a slice's life), so the estimate leans
+/// slightly long; the finished slice then idles until the barrier,
+/// costing only the prediction error in merge latency. Leaning short
+/// instead would split every completion into a geometric series of tiny
+/// epochs, and epochs are exactly what amortizes worker synchronization
+/// — an order-of-magnitude wall-clock regression for a marginal
+/// merge-latency win.
+///
+/// Always returns at least 1.
+pub fn predict_completion_quanta(eta: SliceEta, budget_per_quantum: u64) -> u64 {
+    let remaining = eta.insts_total.saturating_sub(eta.insts_done).max(1);
+    let tpi = if eta.insts_done == 0 {
+        DEFAULT_TICKS_PER_INST
+    } else {
+        eta.ticks_spent.div_ceil(eta.insts_done).max(1)
+    };
+    let remaining_ticks = remaining.saturating_mul(tpi);
+    remaining_ticks.div_ceil(budget_per_quantum.max(1)).max(1)
+}
+
+/// Plans epoch lengths (in quanta) between scheduling events.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochPlanner {
+    /// Hard cap on epoch length, in quanta. 1 degenerates to the classic
+    /// per-quantum loop (every quantum is a barrier).
+    pub max_quanta: u64,
+}
+
+impl EpochPlanner {
+    /// A planner with the given epoch cap (clamped to ≥ 1).
+    pub fn new(max_quanta: u64) -> EpochPlanner {
+        EpochPlanner {
+            max_quanta: max_quanta.max(1),
+        }
+    }
+
+    /// Plans the next epoch's length.
+    ///
+    /// * `deadline_quanta` — quanta until the next known timer-fork
+    ///   deadline (`None` when the master cannot fork: exited, stalled,
+    ///   or parked at a forced syscall).
+    /// * `slices` — `(progress, per-quantum budget)` for each *running*
+    ///   slice; the epoch ends at the earliest predicted completion.
+    ///
+    /// Returns a value in `[1, max_quanta]`.
+    pub fn plan(
+        &self,
+        deadline_quanta: Option<u64>,
+        slices: impl IntoIterator<Item = (SliceEta, u64)>,
+    ) -> u64 {
+        let mut quanta = self.max_quanta;
+        if let Some(deadline) = deadline_quanta {
+            quanta = quanta.min(deadline.max(1));
+        }
+        for (eta, budget) in slices {
+            if eta.insts_total > 0 {
+                quanta = quanta.min(predict_completion_quanta(eta, budget));
+            }
+        }
+        quanta.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_applies_when_nothing_is_known() {
+        let planner = EpochPlanner::new(256);
+        assert_eq!(planner.plan(None, []), 256);
+        // Cap clamps to at least one quantum.
+        assert_eq!(EpochPlanner::new(0).plan(None, []), 1);
+    }
+
+    #[test]
+    fn fork_deadline_bounds_the_epoch() {
+        let planner = EpochPlanner::new(256);
+        assert_eq!(planner.plan(Some(40), []), 40);
+        // A deadline that already passed still yields one quantum of
+        // progress (the control step re-evaluates at the barrier).
+        assert_eq!(planner.plan(Some(0), []), 1);
+    }
+
+    #[test]
+    fn earliest_predicted_completion_wins() {
+        let planner = EpochPlanner::new(256);
+        let near = SliceEta {
+            ticks_spent: 10_000,
+            insts_done: 1_000, // tpi 10
+            insts_total: 1_100,
+        };
+        let far = SliceEta {
+            ticks_spent: 10_000,
+            insts_done: 1_000,
+            insts_total: 100_000,
+        };
+        // near: ⌈100 remaining × 10 tpi / 500⌉ = 2 quanta.
+        let plan = planner.plan(Some(200), [(near, 500), (far, 500)]);
+        assert_eq!(plan, 2);
+        // Without the near slice the deadline dominates the far slice's
+        // prediction of ⌈99_000 × 10 / 500⌉ = 1980.
+        assert_eq!(planner.plan(Some(200), [(far, 500)]), 200);
+    }
+
+    #[test]
+    fn prediction_is_the_full_remaining_estimate() {
+        // Exactly divisible inputs: the prediction covers the entire
+        // remaining work at the observed rate — no short bias that would
+        // fragment the completion into a run of tiny epochs.
+        let eta = SliceEta {
+            ticks_spent: 12_000,
+            insts_done: 1_000, // tpi 12
+            insts_total: 11_000,
+        };
+        assert_eq!(predict_completion_quanta(eta, 600), 10_000 * 12 / 600);
+        // Non-divisible remainders round up (lean long, not short).
+        assert_eq!(predict_completion_quanta(eta, 7_000), 18);
+    }
+
+    #[test]
+    fn fresh_slice_uses_default_tpi() {
+        let eta = SliceEta {
+            ticks_spent: 0,
+            insts_done: 0,
+            insts_total: 2_000,
+        };
+        assert_eq!(
+            predict_completion_quanta(eta, 100),
+            2_000 * DEFAULT_TICKS_PER_INST / 100
+        );
+    }
+
+    #[test]
+    fn prediction_never_returns_zero() {
+        let done = SliceEta {
+            ticks_spent: 500,
+            insts_done: 100,
+            insts_total: 100,
+        };
+        assert_eq!(predict_completion_quanta(done, 1_000_000), 1);
+        // Degenerate inputs (zero budget, zero span) must not divide by
+        // zero and still plan forward progress.
+        assert!(predict_completion_quanta(SliceEta::default(), 0) >= 1);
+    }
+
+    #[test]
+    fn unknown_span_slices_are_ignored() {
+        let planner = EpochPlanner::new(64);
+        let unknown = SliceEta {
+            ticks_spent: 5,
+            insts_done: 1,
+            insts_total: 0,
+        };
+        assert_eq!(planner.plan(None, [(unknown, 100)]), 64);
+    }
+}

@@ -17,14 +17,19 @@
 //! * [`QuantumScheduler`] — fair-share assignment of runnable tasks onto
 //!   the machine per quantum, with round-robin rotation when
 //!   oversubscribed.
+//! * [`EpochPlanner`] — batches quanta into multi-quantum epochs between
+//!   predicted scheduling events, so a parallel runner synchronizes its
+//!   workers once per epoch instead of once per quantum.
 //! * [`Timeline`] — labelled time-segment recording, used to produce the
 //!   run-time breakdown of Figure 6 (native / fork&others / sleep /
 //!   pipeline).
 
+mod epoch;
 mod machine;
 mod scheduler;
 mod timeline;
 
+pub use epoch::{predict_completion_quanta, EpochPlanner, SliceEta, DEFAULT_TICKS_PER_INST};
 pub use machine::Machine;
 pub use scheduler::{Policy, QuantumScheduler, Share};
 pub use timeline::Timeline;

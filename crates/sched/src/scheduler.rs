@@ -12,6 +12,18 @@ pub struct Share {
     pub throughput: f64,
 }
 
+impl Share {
+    /// The task's tick budget for one quantum of `quantum_ticks`.
+    ///
+    /// This is **the** budget computation for the whole system: the
+    /// serial and parallel runners and the epoch planner all call it, so
+    /// the `f64 → u64` truncation happens in exactly one place. Every
+    /// task always makes at least one tick of progress per quantum.
+    pub fn budget(&self, quantum_ticks: u64) -> u64 {
+        ((quantum_ticks as f64) * self.throughput).max(1.0) as u64
+    }
+}
+
 /// Scheduling policy for a quantum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Policy {
@@ -49,26 +61,21 @@ impl QuantumScheduler {
         self.policy
     }
 
-    /// Assigns shares for one quantum to the given runnable tasks.
+    /// Per-quantum throughput split for `n` runnable tasks: the first
+    /// task's throughput and every other task's throughput.
     ///
-    /// Returns one [`Share`] per task (all tasks make progress every
-    /// quantum; oversubscription shows up as lower throughput, i.e.
-    /// intra-quantum time multiplexing).
-    pub fn shares(&self, runnable: &[u64]) -> Vec<Share> {
-        let n = runnable.len();
+    /// This is the single share-computation path behind both policies
+    /// (under [`Policy::FairShare`] the two components are equal); the
+    /// epoch planner and [`shares`](QuantumScheduler::shares) both use
+    /// it, so policy arithmetic lives in exactly one place.
+    pub fn throughput_split(&self, n: usize) -> (f64, f64) {
         if n == 0 {
-            return Vec::new();
+            return (0.0, 0.0);
         }
         match self.policy {
             Policy::FairShare => {
                 let per = self.machine.per_task_throughput(n);
-                runnable
-                    .iter()
-                    .map(|&task| Share {
-                        task,
-                        throughput: per,
-                    })
-                    .collect()
+                (per, per)
             }
             Policy::MasterFirst => {
                 let total = self.machine.total_throughput(n);
@@ -82,16 +89,30 @@ impl QuantumScheduler {
                 } else {
                     0.0
                 };
-                runnable
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &task)| Share {
-                        task,
-                        throughput: if i == 0 { master } else { rest },
-                    })
-                    .collect()
+                (master, rest)
             }
         }
+    }
+
+    /// Assigns shares for one quantum to the given runnable tasks.
+    ///
+    /// Returns one [`Share`] per task (all tasks make progress every
+    /// quantum; oversubscription shows up as lower throughput, i.e.
+    /// intra-quantum time multiplexing).
+    pub fn shares(&self, runnable: &[u64]) -> Vec<Share> {
+        let n = runnable.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let (first, rest) = self.throughput_split(n);
+        runnable
+            .iter()
+            .enumerate()
+            .map(|(i, &task)| Share {
+                task,
+                throughput: if i == 0 { first } else { rest },
+            })
+            .collect()
     }
 }
 
@@ -110,10 +131,72 @@ mod tests {
         let sched = QuantumScheduler::new(Machine::smp(4), Policy::FairShare);
         let shares = sched.shares(&[1, 2, 3]);
         assert_eq!(shares.len(), 3);
+        // Epsilon compare: uniformity is a numeric property, not a
+        // bit-pattern one — the shares travel through `total / n * …`
+        // style arithmetic that may round differently per lane.
         assert!(shares
             .windows(2)
-            .all(|w| w[0].throughput == w[1].throughput));
+            .all(|w| (w[0].throughput - w[1].throughput).abs() < 1e-12));
         assert!(shares[0].throughput < 1.0, "SMP tax applies");
+    }
+
+    #[test]
+    fn fair_share_split_components_are_equal() {
+        let sched = QuantumScheduler::new(Machine::smp(8), Policy::FairShare);
+        for n in 1..=16 {
+            let (first, rest) = sched.throughput_split(n);
+            assert!((first - rest).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    /// Pins the `(quantum × throughput).max(1.0) as u64` truncation for
+    /// the exact runnable-set sizes the parallel runner fans out over.
+    /// If the budget arithmetic drifts (different rounding, a reordered
+    /// multiply), the parallel path silently diverges from the serial
+    /// cycle accounting — these constants are the contract.
+    #[test]
+    fn budget_truncation_is_exact_for_paper_machine() {
+        let machine = Machine::smp(8); // Figures 3-6 machine: no SMT.
+        let sched = QuantumScheduler::new(machine, Policy::FairShare);
+        let quantum = 2_200_000u64; // 1 ms of 2.2 GHz cycles.
+                                    // (runnable tasks, expected per-task budget). Hand-computed:
+                                    //   n=1 : throughput 1.0                  → 2_200_000
+                                    //   n=2 : (2/1.02)/2   = 0.98039215…      → 2_156_862
+                                    //   n=4 : (4/1.06)/4   = 0.94339622…      → 2_075_471
+                                    //   n=16: (8/1.14)/16  = 0.43859649…      →   964_912
+        for (n, expected) in [
+            (1usize, 2_200_000u64),
+            (2, 2_156_862),
+            (4, 2_075_471),
+            (16, 964_912),
+        ] {
+            let tasks: Vec<u64> = (0..n as u64).collect();
+            let shares = sched.shares(&tasks);
+            for share in &shares {
+                assert_eq!(
+                    share.budget(quantum),
+                    expected,
+                    "n={n}: budget must truncate to the pinned value"
+                );
+            }
+        }
+        // The floor: a share too small for one tick still gets one.
+        let starved = Share {
+            task: 1,
+            throughput: 1e-12,
+        };
+        assert_eq!(starved.budget(100), 1);
+    }
+
+    #[test]
+    fn master_first_uses_the_shared_split_path() {
+        let sched = QuantumScheduler::new(Machine::smp(4), Policy::MasterFirst);
+        let (first, rest) = sched.throughput_split(6);
+        let shares = sched.shares(&[0, 1, 2, 3, 4, 5]);
+        assert!((shares[0].throughput - first).abs() < 1e-12);
+        assert!(shares[1..]
+            .iter()
+            .all(|s| (s.throughput - rest).abs() < 1e-12));
     }
 
     #[test]

@@ -43,3 +43,30 @@ pub use insmix::{InsMix, MixCategory, MixCounts};
 pub use itrace::ITrace;
 pub use mem_profile::{MemProfile, MemProfileTotals};
 pub use sampler::{Sampler, BUCKET_BYTES};
+
+#[cfg(test)]
+mod send_audit {
+    //! The parallel runner moves each slice — tool clone included — into
+    //! a scoped worker thread, so every tool must satisfy the
+    //! `SuperTool: … + Send + 'static` bound. This is a compile-time
+    //! audit: if a tool ever grows an `Rc`, `RefCell`-of-shared, or raw
+    //! pointer, this module stops compiling, long before a runtime race.
+    use super::*;
+
+    fn assert_super_tool<T: superpin::SuperTool>() {}
+
+    #[test]
+    fn every_tool_is_a_send_super_tool() {
+        assert_super_tool::<BblCount>();
+        assert_super_tool::<BranchProfile>();
+        assert_super_tool::<DCache>();
+        assert_super_tool::<AssocDCache>();
+        assert_super_tool::<ICache>();
+        assert_super_tool::<ICount1>();
+        assert_super_tool::<ICount2>();
+        assert_super_tool::<InsMix>();
+        assert_super_tool::<ITrace>();
+        assert_super_tool::<MemProfile>();
+        assert_super_tool::<Sampler>();
+    }
+}
