@@ -23,9 +23,21 @@
 //! section in DESIGN.md). `--emit-json` runs the serial-vs-parallel
 //! wall-clock tracker over a fixed benchmark set and writes the
 //! `BENCH_parallel.json` tracking file instead of running one tool.
+//!
+//! Chaos testing (DESIGN.md §4.8): `--chaos-seed N` arms the seeded
+//! failpoint registry and slice supervisor; `--chaos-rate F` sets the
+//! per-site firing probability (default 0.01); `--watchdog-factor K`
+//! condemns a slice whose signature has not fired within K× the
+//! scheduler's predicted completion. The report stays bit-identical to
+//! the fault-free run except the `slice_retries` / `slices_degraded`
+//! counters:
+//!
+//! ```text
+//! superpin --chaos-seed 1 --chaos-rate 0.05 -threads 4 -t icount1 -- gcc tiny
+//! ```
 
 use superpin::baseline::run_pin;
-use superpin::{SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
+use superpin::{FailPlan, SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
 use superpin_bench::runs::time_scale_for;
 use superpin_tools::{
     BranchProfile, DCache, DCacheConfig, ICount1, ICount2, ITrace, MemProfile, Sampler,
@@ -40,6 +52,9 @@ struct Options {
     spmp: usize,
     spsysrecs: usize,
     threads: usize,
+    chaos_seed: Option<u64>,
+    chaos_rate: Option<f64>,
+    watchdog_factor: u64,
     emit_json: Option<String>,
     tool: String,
     benchmark: String,
@@ -50,6 +65,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-threads N] [-gantt] \
+         [--chaos-seed N] [--chaos-rate F] [--watchdog-factor K] \
          -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
          \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large]\n\
          tools: icount1 icount2 dcache dcache-assoc icache bblcount insmix itrace branch mem sampler"
@@ -65,6 +81,9 @@ fn parse_args() -> Options {
         spmp: 8,
         spsysrecs: 1000,
         threads: 1,
+        chaos_seed: None,
+        chaos_rate: None,
+        watchdog_factor: 8,
         emit_json: None,
         tool: String::new(),
         benchmark: String::new(),
@@ -95,6 +114,18 @@ fn parse_args() -> Options {
             "-gantt" => options.gantt = true,
             "-threads" | "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
                 Some(v) => options.threads = v,
+                None => usage(),
+            },
+            "--chaos-seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.chaos_seed = Some(v),
+                None => usage(),
+            },
+            "--chaos-rate" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.chaos_rate = Some(v),
+                None => usage(),
+            },
+            "--watchdog-factor" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => options.watchdog_factor = v,
                 None => usage(),
             },
             "--emit-json" => {
@@ -146,16 +177,31 @@ fn parse_scale(text: &str) -> Scale {
     }
 }
 
+/// The SuperPin configuration an invocation's switches describe, chaos
+/// plan included (`--chaos-rate` without `--chaos-seed` defaults the
+/// seed to 1, and vice versa the rate to 0.01).
+fn superpin_config(options: &Options) -> SuperPinConfig {
+    let mut cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
+        .with_max_slices(options.spmp)
+        .with_max_sysrecs(options.spsysrecs)
+        .with_threads(options.threads)
+        .with_watchdog_factor(options.watchdog_factor);
+    if options.chaos_seed.is_some() || options.chaos_rate.is_some() {
+        cfg = cfg.with_chaos(FailPlan::new(
+            options.chaos_seed.unwrap_or(1),
+            options.chaos_rate.unwrap_or(0.01),
+        ));
+    }
+    cfg
+}
+
 fn run_super<T: SuperTool>(
     program: &superpin_isa::Program,
     tool: T,
     shared: &SharedMem,
     options: &Options,
 ) -> superpin::SuperPinReport {
-    let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
-        .with_max_slices(options.spmp)
-        .with_max_sysrecs(options.spsysrecs)
-        .with_threads(options.threads);
+    let cfg = superpin_config(options);
     let present = cfg.clone();
     let report = SuperPinRunner::new(
         Process::load(1, program).expect("load"),
@@ -182,6 +228,12 @@ fn run_super<T: SuperTool>(
         present.present_secs(report.breakdown.sleep_cycles),
         present.present_secs(report.breakdown.pipeline_cycles),
     );
+    if present.chaos.is_some() {
+        println!(
+            "chaos: {} slice retries, {} slices degraded",
+            report.slice_retries, report.slices_degraded
+        );
+    }
     if options.gantt {
         print!("{}", superpin_bench::render::render_gantt(&report, 100));
     }
@@ -206,7 +258,16 @@ fn main() {
         std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
         if rows.iter().any(|row| !row.identical) {
-            eprintln!("determinism violation: parallel report differed from serial");
+            eprintln!("determinism violation: parallel or supervised report differed from serial");
+            std::process::exit(1);
+        }
+        // Bench guard: supervision with chaos disabled must stay within
+        // wall-clock noise of the plain serial baseline (checkpointing
+        // is one deep clone per slice wake, amortized over the slice's
+        // whole life).
+        let overhead = superpin_bench::parallel::geomean_supervisor_overhead(&rows);
+        if overhead > 1.5 {
+            eprintln!("supervisor overhead {overhead:.2}x exceeds the 1.5x noise bound");
             std::process::exit(1);
         }
         return;
@@ -230,10 +291,7 @@ fn main() {
             let shared = SharedMem::new();
             let tool = ICount1::new(&shared);
             if options.sp {
-                let cfg = SuperPinConfig::scaled(options.spmsec, time_scale_for(options.scale))
-                    .with_max_slices(options.spmp)
-                    .with_max_sysrecs(options.spsysrecs)
-                    .with_threads(options.threads);
+                let cfg = superpin_config(&options);
                 SuperPinRunner::new(
                     Process::load(1, &program).expect("load"),
                     tool.clone(),

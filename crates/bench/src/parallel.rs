@@ -8,7 +8,11 @@
 //! program — `threads = 1` and `threads = 4` — and the row records both
 //! wall-clock times, the (identical) simulated cycle count, and whether
 //! the two reports were bit-identical, which the parallel runner
-//! guarantees by construction.
+//! guarantees by construction. A third `threads = 1` run with the slice
+//! supervisor armed (chaos disabled) tracks the recovery machinery's
+//! idle cost — checkpoint clones at slice wake plus journaling — as the
+//! `supervisor_overhead` ratio, which `--emit-json` asserts stays within
+//! noise of the unsupervised baseline.
 //!
 //! # Hosts with fewer cores than threads
 //!
@@ -60,6 +64,10 @@ pub struct ParallelRow {
     pub wall_ms_serial: f64,
     /// Wall-clock milliseconds at [`PARALLEL_THREADS`].
     pub wall_ms_parallel: f64,
+    /// Wall-clock milliseconds at `threads = 1` with the slice
+    /// supervisor armed (checkpoints + journals) and chaos disabled —
+    /// the recovery machinery's idle cost.
+    pub wall_ms_supervised: f64,
     /// Fraction of the `threads = 1` wall clock spent in the
     /// parallelizable slice phase (measured, [`HostProfile`]).
     pub slice_fraction: f64,
@@ -76,6 +84,13 @@ impl ParallelRow {
     pub fn speedup(&self) -> f64 {
         self.wall_ms_serial / self.wall_ms_parallel.max(1e-9)
     }
+
+    /// Supervised-over-plain wall-clock ratio at `threads = 1` — the
+    /// bench guard asserting supervision is near-free when no fault
+    /// fires (1.0 = free; see `--emit-json`).
+    pub fn supervisor_overhead(&self) -> f64 {
+        self.wall_ms_supervised / self.wall_ms_serial.max(1e-9)
+    }
 }
 
 /// The tracker's configuration: a 2 s paper timeslice (so each epoch
@@ -89,11 +104,15 @@ fn timed_run(
     program: &superpin_isa::Program,
     scale: Scale,
     threads: usize,
+    supervise: bool,
     name: &str,
 ) -> (f64, SuperPinReport, HostProfile) {
     let shared = SharedMem::new();
     let tool = ICount1::new(&shared);
-    let cfg = bench_config(scale).with_threads(threads);
+    let mut cfg = bench_config(scale).with_threads(threads);
+    if supervise {
+        cfg = cfg.with_supervision();
+    }
     let start = Instant::now();
     let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
     (start.elapsed().as_secs_f64() * 1e3, report, profile)
@@ -110,9 +129,11 @@ pub fn run_parallel_bench(scale: Scale, names: &[&str]) -> Vec<ParallelRow> {
         .map(|name| {
             let spec = find(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
             let program = spec.build(scale);
-            let (wall_ms_serial, serial, profile) = timed_run(&program, scale, 1, spec.name);
+            let (wall_ms_serial, serial, profile) = timed_run(&program, scale, 1, false, spec.name);
             let (wall_ms_parallel, parallel, _) =
-                timed_run(&program, scale, PARALLEL_THREADS, spec.name);
+                timed_run(&program, scale, PARALLEL_THREADS, false, spec.name);
+            let (wall_ms_supervised, supervised, _) =
+                timed_run(&program, scale, 1, true, spec.name);
             ParallelRow {
                 name: spec.name,
                 slices: serial.slice_count(),
@@ -120,9 +141,10 @@ pub fn run_parallel_bench(scale: Scale, names: &[&str]) -> Vec<ParallelRow> {
                 simulated_cycles: serial.total_cycles,
                 wall_ms_serial,
                 wall_ms_parallel,
+                wall_ms_supervised,
                 slice_fraction: profile.slice_fraction(),
                 modeled_speedup: profile.modeled_speedup(PARALLEL_THREADS),
-                identical: serial == parallel,
+                identical: serial == parallel && serial == supervised,
             }
         })
         .collect()
@@ -146,6 +168,11 @@ pub fn geomean_modeled_speedup(rows: &[ParallelRow]) -> f64 {
     geomean(rows.iter().map(|row| row.modeled_speedup))
 }
 
+/// Geometric-mean supervisor overhead ratio across rows (1.0 = free).
+pub fn geomean_supervisor_overhead(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(ParallelRow::supervisor_overhead))
+}
+
 /// Serializes the comparison as the `BENCH_parallel.json` tracking
 /// format (same hand-rolled emitter policy as [`crate::json`]).
 pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
@@ -164,6 +191,7 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             out,
             "{{\"name\":\"{}\",\"slices\":{},\"epochs\":{},\"simulated_cycles\":{},\
              \"wall_ms_threads1\":{:.2},\"wall_ms_threads{}\":{:.2},\
+             \"wall_ms_supervised\":{:.2},\"supervisor_overhead\":{:.3},\
              \"speedup\":{:.3},\"slice_fraction\":{:.3},\
              \"modeled_speedup_threads{}\":{:.3},\"identical\":{}}}",
             row.name,
@@ -173,6 +201,8 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             row.wall_ms_serial,
             PARALLEL_THREADS,
             row.wall_ms_parallel,
+            row.wall_ms_supervised,
+            row.supervisor_overhead(),
             row.speedup(),
             row.slice_fraction,
             PARALLEL_THREADS,
@@ -182,10 +212,12 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
     }
     let _ = write!(
         out,
-        "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3}}}",
+        "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3},\
+         \"geomean_supervisor_overhead\":{:.3}}}",
         geomean_speedup(rows),
         rows.iter().map(ParallelRow::speedup).fold(0.0, f64::max),
         geomean_modeled_speedup(rows),
+        geomean_supervisor_overhead(rows),
     );
     out
 }
@@ -233,6 +265,11 @@ pub fn render_parallel(rows: &[ParallelRow]) -> String {
         geomean_speedup(rows),
         geomean_modeled_speedup(rows)
     );
+    let _ = writeln!(
+        out,
+        "supervisor overhead (chaos off, threads=1): {:.2}x geomean",
+        geomean_supervisor_overhead(rows)
+    );
     if cpus < PARALLEL_THREADS {
         let _ = writeln!(
             out,
@@ -257,6 +294,7 @@ mod tests {
                 simulated_cycles: 3_000_000,
                 wall_ms_serial: 400.0,
                 wall_ms_parallel: 160.0,
+                wall_ms_supervised: 420.0,
                 slice_fraction: 0.75,
                 modeled_speedup: 2.29,
                 identical: true,
@@ -268,6 +306,7 @@ mod tests {
                 simulated_cycles: 4_000_000,
                 wall_ms_serial: 300.0,
                 wall_ms_parallel: 200.0,
+                wall_ms_supervised: 303.0,
                 slice_fraction: 0.60,
                 modeled_speedup: 1.82,
                 identical: true,
@@ -285,6 +324,9 @@ mod tests {
         assert!(json.contains("\"host_cpus\":"));
         assert!(json.contains("\"slice_fraction\":0.750"));
         assert!(json.contains("\"modeled_speedup_threads4\":2.290"));
+        assert!(json.contains("\"wall_ms_supervised\":420.00"));
+        assert!(json.contains("\"supervisor_overhead\":1.050"));
+        assert!(json.contains("\"geomean_supervisor_overhead\":"));
         assert!(json.contains("\"identical\":true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -311,6 +353,15 @@ mod tests {
         assert!((profile.modeled_speedup(4) - 1.0 / (0.25 + 0.75 / 4.0)).abs() < 1e-9);
         assert!((profile.modeled_speedup(1) - 1.0).abs() < 1e-9);
         assert!((profile.slice_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supervisor_overhead_is_the_supervised_ratio() {
+        let rows = sample_rows();
+        assert!((rows[0].supervisor_overhead() - 1.05).abs() < 1e-9);
+        assert!((rows[1].supervisor_overhead() - 1.01).abs() < 1e-9);
+        let geo = geomean_supervisor_overhead(&rows);
+        assert!(geo > 1.01 && geo < 1.05, "geomean {geo}");
     }
 
     #[test]

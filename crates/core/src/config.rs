@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 use superpin_dbi::{CostModel, LiveMap, CYCLES_PER_SEC};
+use superpin_fault::FailPlan;
 use superpin_sched::{Machine, Policy};
 
 /// Configuration for a SuperPin run.
@@ -74,6 +75,24 @@ pub struct SuperPinConfig {
     /// between synchronization barriers. 1 degenerates to a barrier per
     /// quantum (maximal sync overhead, same reports).
     pub epoch_max_quanta: u64,
+    /// Chaos fault-injection plan (`--chaos-seed` / `--chaos-rate`).
+    /// `None` — the default — builds no registry and arms no failpoint:
+    /// the fault machinery costs nothing when disabled. Setting a plan
+    /// implies slice supervision (see
+    /// [`supervise`](SuperPinConfig::supervise)).
+    pub chaos: Option<FailPlan>,
+    /// Run the slice supervisor (watchdog + retry/degrade) even without
+    /// chaos. Always effectively on when [`chaos`](SuperPinConfig::chaos)
+    /// is set — injected faults must be repaired.
+    pub supervise: bool,
+    /// Watchdog multiplier (`--watchdog-factor`): a slice is declared
+    /// runaway when its signature has not fired within `factor ×` its
+    /// predicted completion (see
+    /// [`superpin_sched::watchdog_deadline_quanta`]).
+    pub watchdog_factor: u64,
+    /// Retries per slice before it degrades to serial re-execution
+    /// pinned to the supervisor thread.
+    pub max_slice_retries: u32,
 }
 
 impl SuperPinConfig {
@@ -96,6 +115,10 @@ impl SuperPinConfig {
             liveness: None,
             threads: 1,
             epoch_max_quanta: 256,
+            chaos: None,
+            supervise: false,
+            watchdog_factor: 8,
+            max_slice_retries: 2,
         }
     }
 
@@ -151,6 +174,37 @@ impl SuperPinConfig {
     pub fn with_epoch_max_quanta(mut self, quanta: u64) -> SuperPinConfig {
         self.epoch_max_quanta = quanta.max(1);
         self
+    }
+
+    /// Arms chaos fault injection with this plan (implies supervision).
+    pub fn with_chaos(mut self, plan: FailPlan) -> SuperPinConfig {
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// Enables the slice supervisor without injecting faults (used by
+    /// the bench guard to measure supervisor overhead alone).
+    pub fn with_supervision(mut self) -> SuperPinConfig {
+        self.supervise = true;
+        self
+    }
+
+    /// Sets the watchdog multiplier (`--watchdog-factor`, clamped ≥ 1).
+    pub fn with_watchdog_factor(mut self, factor: u64) -> SuperPinConfig {
+        self.watchdog_factor = factor.max(1);
+        self
+    }
+
+    /// Sets the per-slice retry budget before degradation.
+    pub fn with_max_slice_retries(mut self, retries: u32) -> SuperPinConfig {
+        self.max_slice_retries = retries;
+        self
+    }
+
+    /// Whether the supervisor runs: explicitly requested, or implied by
+    /// an armed chaos plan.
+    pub fn supervision_enabled(&self) -> bool {
+        self.supervise || self.chaos.is_some()
     }
 
     /// Converts cycles to presented (paper-equivalent) seconds.

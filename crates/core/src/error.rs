@@ -36,6 +36,32 @@ pub enum SpError {
     /// The simulation made no forward progress (internal scheduling bug
     /// guard).
     NoProgress,
+    /// A worker thread died (its channel disconnected). Recoverable: the
+    /// supervisor reruns the worker's batch inline and retires the
+    /// worker from future epochs.
+    WorkerLost {
+        /// Index of the dead worker in the pool.
+        worker: usize,
+    },
+    /// A slice overran its watchdog deadline: the signature never fired
+    /// within `watchdog_factor ×` the predicted completion, or the slice
+    /// executed past its known span.
+    Runaway {
+        /// The runaway slice number.
+        slice: u32,
+        /// Instructions the slice had executed when condemned.
+        insts: u64,
+        /// The slice's known span (0 if the boundary was still open).
+        span: u64,
+    },
+    /// A slice exhausted its retry budget and then failed again while
+    /// degraded to serial re-execution — a genuine, non-injected defect.
+    Unrecoverable {
+        /// The slice that could not be recovered.
+        slice: u32,
+        /// The terminal failure.
+        cause: Box<SpError>,
+    },
 }
 
 impl fmt::Display for SpError {
@@ -56,6 +82,16 @@ impl fmt::Display for SpError {
                 "slice {slice} record mismatch at {pc:#x}: recorded syscall {recorded}, got {actual}"
             ),
             SpError::NoProgress => write!(f, "simulation made no forward progress"),
+            SpError::WorkerLost { worker } => {
+                write!(f, "worker thread {worker} died (channel disconnected)")
+            }
+            SpError::Runaway { slice, insts, span } => write!(
+                f,
+                "slice {slice} runaway: {insts} instructions against a span of {span}"
+            ),
+            SpError::Unrecoverable { slice, cause } => {
+                write!(f, "slice {slice} unrecoverable after retries: {cause}")
+            }
         }
     }
 }

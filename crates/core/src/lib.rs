@@ -90,6 +90,7 @@ pub mod runner;
 pub mod shared;
 pub mod signature;
 pub mod slice;
+pub mod supervisor;
 pub mod syscall_policy;
 pub mod trampoline;
 
@@ -103,3 +104,4 @@ pub use runner::{HostProfile, SuperPinRunner};
 pub use shared::{AreaId, AutoMerge, SharedArea, SharedMem};
 pub use signature::{Signature, SignatureStats};
 pub use slice::{Boundary, SliceEnd, SliceRuntime, SliceState, SpSliceTool};
+pub use superpin_fault::{FailPlan, FailpointRegistry, Site, SiteMode};

@@ -61,6 +61,12 @@ impl MasterRuntime {
         self.controller.process()
     }
 
+    /// Mutable master process (the runner marks its pages COW-pending at
+    /// each fork and installs the chaos registry).
+    pub fn process_mut(&mut self) -> &mut Process {
+        self.controller.process_mut()
+    }
+
     /// Whether the application has exited.
     pub fn exited(&self) -> bool {
         self.exited

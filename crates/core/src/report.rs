@@ -90,6 +90,14 @@ pub struct SuperPinReport {
     /// function of the virtual-time state, so it must be identical
     /// across host thread counts like every other field.
     pub epochs: u64,
+    /// Slice executions the supervisor rolled back to a checkpoint and
+    /// re-armed (injected faults, runaways, lost workers). 0 in a
+    /// fault-free run; every *other* field must match the fault-free run
+    /// exactly — recovery is invisible to the simulation.
+    pub slice_retries: u64,
+    /// Slices that exhausted their retry budget and finished pinned to
+    /// the supervisor thread with injection disabled.
+    pub slices_degraded: u64,
 }
 
 impl SuperPinReport {

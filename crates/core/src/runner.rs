@@ -45,12 +45,15 @@ use crate::report::{SliceReport, SuperPinReport, TimeBreakdown};
 use crate::shared::SharedMem;
 use crate::signature::{Signature, SignatureStats};
 use crate::slice::{Boundary, SliceRuntime, SliceState};
+use crate::supervisor::{SliceSupervisor, Verdict};
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 use superpin_dbi::SharedTraceIndex;
+use superpin_fault::{FailpointRegistry, Site};
 use superpin_sched::{EpochPlanner, QuantumScheduler, SliceEta, Timeline};
 use superpin_vm::process::Process;
+use superpin_vm::VmError;
 
 /// Why the runner wants to fork while no slot is free.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +76,10 @@ struct EpochBatch<T: SuperTool> {
     quanta: u64,
     epoch_start: u64,
     quantum: u64,
+    /// Deterministic key the worker feeds its
+    /// [`Site::ParallelWorkerChannel`] failpoint before touching the
+    /// batch (chaos mode only; a firing worker drops the batch and dies).
+    chaos_key: u64,
 }
 
 type BatchDone<T> = Vec<(usize, SliceRuntime<T>, Result<(), SpError>)>;
@@ -115,6 +122,18 @@ impl HostProfile {
     }
 }
 
+/// One persistent worker's endpoints. Each worker has its **own**
+/// result channel: a dead worker then surfaces as a deterministic
+/// `Disconnected` on its channel instead of a hang on a shared one, and
+/// the supervisor knows exactly whose batch was lost.
+struct WorkerLink<T: SuperTool> {
+    sender: mpsc::Sender<EpochBatch<T>>,
+    results: mpsc::Receiver<BatchDone<T>>,
+    /// Cleared when the worker dies (channel failpoint or genuine
+    /// panic); dead workers are skipped in all future epochs.
+    alive: bool,
+}
+
 /// The slice-execution backend for one run. The pool variant holds
 /// channels to workers spawned **once** for the whole run (inside
 /// `run`'s `thread::scope`); per-epoch cost is one channel round trip
@@ -123,10 +142,7 @@ enum WorkerPool<T: SuperTool> {
     /// `threads = 1`: advance slices inline on the supervisor thread.
     Inline,
     /// `threads > 1`: persistent scoped workers fed round-robin.
-    Pool {
-        senders: Vec<mpsc::Sender<EpochBatch<T>>>,
-        results: mpsc::Receiver<BatchDone<T>>,
-    },
+    Pool { workers: Vec<WorkerLink<T>> },
 }
 
 /// Drives one complete SuperPin run. See the crate docs for an example.
@@ -158,6 +174,11 @@ pub struct SuperPinRunner<T: SuperTool> {
     shared_traces: Option<Arc<SharedTraceIndex>>,
     epochs: u64,
     host_profile: HostProfile,
+    /// Chaos failpoint registry (`--chaos-seed`); `None` costs nothing.
+    fault: Option<Arc<FailpointRegistry>>,
+    /// Checkpoint/retry supervisor; present when supervision is enabled
+    /// explicitly or implied by an armed chaos plan.
+    supervisor: Option<SliceSupervisor<T>>,
 }
 
 impl<T: SuperTool> SuperPinRunner<T> {
@@ -176,6 +197,11 @@ impl<T: SuperTool> SuperPinRunner<T> {
     ) -> Result<SuperPinRunner<T>, SpError> {
         let mut master_process = process;
         let bubble = Bubble::reserve(&mut master_process.mem)?;
+        let fault = cfg.chaos.map(|plan| Arc::new(FailpointRegistry::new(plan)));
+        master_process.set_fault_registry(fault.clone());
+        let supervisor = cfg
+            .supervision_enabled()
+            .then(|| SliceSupervisor::new(cfg.watchdog_factor, cfg.max_slice_retries));
         let scheduler = QuantumScheduler::new(cfg.machine, cfg.policy);
         let planner = EpochPlanner::new(cfg.epoch_max_quanta);
         let shared_traces = cfg
@@ -206,6 +232,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
             shared_traces,
             epochs: 0,
             host_profile: HostProfile::default(),
+            fault,
+            supervisor,
         })
     }
 
@@ -224,17 +252,62 @@ impl<T: SuperTool> SuperPinRunner<T> {
 
     /// Forks a new slice from the master's current state and wakes the
     /// previous slice with `boundary` + the span's records.
+    ///
+    /// With chaos armed, the fork consults the `vm.fork.cow` failpoint;
+    /// an injected failure is retried with a fresh key (the retry budget
+    /// from `max_slice_retries`), then bypassed outright — fork faults
+    /// are transient by definition, so the degraded path is simply an
+    /// unchecked fork. The slice number is reserved before the first
+    /// attempt, so retries never perturb slice numbering.
     fn fork_slice(&mut self, boundary: Option<Boundary>) -> Result<(), SpError> {
         let num = self.next_slice_num;
+        let mut slice = if self.fault.is_some() {
+            let mut attempt: u64 = 0;
+            loop {
+                if attempt > self.cfg.max_slice_retries as u64 {
+                    break SliceRuntime::spawn(
+                        num,
+                        self.master.process(),
+                        &self.tool_template,
+                        &self.bubble,
+                        &self.cfg,
+                        self.now,
+                    )?;
+                }
+                let key = ((num as u64) << 16) | attempt;
+                match SliceRuntime::spawn_checked(
+                    num,
+                    self.master.process(),
+                    &self.tool_template,
+                    &self.bubble,
+                    &self.cfg,
+                    self.now,
+                    key,
+                ) {
+                    Ok(slice) => break slice,
+                    Err(SpError::Vm(VmError::FaultInjected { .. })) => {
+                        if let Some(sup) = &mut self.supervisor {
+                            sup.note_transient_retry();
+                        }
+                        attempt += 1;
+                    }
+                    Err(err) => return Err(err),
+                }
+            }
+        } else {
+            SliceRuntime::spawn(
+                num,
+                self.master.process(),
+                &self.tool_template,
+                &self.bubble,
+                &self.cfg,
+                self.now,
+            )?
+        };
         self.next_slice_num += 1;
-        let mut slice = SliceRuntime::spawn(
-            num,
-            self.master.process(),
-            &self.tool_template,
-            &self.bubble,
-            &self.cfg,
-            self.now,
-        )?;
+        // Real fork(2) write-protects the parent too: the master's next
+        // write to each currently resident page takes a COW fault.
+        self.master.process_mut().mem.mark_cow_shared();
         if let Some(index) = &self.shared_traces {
             slice.enter_shared_epoch(index.snapshot());
         }
@@ -244,6 +317,12 @@ impl<T: SuperTool> SuperPinRunner<T> {
             let boundary = boundary.expect("boundary required when a slice is sleeping");
             prev.wake(boundary, records, self.now);
             prev.set_span_insts(span);
+            if let Some(sup) = &mut self.supervisor {
+                sup.guard(prev);
+                if let Some(registry) = &self.fault {
+                    prev.arm_chaos(Some(Arc::clone(registry)), 0);
+                }
+            }
         }
         self.live.push_back(slice);
         self.last_fork = self.now;
@@ -261,6 +340,12 @@ impl<T: SuperTool> SuperPinRunner<T> {
             if last.state() == SliceState::Sleeping {
                 last.wake(Boundary::ProgramExit, records, now_cycles);
                 last.set_span_insts(span);
+                if let Some(sup) = &mut self.supervisor {
+                    sup.guard(last);
+                    if let Some(registry) = &self.fault {
+                        last.arm_chaos(Some(Arc::clone(registry)), 0);
+                    }
+                }
             }
         }
     }
@@ -273,6 +358,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
             }
             let mut slice = self.live.pop_front().expect("front exists");
             let num = slice.num();
+            if let Some(sup) = &mut self.supervisor {
+                sup.release(num);
+            }
             slice.tool_mut().inner.on_slice_end(num, &self.shared);
             slice.set_merged();
             self.sig_stats.absorb(&slice.tool().sig_stats);
@@ -403,9 +491,12 @@ impl<T: SuperTool> SuperPinRunner<T> {
     /// Advances every running slice through the epoch — inline on the
     /// supervisor thread, or fanned out over the persistent worker pool.
     /// Both paths drive the identical per-quantum
-    /// [`SliceRuntime::advance_epoch`] loop, so they are bit-equivalent;
-    /// errors are reported for the frontmost slice regardless of which
-    /// worker hit one first.
+    /// [`SliceRuntime::advance_epoch`] loop, so they are bit-equivalent.
+    ///
+    /// Returns the failed slices (in queue order) when supervision is on
+    /// so the barrier can repair them; without supervision the first
+    /// failure by queue order — or a dead worker — is a run-fatal typed
+    /// error ([`SpError::WorkerLost`], never a panic).
     fn advance_slices_epoch(
         &mut self,
         pool: &mut WorkerPool<T>,
@@ -413,20 +504,34 @@ impl<T: SuperTool> SuperPinRunner<T> {
         quanta: u64,
         epoch_start: u64,
         quantum: u64,
-    ) -> Result<(), SpError> {
+    ) -> Result<Vec<(u32, SpError)>, SpError> {
         let budget_of = |num: u32| budgets.iter().find(|&&(n, _)| n == num).map(|&(_, b)| b);
-        let runnable_jobs = self
+        let supervising = self.supervisor.is_some();
+        // Degraded slices are pinned to the supervisor thread.
+        let pinned = self
+            .supervisor
+            .as_ref()
+            .map(SliceSupervisor::degraded_set)
+            .unwrap_or_default();
+        let poolable = self
             .live
             .iter()
             .filter(|slice| {
-                slice.state() == SliceState::Running && budget_of(slice.num()).is_some()
+                slice.state() == SliceState::Running
+                    && budget_of(slice.num()).is_some()
+                    && !pinned.contains(&slice.num())
             })
             .count();
-        let (senders, results) = match pool {
-            WorkerPool::Pool { senders, results } if runnable_jobs >= 2 => (senders, results),
-            // A single runnable slice gains nothing from a channel round
-            // trip; threads = 1 always lands here.
+        let workers = match pool {
+            WorkerPool::Pool { workers }
+                if poolable >= 2 && workers.iter().any(|link| link.alive) =>
+            {
+                workers
+            }
+            // A single poolable slice gains nothing from a channel round
+            // trip; threads = 1 (and a fully dead pool) always land here.
             _ => {
+                let mut failures = Vec::new();
                 for slice in self.live.iter_mut() {
                     if slice.state() != SliceState::Running {
                         continue;
@@ -434,19 +539,32 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     let Some(budget) = budget_of(slice.num()) else {
                         continue;
                     };
-                    slice.advance_epoch(budget, quanta, epoch_start, quantum)?;
+                    if let Err(err) = slice.advance_epoch(budget, quanta, epoch_start, quantum) {
+                        if supervising {
+                            failures.push((slice.num(), err));
+                        } else {
+                            return Err(err);
+                        }
+                    }
                 }
-                return Ok(());
+                return Ok(failures);
             }
         };
-        // Move each running slice out of the queue into a per-worker
-        // batch (round-robin, by value), leave a placeholder, and
-        // reassemble the queue in original order at the barrier. One
-        // message each way per busy worker.
+        // Move each poolable slice out of the queue into a per-worker
+        // batch (round-robin over the *alive* workers, by value), leave a
+        // placeholder, and reassemble the queue in original order at the
+        // barrier. One message each way per busy worker.
+        let mut failures: Vec<(usize, u32, SpError)> = Vec::new();
         let mut slots: Vec<Option<SliceRuntime<T>>> = self.live.drain(..).map(Some).collect();
-        let worker_count = senders.len();
+        let alive: Vec<usize> = workers
+            .iter()
+            .enumerate()
+            .filter(|(_, link)| link.alive)
+            .map(|(idx, _)| idx)
+            .collect();
         let mut batches: Vec<Vec<(usize, SliceRuntime<T>, u64)>> =
-            (0..worker_count).map(|_| Vec::new()).collect();
+            alive.iter().map(|_| Vec::new()).collect();
+        let mut inline_orders: Vec<(usize, u64)> = Vec::new();
         let mut sent = 0usize;
         for (order, slot) in slots.iter_mut().enumerate() {
             let eligible = slot
@@ -455,36 +573,86 @@ impl<T: SuperTool> SuperPinRunner<T> {
             if !eligible {
                 continue;
             }
-            let slice = slot.take().expect("eligibility checked");
-            let Some(budget) = budget_of(slice.num()) else {
-                *slot = Some(slice);
+            let num = slot.as_ref().map(SliceRuntime::num).expect("slot occupied");
+            let Some(budget) = budget_of(num) else {
                 continue;
             };
-            batches[sent % worker_count].push((order, slice, budget));
+            if pinned.contains(&num) {
+                inline_orders.push((order, budget));
+                continue;
+            }
+            let slice = slot.take().expect("eligibility checked");
+            batches[sent % alive.len()].push((order, slice, budget));
             sent += 1;
         }
-        let mut busy = 0usize;
-        for (sender, jobs) in senders.iter().zip(batches) {
+        // Dispatch. A failed send returns the batch in the error — those
+        // slices never left this thread, so run them inline and retire
+        // the worker.
+        let mut busy: Vec<(usize, Vec<(usize, u32)>)> = Vec::new();
+        for (&widx, jobs) in alive.iter().zip(batches) {
             if jobs.is_empty() {
                 continue;
             }
-            sender
-                .send(EpochBatch {
-                    jobs,
-                    quanta,
-                    epoch_start,
-                    quantum,
-                })
-                .expect("worker thread alive");
-            busy += 1;
+            let manifest: Vec<(usize, u32)> = jobs
+                .iter()
+                .map(|(order, slice, _)| (*order, slice.num()))
+                .collect();
+            let chaos_key = ((widx as u64) << 32) ^ self.epochs;
+            let batch = EpochBatch {
+                jobs,
+                quanta,
+                epoch_start,
+                quantum,
+                chaos_key,
+            };
+            match workers[widx].sender.send(batch) {
+                Ok(()) => busy.push((widx, manifest)),
+                Err(mpsc::SendError(returned)) => {
+                    workers[widx].alive = false;
+                    if !supervising {
+                        return Err(SpError::WorkerLost { worker: widx });
+                    }
+                    for (order, mut slice, budget) in returned.jobs {
+                        let outcome = slice.advance_epoch(budget, quanta, epoch_start, quantum);
+                        let num = slice.num();
+                        slots[order] = Some(slice);
+                        if let Err(err) = outcome {
+                            failures.push((order, num, err));
+                        }
+                    }
+                }
+            }
         }
-        let mut first_err: Option<(usize, SpError)> = None;
-        for _ in 0..busy {
-            for (order, slice, outcome) in results.recv().expect("worker thread alive") {
-                slots[order] = Some(slice);
-                if let Err(err) = outcome {
-                    if first_err.as_ref().is_none_or(|&(o, _)| order < o) {
-                        first_err = Some((order, err));
+        // Degraded slices run on this thread while the workers churn.
+        for (order, budget) in inline_orders {
+            let slice = slots[order].as_mut().expect("pinned slice stays put");
+            if let Err(err) = slice.advance_epoch(budget, quanta, epoch_start, quantum) {
+                failures.push((order, slice.num(), err));
+            }
+        }
+        // Collect. A disconnected result channel means the worker died
+        // *holding* its batch: rebuild every slice in its manifest from
+        // checkpoint + journal (the journal already includes this epoch).
+        for (widx, manifest) in busy {
+            match workers[widx].results.recv() {
+                Ok(done) => {
+                    for (order, slice, outcome) in done {
+                        let num = slice.num();
+                        slots[order] = Some(slice);
+                        if let Err(err) = outcome {
+                            failures.push((order, num, err));
+                        }
+                    }
+                }
+                Err(mpsc::RecvError) => {
+                    workers[widx].alive = false;
+                    if !supervising {
+                        return Err(SpError::WorkerLost { worker: widx });
+                    }
+                    for (order, num) in manifest {
+                        let repaired =
+                            self.repair_slice(num, SpError::WorkerLost { worker: widx })?;
+                        slots[order] = Some(repaired);
                     }
                 }
             }
@@ -494,10 +662,105 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 .into_iter()
                 .map(|slot| slot.expect("all slices returned")),
         );
-        match first_err {
-            Some((_, err)) => Err(err),
-            None => Ok(()),
+        failures.sort_by_key(|&(order, _, _)| order);
+        if !supervising {
+            return match failures.into_iter().next() {
+                Some((_, _, err)) => Err(err),
+                None => Ok(Vec::new()),
+            };
         }
+        Ok(failures
+            .into_iter()
+            .map(|(_, num, err)| (num, err))
+            .collect())
+    }
+
+    /// Condemns `num`, charges its retry budget, and rebuilds it from
+    /// its checkpoint + journal. A retry re-arms injection with a fresh
+    /// salt; an exhausted slice comes back injection-free and pinned to
+    /// the supervisor thread. Failing *while* degraded — or during the
+    /// injection-free replay itself — is a genuine defect.
+    fn repair_slice(&mut self, num: u32, cause: SpError) -> Result<SliceRuntime<T>, SpError> {
+        let sup = self.supervisor.as_mut().expect("supervision enabled");
+        let verdict = sup.condemn(num);
+        if verdict == Verdict::Unrecoverable {
+            return Err(SpError::Unrecoverable {
+                slice: num,
+                cause: Box::new(cause),
+            });
+        }
+        let sup = self.supervisor.as_ref().expect("supervision enabled");
+        let mut rebuilt = sup.rebuild(num).map_err(|err| SpError::Unrecoverable {
+            slice: num,
+            cause: Box::new(err),
+        })?;
+        if let (Verdict::Retry { salt }, Some(registry)) = (verdict, &self.fault) {
+            rebuilt.arm_chaos(Some(Arc::clone(registry)), salt);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Swaps a repaired slice into its queue position.
+    fn replace_slice(&mut self, repaired: SliceRuntime<T>) {
+        let num = repaired.num();
+        let slot = self
+            .live
+            .iter_mut()
+            .find(|slice| slice.num() == num)
+            .expect("repaired slice is live");
+        *slot = repaired;
+    }
+
+    /// The supervisor's barrier inspection, run **before** virtual time
+    /// advances and slices merge: repair explicit failures from the
+    /// slice phase, then sweep every live slice for silent poison (the
+    /// detector's injected-fault counter), overshoot past the known
+    /// span, and watchdog expiry. Every condemned slice is replaced by
+    /// its injection-off replay *this* barrier, so downstream publish
+    /// and merge decisions are made from fault-free state — recovery is
+    /// invisible to the simulation by construction.
+    fn supervise_barrier(&mut self, failures: Vec<(u32, SpError)>) -> Result<(), SpError> {
+        if self.supervisor.is_none() {
+            debug_assert!(failures.is_empty());
+            return Ok(());
+        }
+        for (num, err) in failures {
+            let repaired = self.repair_slice(num, err)?;
+            self.replace_slice(repaired);
+        }
+        let nums: Vec<u32> = self.live.iter().map(SliceRuntime::num).collect();
+        for num in nums {
+            let Some(slice) = self.live.iter().find(|slice| slice.num() == num) else {
+                continue;
+            };
+            let sup = self.supervisor.as_ref().expect("supervision enabled");
+            if sup.is_degraded(num) {
+                continue;
+            }
+            let poisoned = slice.injected_faults() > 0;
+            let eta = slice.eta();
+            let running = slice.state() == SliceState::Running;
+            let overshoot = running && eta.insts_total > 0 && eta.insts_done > eta.insts_total;
+            let expired = running && sup.watchdog_expired(num);
+            let cause = if poisoned {
+                Some(SpError::Vm(VmError::FaultInjected {
+                    site: "core.signature",
+                }))
+            } else if overshoot || expired {
+                Some(SpError::Runaway {
+                    slice: num,
+                    insts: eta.insts_done,
+                    span: eta.insts_total,
+                })
+            } else {
+                None
+            };
+            if let Some(cause) = cause {
+                let repaired = self.repair_slice(num, cause)?;
+                self.replace_slice(repaired);
+            }
+        }
+        Ok(())
     }
 
     /// Epoch-barrier shared-cache synchronization: publish every slice's
@@ -508,11 +771,25 @@ impl<T: SuperTool> SuperPinRunner<T> {
             return;
         };
         for slice in self.live.iter_mut() {
-            index.publish(slice.take_fresh_traces());
+            let fresh = slice.take_fresh_traces();
+            // Failpoint: a publish "fails" and is simply retried — the
+            // sharded index is idempotent, so the doubled publish is the
+            // whole recovery and the net effect on the report is zero.
+            if let (Some(sup), Some(registry)) = (&mut self.supervisor, &self.fault) {
+                let key = ((slice.num() as u64) << 16) ^ self.epochs;
+                if registry.fire(Site::SharedIndexPublish, key) {
+                    sup.note_transient_retry();
+                    index.publish(fresh.iter().copied());
+                }
+            }
+            index.publish(fresh);
         }
         let snapshot = index.snapshot();
         for slice in self.live.iter_mut() {
             slice.enter_shared_epoch(Arc::clone(&snapshot));
+            if let Some(sup) = &mut self.supervisor {
+                sup.journal_snapshot(slice.num(), Arc::clone(&snapshot));
+            }
         }
     }
 
@@ -546,12 +823,13 @@ impl<T: SuperTool> SuperPinRunner<T> {
             let report = self.run_epochs(&mut WorkerPool::Inline)?;
             return Ok((report, self.host_profile));
         }
+        let chaos = self.fault.clone();
         let report = std::thread::scope(|scope| {
-            let (result_tx, results) = mpsc::channel::<BatchDone<T>>();
-            let senders = (0..workers)
+            let links = (0..workers)
                 .map(|_| {
                     let (tx, rx) = mpsc::channel::<EpochBatch<T>>();
-                    let result_tx = result_tx.clone();
+                    let (result_tx, results) = mpsc::channel::<BatchDone<T>>();
+                    let chaos = chaos.clone();
                     scope.spawn(move || {
                         while let Ok(batch) = rx.recv() {
                             let EpochBatch {
@@ -559,7 +837,17 @@ impl<T: SuperTool> SuperPinRunner<T> {
                                 quanta,
                                 epoch_start,
                                 quantum,
+                                chaos_key,
                             } = batch;
+                            // Failpoint: simulated worker death. The batch
+                            // is swallowed and both channels drop; the
+                            // supervisor sees `Disconnected` and rebuilds
+                            // every slice in the manifest.
+                            if let Some(registry) = &chaos {
+                                if registry.fire(Site::ParallelWorkerChannel, chaos_key) {
+                                    break;
+                                }
+                            }
                             let mut done = Vec::with_capacity(jobs.len());
                             for (order, mut slice, budget) in jobs {
                                 let outcome =
@@ -571,10 +859,14 @@ impl<T: SuperTool> SuperPinRunner<T> {
                             }
                         }
                     });
-                    tx
+                    WorkerLink {
+                        sender: tx,
+                        results,
+                        alive: true,
+                    }
                 })
                 .collect();
-            let mut pool = WorkerPool::Pool { senders, results };
+            let mut pool = WorkerPool::Pool { workers: links };
             self.run_epochs(&mut pool)
             // `pool` drops at the end of this closure, disconnecting the
             // job channels; workers see the hangup and exit before the
@@ -666,16 +958,43 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     .push(self.now, self.now + run_quanta * quantum, label);
             }
 
+            // Journal the epoch each running slice is about to receive:
+            // the supervisor must be able to replay the exact schedule
+            // (and its watchdog clock ticks in these same quanta).
+            let dispatched: Vec<(u32, u64, SliceEta)> = if self.supervisor.is_some() {
+                self.live
+                    .iter()
+                    .filter(|slice| slice.state() == SliceState::Running)
+                    .filter_map(|slice| {
+                        slice_budgets
+                            .iter()
+                            .find(|(num, _)| *num == slice.num())
+                            .map(|&(_, budget)| (slice.num(), budget, slice.eta()))
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if let Some(sup) = self.supervisor.as_mut() {
+                for (num, budget, eta) in dispatched {
+                    sup.journal_advance(num, budget, epoch_len, self.now, quantum, eta);
+                }
+            }
+
             // Phase 2: slices, in parallel across host threads.
             let slice_start = Instant::now();
             self.host_profile.supervisor_ns +=
                 slice_start.duration_since(supervisor_start).as_nanos() as u64;
-            self.advance_slices_epoch(pool, &slice_budgets, epoch_len, self.now, quantum)?;
+            let failures =
+                self.advance_slices_epoch(pool, &slice_budgets, epoch_len, self.now, quantum)?;
             let barrier_start = Instant::now();
             self.host_profile.slice_ns +=
                 barrier_start.duration_since(slice_start).as_nanos() as u64;
 
-            // Phase 3: barrier — time, shared-cache publication, merges.
+            // Phase 3: barrier. Repair first — faults are detected and
+            // rolled back in the epoch they fired, so publication and
+            // merging below only ever see fault-free state.
+            self.supervise_barrier(failures)?;
             self.now += epoch_len * quantum;
             self.sync_shared_cache();
             self.merge_ready();
@@ -713,6 +1032,11 @@ impl<T: SuperTool> SuperPinRunner<T> {
             stall_events: self.stall_events,
             master_cow_copies: self.master.process().mem.stats().cow_copies,
             epochs: self.epochs,
+            slice_retries: self.supervisor.as_ref().map_or(0, |sup| sup.slice_retries),
+            slices_degraded: self
+                .supervisor
+                .as_ref()
+                .map_or(0, |sup| sup.slices_degraded),
         })
     }
 }

@@ -9,6 +9,7 @@ use crate::trampoline;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use superpin_dbi::{Engine, EngineStop, IArg, IPoint, Inserter, Pintool, Trace};
+use superpin_fault::{FailpointRegistry, Site};
 use superpin_isa::{Reg, NUM_REGS};
 use superpin_vm::kernel::SyscallRecord;
 use superpin_vm::process::Process;
@@ -57,6 +58,7 @@ pub enum SliceState {
 
 /// The tool actually installed in a slice's engine: the user's
 /// [`SuperTool`] plus SuperPin's own signature-detection instrumentation.
+#[derive(Clone)]
 pub struct SpSliceTool<T: SuperTool> {
     /// The user tool (slice-local clone).
     pub inner: T,
@@ -66,12 +68,35 @@ pub struct SpSliceTool<T: SuperTool> {
     /// Detection statistics for this slice.
     pub sig_stats: SignatureStats,
     slice_num: u32,
+    /// Armed chaos registry for the signature failpoints
+    /// ([`Site::CoreSignatureQuickMiss`] /
+    /// [`Site::CoreSignatureFullMismatch`]). `None` when injection is
+    /// off — the detector then takes exactly its legacy path.
+    chaos: Option<Arc<FailpointRegistry>>,
+    /// Retry salt mixed into every signature failpoint key (see
+    /// [`Engine::arm_fault_injection`]).
+    chaos_salt: u64,
+    /// Faults this tool has injected since it was last armed. The
+    /// supervisor reads this at every barrier: a poisoned slice is
+    /// rolled back in the *same* epoch the fault fired, before its
+    /// corrupted state can shift merge timing.
+    injected_faults: u64,
 }
 
 impl<T: SuperTool> SpSliceTool<T> {
     /// The slice this tool instance belongs to.
     pub fn slice_num(&self) -> u32 {
         self.slice_num
+    }
+
+    /// Faults injected into this slice's signature detector since the
+    /// registry was last armed.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_faults
+    }
+
+    fn chaos_key(&self, ordinal: u64) -> u64 {
+        ((self.slice_num as u64) << 32) ^ ordinal ^ (self.chaos_salt << 56)
     }
 }
 
@@ -121,7 +146,19 @@ fn insert_detection<T: SuperTool>(inserter: &mut Inserter<SpSliceTool<T>>, sig: 
         IPoint::Before,
         move |tool: &mut SpSliceTool<T>, ctx| {
             tool.sig_stats.quick_checks += 1;
-            quick_sig.quick_match(ctx.arg(0), ctx.arg(1))
+            if !quick_sig.quick_match(ctx.arg(0), ctx.arg(1)) {
+                return false;
+            }
+            // Failpoint: suppress a genuine quick match, so the slice
+            // sails past its true boundary (manufactured runaway).
+            if let Some(chaos) = tool.chaos.clone() {
+                let key = tool.chaos_key(tool.sig_stats.quick_checks);
+                if chaos.fire(Site::CoreSignatureQuickMiss, key) {
+                    tool.injected_faults += 1;
+                    return false;
+                }
+            }
+            true
         },
         pred_args,
         move |tool: &mut SpSliceTool<T>, ctx, ctl| {
@@ -130,6 +167,16 @@ fn insert_detection<T: SuperTool>(inserter: &mut Inserter<SpSliceTool<T>>, sig: 
             ctl.charge_cycles(NUM_REGS as u64);
             let regs: Vec<u64> = (0..NUM_REGS).map(|i| ctx.arg(i)).collect();
             if full_sig.regs_match(&regs) {
+                // Failpoint: pretend the full comparison rejected, skipping
+                // the stack stage entirely (manufactured runaway with a
+                // skewed check mix).
+                if let Some(chaos) = tool.chaos.clone() {
+                    let key = tool.chaos_key(tool.sig_stats.full_checks);
+                    if chaos.fire(Site::CoreSignatureFullMismatch, key) {
+                        tool.injected_faults += 1;
+                        return;
+                    }
+                }
                 tool.sig_stats.stack_checks += 1;
                 // Top-of-stack comparison: one compare per word.
                 ctl.charge_cycles(STACK_WORDS as u64);
@@ -188,7 +235,42 @@ impl<T: SuperTool> SliceRuntime<T> {
         cfg: &SuperPinConfig,
         now_cycles: u64,
     ) -> Result<SliceRuntime<T>, SpError> {
-        let mut process = master.fork(1000 + num as u64);
+        let process = master.fork(1000 + num as u64);
+        SliceRuntime::from_fork(num, process, tool_template, bubble, cfg, now_cycles)
+    }
+
+    /// Like [`spawn`](SliceRuntime::spawn), but the fork consults the
+    /// master's armed [`Site::VmForkCow`](superpin_fault::Site::VmForkCow)
+    /// failpoint with `chaos_key` (see
+    /// [`Process::try_fork`](superpin_vm::process::Process::try_fork)).
+    /// The runner retries with a fresh key on injected failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpError::Vm`] with
+    /// [`VmError::FaultInjected`](superpin_vm::VmError::FaultInjected)
+    /// when the failpoint fires, or [`SpError::Mem`] on setup failure.
+    pub fn spawn_checked(
+        num: u32,
+        master: &Process,
+        tool_template: &T,
+        bubble: &Bubble,
+        cfg: &SuperPinConfig,
+        now_cycles: u64,
+        chaos_key: u64,
+    ) -> Result<SliceRuntime<T>, SpError> {
+        let process = master.try_fork(1000 + num as u64, chaos_key)?;
+        SliceRuntime::from_fork(num, process, tool_template, bubble, cfg, now_cycles)
+    }
+
+    fn from_fork(
+        num: u32,
+        mut process: Process,
+        tool_template: &T,
+        bubble: &Bubble,
+        cfg: &SuperPinConfig,
+        now_cycles: u64,
+    ) -> Result<SliceRuntime<T>, SpError> {
         let frame = trampoline::enter(&mut process)?;
         bubble.release(&mut process.mem)?;
         trampoline::resume(&mut process, frame)?;
@@ -201,6 +283,9 @@ impl<T: SuperTool> SliceRuntime<T> {
             detect: None,
             sig_stats: SignatureStats::default(),
             slice_num: num,
+            chaos: None,
+            chaos_salt: 0,
+            injected_faults: 0,
         };
         let mut engine = Engine::with_config(process, tool, cfg.cost, cfg.cache_capacity);
         if let Some(live) = &cfg.liveness {
@@ -456,6 +541,60 @@ impl<T: SuperTool> SliceRuntime<T> {
         self.end = Some(end);
         self.end_cycles = Some(now_cycles);
     }
+
+    /// Arms (or, with `None`, strips) chaos injection on this slice: both
+    /// the engine's dispatch failpoint and the signature-detector
+    /// failpoints, with `salt` mixed into every key so a retried slice
+    /// replays a *different* point in the fault schedule instead of
+    /// re-hitting the fault that condemned it. Resets the poison counter.
+    pub fn arm_chaos(&mut self, registry: Option<Arc<FailpointRegistry>>, salt: u64) {
+        self.engine.arm_fault_injection(registry.clone(), salt);
+        let tool = self.engine.tool_mut();
+        tool.chaos = registry;
+        tool.chaos_salt = salt;
+        tool.injected_faults = 0;
+    }
+
+    /// Faults injected into this slice since chaos was last armed (the
+    /// supervisor's poison counter; see
+    /// [`SpSliceTool::injected_faults`]).
+    pub fn injected_faults(&self) -> u64 {
+        self.engine.tool().injected_faults
+    }
+
+    /// A deep, injection-free copy of this slice for supervisor
+    /// checkpointing. Page frames are materialized (private copies, no
+    /// COW sharing with the live slice — pure host-memory hygiene; the
+    /// deterministic `cow_pending` accounting is cloned as-is), and the
+    /// chaos registry is stripped so a replay from the checkpoint runs
+    /// fault-free by construction.
+    pub fn checkpoint(&self) -> SliceRuntime<T> {
+        let mut copy = self.clone();
+        copy.engine.process_mut().mem.materialize();
+        copy.arm_chaos(None, 0);
+        copy
+    }
+}
+
+impl<T: SuperTool> Clone for SliceRuntime<T> {
+    fn clone(&self) -> SliceRuntime<T> {
+        SliceRuntime {
+            num: self.num,
+            engine: self.engine.clone(),
+            records: self.records.clone(),
+            boundary: self.boundary.clone(),
+            state: self.state,
+            end: self.end,
+            start_cycles: self.start_cycles,
+            wake_cycles: self.wake_cycles,
+            end_cycles: self.end_cycles,
+            records_played: self.records_played,
+            cow_charged: self.cow_charged,
+            debt: self.debt,
+            merged: self.merged,
+            span_insts: self.span_insts,
+        }
+    }
 }
 
 impl<T: SuperTool> std::fmt::Debug for SliceRuntime<T> {
@@ -683,5 +822,78 @@ mod tests {
         assert!(cow >= 2, "slice stores must COW: {cow}");
         assert!(used >= cow * cfg().cost.cow_fault);
         drop(keeper);
+    }
+
+    /// A woken slice with a loop boundary, plus the signature it should
+    /// detect (shared setup for the chaos tests below).
+    fn woken_loop_slice() -> SliceRuntime<TestCount> {
+        let src = "main:\n li r1, 10\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n";
+        let (mut process, bubble) = master(src);
+        let slice = SliceRuntime::spawn(1, &process, &TestCount::default(), &bubble, &cfg(), 0)
+            .expect("spawn");
+        process.run_until_syscall(11).expect("run");
+        let sig = Signature::capture(&process);
+        let mut slice = slice;
+        slice.wake(Boundary::Signature(Box::new(sig)), vec![], 0);
+        slice
+    }
+
+    #[test]
+    fn chaos_quick_miss_makes_slice_overrun_its_boundary() {
+        use superpin_fault::{FailPlan, SiteMode};
+        let mut slice = woken_loop_slice();
+        let plan = FailPlan::new(7, 0.0).with_site(Site::CoreSignatureQuickMiss, SiteMode::Always);
+        slice.arm_chaos(Some(Arc::new(FailpointRegistry::new(plan))), 0);
+        // Every genuine quick match is suppressed, so the slice runs past
+        // its boundary and diverges at the unrecorded exit syscall.
+        let err = slice.advance(u64::MAX / 8, 0).unwrap_err();
+        assert!(matches!(err, SpError::SliceDiverged { slice: 1, .. }));
+        assert!(slice.injected_faults() >= 1, "poison counter must move");
+        assert_eq!(slice.tool().sig_stats.detections, 0);
+    }
+
+    #[test]
+    fn chaos_full_mismatch_skips_stack_stage() {
+        use superpin_fault::{FailPlan, SiteMode};
+        let mut slice = woken_loop_slice();
+        let plan =
+            FailPlan::new(7, 0.0).with_site(Site::CoreSignatureFullMismatch, SiteMode::Nth(1));
+        slice.arm_chaos(Some(Arc::new(FailpointRegistry::new(plan))), 0);
+        let err = slice.advance(u64::MAX / 8, 0).unwrap_err();
+        assert!(matches!(err, SpError::SliceDiverged { .. }));
+        let stats = slice.tool().sig_stats;
+        assert_eq!(slice.injected_faults(), 1);
+        assert!(stats.full_checks >= 1);
+        assert_eq!(stats.stack_checks, 0, "injection must skip the stack stage");
+    }
+
+    #[test]
+    fn checkpoint_replay_is_bit_identical_to_fault_free_run() {
+        // Reference: fault-free slice runs to detection.
+        let mut reference = woken_loop_slice();
+        reference.advance(u64::MAX / 8, 3).expect("reference");
+        assert_eq!(reference.end_reason(), Some(SliceEnd::SignatureDetected));
+
+        // Victim: checkpoint at wake, poison with chaos, then roll back
+        // and replay from the checkpoint with injection off.
+        let mut victim = woken_loop_slice();
+        let checkpoint = victim.checkpoint();
+        use superpin_fault::{FailPlan, SiteMode};
+        let plan = FailPlan::new(7, 0.0).with_site(Site::CoreSignatureQuickMiss, SiteMode::Always);
+        victim.arm_chaos(Some(Arc::new(FailpointRegistry::new(plan))), 0);
+        victim.advance(u64::MAX / 8, 3).unwrap_err();
+
+        let mut replay = checkpoint;
+        assert_eq!(replay.injected_faults(), 0);
+        replay.advance(u64::MAX / 8, 3).expect("replay");
+        assert_eq!(replay.end_reason(), Some(SliceEnd::SignatureDetected));
+        assert_eq!(replay.end_cycles(), reference.end_cycles());
+        assert_eq!(replay.tool().inner.count, reference.tool().inner.count);
+        assert_eq!(replay.tool().sig_stats, reference.tool().sig_stats);
+        assert_eq!(replay.engine().stats(), reference.engine().stats());
+        assert_eq!(
+            replay.engine().process().mem.stats(),
+            reference.engine().process().mem.stats()
+        );
     }
 }

@@ -93,4 +93,60 @@ mod tests {
             SyscallAction::RecordReplay
         );
     }
+
+    #[test]
+    fn every_syscall_is_classified() {
+        // `classify` has no wildcard arm, so this is compile-checked too;
+        // the loop documents that `SyscallNo::ALL` is the whole universe
+        // and pins each call to exactly one action in both modes.
+        for no in SyscallNo::ALL {
+            for enabled in [true, false] {
+                let action = classify(no, enabled);
+                assert!(
+                    matches!(
+                        action,
+                        SyscallAction::Duplicate
+                            | SyscallAction::RecordReplay
+                            | SyscallAction::ForceSlice
+                    ),
+                    "{no:?} unclassified"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+        /// The `-spsysrecs 0` rule over the whole syscall universe:
+        /// disabling recording turns every `RecordReplay` into
+        /// `ForceSlice` — except `Exit`, which must always reach the
+        /// final slice as its last record — and touches nothing else.
+        #[test]
+        fn disabled_recording_flips_exactly_the_recordable_calls(
+            index in 0usize..SyscallNo::ALL.len(),
+        ) {
+            let no = SyscallNo::ALL[index];
+            let enabled = classify(no, true);
+            let disabled = classify(no, false);
+            match enabled {
+                SyscallAction::RecordReplay if no != SyscallNo::Exit => {
+                    proptest::prop_assert_eq!(
+                        disabled,
+                        SyscallAction::ForceSlice,
+                        "{:?} must force when recording is off", no
+                    );
+                }
+                action => {
+                    proptest::prop_assert_eq!(
+                        disabled, action,
+                        "{:?} must not change when recording is off", no
+                    );
+                }
+            }
+            // ForceSlice is never *weakened* by enabling recording.
+            if disabled == SyscallAction::Duplicate {
+                proptest::prop_assert_eq!(enabled, SyscallAction::Duplicate);
+            }
+        }
+    }
 }

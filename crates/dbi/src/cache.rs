@@ -106,6 +106,10 @@ pub struct CacheStats {
 /// which is the source of the paper's per-slice "compilation slowdown"
 /// (§6.3: "each slice has its own copy of the code cache, and it starts
 /// in a clean state").
+///
+/// `Clone` shares the compiled traces (they are immutable behind `Arc`s)
+/// and copies the counters — exactly what a slice checkpoint needs.
+#[derive(Clone)]
 pub struct CodeCache<T> {
     traces: HashMap<u64, Arc<CompiledTrace<T>>>,
     resident_insts: usize,

@@ -9,6 +9,7 @@ use crate::tool::Pintool;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
+use superpin_fault::{FailpointRegistry, Site};
 use superpin_isa::Inst;
 use superpin_vm::cpu::ExecOutcome;
 use superpin_vm::kernel::SyscallRecord;
@@ -97,6 +98,7 @@ enum TraceExit {
 }
 
 /// How an engine consults the shared-trace index (paper §8).
+#[derive(Clone)]
 enum SharedTraceMode {
     /// Probe-and-publish against the live sharded index on every compile.
     /// Right for standalone engines and single-threaded supervisors, but
@@ -154,6 +156,40 @@ pub struct Engine<T: Pintool> {
     /// the dispatcher; indirect transfers and re-entries after
     /// syscalls/stops pay [`CostModel::dispatch_per_trace`].
     pending_dispatch: bool,
+    /// Armed chaos registry for the [`Site::DbiEngineDispatch`]
+    /// failpoint. `None` (the default) costs nothing: the dispatch path
+    /// takes one branch on an `Option` it would otherwise not have.
+    fault: Option<Arc<FailpointRegistry>>,
+    /// Salt mixed into every dispatch failpoint key; the supervisor bumps
+    /// it per retry so a re-armed slice does not deterministically re-hit
+    /// the fault that killed it.
+    fault_salt: u64,
+    /// Dispatches evaluated against the failpoint while armed (the
+    /// per-engine half of the key, deterministic per execution).
+    fault_dispatches: u64,
+}
+
+impl<T: Pintool + Clone> Clone for Engine<T> {
+    /// Checkpoint clone: compiled traces are shared (immutable `Arc`s),
+    /// everything else — process, tool, counters, chaos arming — is
+    /// copied.
+    fn clone(&self) -> Engine<T> {
+        Engine {
+            process: self.process.clone(),
+            tool: self.tool.clone(),
+            cache: self.cache.clone(),
+            cost: self.cost,
+            stats: self.stats,
+            fini_done: self.fini_done,
+            split_point: self.split_point,
+            shared_traces: self.shared_traces.clone(),
+            code_version_seen: self.code_version_seen,
+            pending_dispatch: self.pending_dispatch,
+            fault: self.fault.clone(),
+            fault_salt: self.fault_salt,
+            fault_dispatches: self.fault_dispatches,
+        }
+    }
 }
 
 impl<T: Pintool> fmt::Debug for Engine<T> {
@@ -191,7 +227,19 @@ impl<T: Pintool + 'static> Engine<T> {
             shared_traces: None,
             code_version_seen,
             pending_dispatch: true,
+            fault: None,
+            fault_salt: 0,
+            fault_dispatches: 0,
         }
+    }
+
+    /// Arms (or with `None` disarms) the [`Site::DbiEngineDispatch`]
+    /// failpoint. `salt` is mixed into every key; pass the retry attempt
+    /// so a recovered slice sees a fresh schedule (see
+    /// [`Engine::run`]'s dispatch path).
+    pub fn arm_fault_injection(&mut self, registry: Option<Arc<FailpointRegistry>>, salt: u64) {
+        self.fault = registry;
+        self.fault_salt = salt;
     }
 
     /// Sets the trace split point. Must be set before the affected code
@@ -337,6 +385,20 @@ impl<T: Pintool + 'static> Engine<T> {
             let pc = self.process.cpu.pc;
             let trace = self.lookup_or_compile(pc, &mut spent)?;
             if self.pending_dispatch {
+                if let Some(registry) = &self.fault {
+                    // Key = pid, per-engine dispatch ordinal, retry salt:
+                    // pure simulation state, so a given seed fires at the
+                    // same dispatch on every run and on no others.
+                    self.fault_dispatches += 1;
+                    let key = (self.process.pid() << 32)
+                        ^ self.fault_dispatches
+                        ^ (self.fault_salt << 56);
+                    if registry.fire(Site::DbiEngineDispatch, key) {
+                        return Err(VmError::FaultInjected {
+                            site: Site::DbiEngineDispatch.name(),
+                        });
+                    }
+                }
                 self.stats.cycles.dispatch += self.cost.dispatch_per_trace;
                 spent += self.cost.dispatch_per_trace;
                 self.pending_dispatch = false;

@@ -73,6 +73,19 @@ pub fn predict_completion_quanta(eta: SliceEta, budget_per_quantum: u64) -> u64 
     remaining_ticks.div_ceil(budget_per_quantum.max(1)).max(1)
 }
 
+/// Watchdog deadline for runaway detection: a slice whose signature has
+/// not fired within `factor ×` its predicted completion (re-estimated
+/// from its *current* progress, so early cold-cache overestimates decay)
+/// is declared runaway by the supervisor. Returns quanta-from-now;
+/// always at least `factor` so a freshly woken slice is never condemned
+/// on its first barrier.
+pub fn watchdog_deadline_quanta(eta: SliceEta, budget_per_quantum: u64, factor: u64) -> u64 {
+    let factor = factor.max(1);
+    predict_completion_quanta(eta, budget_per_quantum)
+        .saturating_mul(factor)
+        .max(factor)
+}
+
 /// Plans epoch lengths (in quanta) between scheduling events.
 #[derive(Clone, Copy, Debug)]
 pub struct EpochPlanner {
@@ -197,6 +210,26 @@ mod tests {
         // Degenerate inputs (zero budget, zero span) must not divide by
         // zero and still plan forward progress.
         assert!(predict_completion_quanta(SliceEta::default(), 0) >= 1);
+    }
+
+    #[test]
+    fn watchdog_deadline_scales_prediction() {
+        let eta = SliceEta {
+            ticks_spent: 12_000,
+            insts_done: 1_000, // tpi 12
+            insts_total: 11_000,
+        };
+        let predicted = predict_completion_quanta(eta, 600);
+        assert_eq!(watchdog_deadline_quanta(eta, 600, 8), predicted * 8);
+        // A slice at its span still gets `factor` quanta of grace.
+        let done = SliceEta {
+            ticks_spent: 500,
+            insts_done: 100,
+            insts_total: 100,
+        };
+        assert_eq!(watchdog_deadline_quanta(done, 1_000_000, 8), 8);
+        // Degenerate factor clamps to 1.
+        assert_eq!(watchdog_deadline_quanta(done, 1_000_000, 0), 1);
     }
 
     #[test]

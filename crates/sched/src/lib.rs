@@ -29,7 +29,10 @@ mod machine;
 mod scheduler;
 mod timeline;
 
-pub use epoch::{predict_completion_quanta, EpochPlanner, SliceEta, DEFAULT_TICKS_PER_INST};
+pub use epoch::{
+    predict_completion_quanta, watchdog_deadline_quanta, EpochPlanner, SliceEta,
+    DEFAULT_TICKS_PER_INST,
+};
 pub use machine::Machine;
 pub use scheduler::{Policy, QuantumScheduler, Share};
 pub use timeline::Timeline;

@@ -30,6 +30,12 @@ pub enum VmError {
         /// Program counter of the `halt`.
         pc: u64,
     },
+    /// A chaos failpoint fired at this host-runtime site (only produced
+    /// when fault injection is armed; see `superpin-fault`).
+    FaultInjected {
+        /// Dotted name of the failpoint site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -44,6 +50,9 @@ impl fmt::Display for VmError {
             }
             VmError::ProcessExited => write!(f, "process has already exited"),
             VmError::UnexpectedHalt { pc } => write!(f, "unexpected halt at {pc:#x}"),
+            VmError::FaultInjected { site } => {
+                write!(f, "chaos fault injected at failpoint `{site}`")
+            }
         }
     }
 }

@@ -64,6 +64,26 @@ pub enum SyscallNo {
 }
 
 impl SyscallNo {
+    /// Every syscall number, in raw-number order. Lets policy code (and
+    /// property tests) iterate the full set so exhaustiveness survives
+    /// the addition of new syscalls.
+    pub const ALL: [SyscallNo; 14] = [
+        SyscallNo::Exit,
+        SyscallNo::Write,
+        SyscallNo::Read,
+        SyscallNo::Open,
+        SyscallNo::Close,
+        SyscallNo::Brk,
+        SyscallNo::Mmap,
+        SyscallNo::Munmap,
+        SyscallNo::GetTime,
+        SyscallNo::GetPid,
+        SyscallNo::GetRandom,
+        SyscallNo::SigAction,
+        SyscallNo::Raise,
+        SyscallNo::SigReturn,
+    ];
+
     /// Decodes a syscall number from the guest's `r0`.
     pub fn from_raw(raw: u64) -> Option<SyscallNo> {
         Some(match raw {

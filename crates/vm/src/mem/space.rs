@@ -1,7 +1,7 @@
 //! Virtual address spaces.
 
 use super::page::{PageFrame, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Classification of a mapped region.
@@ -92,8 +92,15 @@ impl std::error::Error for MemError {}
 pub struct MemStats {
     /// Demand-zero page allocations (first touch of a fresh page).
     pub minor_faults: u64,
-    /// Copy-on-write page copies (first write to a page shared with a
-    /// forked sibling).
+    /// Copy-on-write page copies: first write on *this* side to a page
+    /// that was resident at this side's most recent fork boundary. This
+    /// deliberately mirrors Linux semantics — after `fork(2)` every
+    /// shared page is mapped read-only in both parent and child, so each
+    /// side pays exactly one COW fault on its first write regardless of
+    /// which side writes first. Counting first-writes (rather than
+    /// observing `Arc` reference counts) keeps the counter a pure
+    /// function of this space's own write history, independent of
+    /// sibling lifetimes and write interleaving.
     pub cow_copies: u64,
 }
 
@@ -111,6 +118,16 @@ pub struct AddressSpace {
     heap_base: u64,
     /// Next address tried for hint-less `mmap`.
     mmap_cursor: u64,
+    /// Page indices still write-shared since the last fork boundary on
+    /// this side: the first write to each charges one COW fault (see
+    /// [`MemStats::cow_copies`]). Populated for the child by [`fork`]
+    /// and for the parent by [`mark_cow_shared`]; drained by writes,
+    /// [`unmap`] and `brk` shrinks.
+    ///
+    /// [`fork`]: AddressSpace::fork
+    /// [`mark_cow_shared`]: AddressSpace::mark_cow_shared
+    /// [`unmap`]: AddressSpace::unmap
+    cow_pending: BTreeSet<u64>,
     stats: MemStats,
     /// Bumped on every write into a [`RegionKind::Code`] region, so a
     /// DBI engine can detect self-modifying code and invalidate its
@@ -138,6 +155,7 @@ impl AddressSpace {
             brk: heap_base,
             heap_base,
             mmap_cursor: MMAP_BASE,
+            cow_pending: BTreeSet::new(),
             stats: MemStats::default(),
             code_version: 0,
         }
@@ -177,10 +195,38 @@ impl AddressSpace {
 
     /// Copy-on-write duplicate of this space. O(resident pages); no page
     /// contents are copied until one side writes.
+    ///
+    /// Every page resident at the fork becomes COW-pending in the child:
+    /// its first write there charges one [`MemStats::cow_copies`] fault.
+    /// The *parent's* pending set is untouched because `fork` takes
+    /// `&self`; a supervisor that wants parent-side fork faults calls
+    /// [`mark_cow_shared`](AddressSpace::mark_cow_shared) as well.
     pub fn fork(&self) -> AddressSpace {
         let mut child = self.clone();
         child.reset_stats();
+        child.cow_pending = child.pages.keys().copied().collect();
         child
+    }
+
+    /// Marks every resident page COW-pending on *this* side, as a real
+    /// `fork(2)` does when it write-protects the parent's mappings. The
+    /// SuperPin runner calls this on the master at each slice fork so the
+    /// master's subsequent first-writes charge fork overhead exactly like
+    /// the child's — deterministically, whatever the sibling does.
+    pub fn mark_cow_shared(&mut self) {
+        self.cow_pending = self.pages.keys().copied().collect();
+    }
+
+    /// Rebuilds every resident page frame as an exclusive copy, dropping
+    /// shared `Arc` references to sibling spaces. Checkpoints call this
+    /// so a stored snapshot neither keeps a live slice's frames
+    /// artificially shared nor mutates under it. Purely a host-memory
+    /// hygiene operation: guest-visible contents and all counters are
+    /// unchanged.
+    pub fn materialize(&mut self) {
+        for frame in self.pages.values_mut() {
+            *frame = PageFrame::from_bytes(frame.bytes());
+        }
     }
 
     /// Maps a page-aligned region.
@@ -265,6 +311,7 @@ impl AddressSpace {
             .collect();
         for key in keys {
             self.pages.remove(&key);
+            self.cow_pending.remove(&key);
         }
         Ok(())
     }
@@ -296,6 +343,7 @@ impl AddressSpace {
                 .collect();
             for key in keys {
                 self.pages.remove(&key);
+                self.cow_pending.remove(&key);
             }
         }
         self.brk = new_brk;
@@ -363,9 +411,12 @@ impl AddressSpace {
                 *minor_faults += 1;
                 PageFrame::zeroed()
             });
-            let (bytes, copied) = frame.make_mut();
+            // `make_mut` still copies the frame when a sibling shares it
+            // (memory isolation), but the *charge* comes from the
+            // deterministic pending set, not the Arc refcount.
+            let (bytes, _copied) = frame.make_mut();
             bytes[offset..offset + chunk].copy_from_slice(&data[..chunk]);
-            if copied {
+            if self.cow_pending.remove(&index) {
                 self.stats.cow_copies += 1;
             }
             addr += chunk as u64;
@@ -499,8 +550,9 @@ mod tests {
         assert_eq!(child.read_u64(0x1000).expect("read"), 7);
         assert_eq!(parent.read_u64(0x1000).expect("read"), 42);
 
-        // Parent writing the same page also COWs? No: after the child
-        // copied, the parent is exclusive again.
+        // The parent was never marked shared (`fork` takes `&self`), so
+        // its writes charge nothing until a supervisor opts it in with
+        // `mark_cow_shared`.
         parent.write_u64(0x1000, 43).expect("write");
         assert_eq!(parent.stats().cow_copies, 0);
     }
@@ -511,9 +563,53 @@ mod tests {
         parent.write_u64(0x1000, 1).expect("write");
         parent.reset_stats();
         let child = parent.fork();
+        parent.mark_cow_shared();
         parent.write_u64(0x1000, 2).expect("write");
         assert_eq!(parent.stats().cow_copies, 1);
+        // Second write to the same page is free: the fault fired.
+        parent.write_u64(0x1000, 3).expect("write");
+        assert_eq!(parent.stats().cow_copies, 1);
         assert_eq!(child.read_u64(0x1000).expect("read"), 1);
+    }
+
+    #[test]
+    fn cow_charges_are_independent_of_sibling_write_order() {
+        // Linux semantics: both sides fault on their first write to a
+        // shared page, whichever writes first. The charge must not
+        // depend on the interleaving (SuperPin's bit-identical recovery
+        // relies on this).
+        let run = |child_first: bool| {
+            let mut parent = space_with_one_region();
+            parent.write_u64(0x1000, 1).expect("write");
+            parent.reset_stats();
+            let mut child = parent.fork();
+            parent.mark_cow_shared();
+            if child_first {
+                child.write_u64(0x1000, 2).expect("write");
+                parent.write_u64(0x1000, 3).expect("write");
+            } else {
+                parent.write_u64(0x1000, 3).expect("write");
+                child.write_u64(0x1000, 2).expect("write");
+            }
+            (parent.stats().cow_copies, child.stats().cow_copies)
+        };
+        assert_eq!(run(true), run(false));
+        assert_eq!(run(true), (1, 1));
+    }
+
+    #[test]
+    fn materialize_preserves_contents_and_counters() {
+        let mut parent = space_with_one_region();
+        parent.write_u64(0x1000, 42).expect("write");
+        let mut snapshot = parent.fork();
+        let stats_before = snapshot.stats();
+        snapshot.materialize();
+        assert_eq!(snapshot.stats(), stats_before);
+        assert_eq!(snapshot.content_digest(), parent.content_digest());
+        // The snapshot still owes a COW fault on first write.
+        snapshot.write_u64(0x1000, 7).expect("write");
+        assert_eq!(snapshot.stats().cow_copies, 1);
+        assert_eq!(parent.read_u64(0x1000).expect("read"), 42);
     }
 
     #[test]

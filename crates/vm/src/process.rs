@@ -4,6 +4,8 @@ use crate::cpu::{self, CpuState, ExecOutcome};
 use crate::error::VmError;
 use crate::kernel::{self, KernelState, SyscallRecord};
 use crate::mem::{AddressSpace, RegionKind};
+use std::sync::Arc;
+use superpin_fault::{FailpointRegistry, Site};
 use superpin_isa::{Program, Reg, HEAP_BASE, STACK_TOP};
 
 /// Default stack reservation (1 MiB), mapped just below [`STACK_TOP`].
@@ -38,6 +40,10 @@ pub struct Process {
     pub kernel: KernelState,
     exited: Option<i64>,
     inst_count: u64,
+    /// Armed chaos failpoint registry, if any ([`Site::VmForkCow`] fires
+    /// in [`try_fork`](Process::try_fork)). `None` — the default — is
+    /// zero-cost: no registry is consulted anywhere on the hot path.
+    fault: Option<Arc<FailpointRegistry>>,
 }
 
 impl Process {
@@ -75,6 +81,7 @@ impl Process {
             kernel: KernelState::new(pid),
             exited: None,
             inst_count: 0,
+            fault: None,
         })
     }
 
@@ -109,6 +116,38 @@ impl Process {
         child.mem = self.mem.fork();
         child.inst_count = 0;
         child
+    }
+
+    /// Arms (or with `None` disarms) chaos fault injection on this
+    /// process. Only [`try_fork`](Process::try_fork) consults the
+    /// registry; the plain [`fork`](Process::fork) stays infallible.
+    pub fn set_fault_registry(&mut self, registry: Option<Arc<FailpointRegistry>>) {
+        self.fault = registry;
+    }
+
+    /// The armed fault registry, if any.
+    pub fn fault_registry(&self) -> Option<&Arc<FailpointRegistry>> {
+        self.fault.as_ref()
+    }
+
+    /// Fallible fork: like [`fork`](Process::fork), but consults the
+    /// [`Site::VmForkCow`] failpoint first when a registry is armed.
+    /// `chaos_key` must be derived from deterministic simulation state
+    /// (e.g. child pid and retry attempt) so the schedule replays
+    /// identically for a given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::FaultInjected`] when the failpoint fires.
+    pub fn try_fork(&self, child_pid: u64, chaos_key: u64) -> Result<Process, VmError> {
+        if let Some(registry) = &self.fault {
+            if registry.fire(Site::VmForkCow, chaos_key) {
+                return Err(VmError::FaultInjected {
+                    site: Site::VmForkCow.name(),
+                });
+            }
+        }
+        Ok(self.fork(child_pid))
     }
 
     /// Runs up to `max_insts` instructions, servicing syscalls inline

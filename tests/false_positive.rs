@@ -94,6 +94,53 @@ fn memory_only_loop_counter_triggers_false_positive() {
 }
 
 #[test]
+fn quick_match_rejected_by_full_comparison_runs_to_true_boundary() {
+    // The two-stage defence (§4.4): pick quick-check registers the loop
+    // never writes, so the inlined quick check matches on *every*
+    // arrival at the boundary pc — but the loop counter lives in r3, so
+    // the full register comparison rejects each premature match and the
+    // slice keeps running to the master's true boundary.
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R3, 10);
+    b.label("head");
+    b.subi(Reg::R3, Reg::R3, 1);
+    b.bne(Reg::R3, Reg::R0, "head");
+    b.exit(0);
+    let program = b.build().expect("build");
+
+    let mut master = Process::load(1, &program).expect("load");
+    let bubble = Bubble::reserve(&mut master.mem).expect("bubble");
+    let cfg = SuperPinConfig::paper_default();
+    let mut slice =
+        SliceRuntime::spawn(1, &master, &Count::default(), &bubble, &cfg, 0).expect("spawn");
+
+    // Master stops at the loop head with r3 == 5; r1/sp are loop-invariant.
+    master.run_until_syscall(1 + 5 * 2).expect("advance master");
+    let truth = master.inst_count();
+    let sig = Signature::capture_with_quick_regs(&master, [Reg::R1, Reg::SP]);
+
+    slice.wake(Boundary::Signature(Box::new(sig)), vec![], 0);
+    slice.advance(u64::MAX / 8, 0).expect("advance");
+    assert_eq!(slice.end_reason(), Some(SliceEnd::SignatureDetected));
+
+    let stats = slice.tool().sig_stats;
+    assert_eq!(stats.detections, 1, "exactly one true detection");
+    assert!(
+        stats.full_checks > stats.detections,
+        "quick check must have false-positively escalated: \
+         {} full checks for {} detection(s)",
+        stats.full_checks,
+        stats.detections
+    );
+    assert_eq!(
+        slice.tool().inner.count,
+        truth,
+        "every premature quick match was rejected by the full comparison"
+    );
+}
+
+#[test]
 fn register_loop_counter_does_not_false_positive() {
     // Control: the same loop with the counter in a register is detected
     // at exactly the right boundary.
