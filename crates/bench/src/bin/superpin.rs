@@ -45,6 +45,7 @@ use superpin_tools::{
 use superpin_vm::process::Process;
 use superpin_workloads::{find, Scale};
 
+#[derive(Debug, PartialEq)]
 struct Options {
     sp: bool,
     gantt: bool,
@@ -55,6 +56,7 @@ struct Options {
     chaos_seed: Option<u64>,
     chaos_rate: Option<f64>,
     watchdog_factor: u64,
+    mem_budget: Option<u64>,
     emit_json: Option<String>,
     tool: String,
     benchmark: String,
@@ -62,18 +64,102 @@ struct Options {
     scale_explicit: bool,
 }
 
+/// Typed command-line rejection. Each variant renders a specific
+/// message; `main` prints it with a usage hint and exits 2.
+#[derive(Clone, Debug, PartialEq)]
+enum ArgError {
+    /// A flag was given without its required value.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse as the expected shape.
+    InvalidValue {
+        flag: &'static str,
+        value: String,
+        expected: &'static str,
+    },
+    /// `--watchdog-factor` must exceed 1: a factor of 1 condemns every
+    /// slice whose completion prediction is off by a single quantum.
+    WatchdogFactorTooSmall(u64),
+    /// `--chaos-rate` is a probability and must lie in [0, 1].
+    ChaosRateOutOfRange(f64),
+    /// `--threads 0` has no meaning; the minimum is 1 (serial).
+    ZeroThreads,
+    /// An unrecognized flag.
+    UnknownFlag(String),
+    /// No benchmark after `--`, or no `-t TOOL`.
+    MissingBenchmarkOrTool,
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "`{flag}` requires a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "`{flag}` got `{value}`; expected {expected}"),
+            ArgError::WatchdogFactorTooSmall(value) => write!(
+                f,
+                "`--watchdog-factor` must be greater than 1 (got {value}): a factor of 1 \
+                 condemns any slice one quantum behind its predicted completion"
+            ),
+            ArgError::ChaosRateOutOfRange(value) => write!(
+                f,
+                "`--chaos-rate` is a probability and must be within [0, 1] (got {value})"
+            ),
+            ArgError::ZeroThreads => {
+                write!(f, "`--threads` must be at least 1 (1 = serial execution)")
+            }
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingBenchmarkOrTool => {
+                write!(f, "a `-t TOOL` and a benchmark after `--` are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
 fn usage() -> ! {
     eprintln!(
         "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-threads N] [-gantt] \
-         [--chaos-seed N] [--chaos-rate F] [--watchdog-factor K] \
+         [--chaos-seed N] [--chaos-rate F] [--watchdog-factor K] [--mem-budget BYTES[k|m|g]] \
          -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
-         \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large]\n\
+         \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large] \
+         [--mem-budget BYTES[k|m|g]]\n\
          tools: icount1 icount2 dcache dcache-assoc icache bblcount insmix itrace branch mem sampler"
     );
     std::process::exit(2);
 }
 
+/// Parses a byte count with an optional binary `k`/`m`/`g` suffix
+/// (case-insensitive): `64m` → 64 MiB.
+fn parse_bytes(text: &str) -> Option<u64> {
+    let lower = text.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(digits) = lower.strip_suffix('k') {
+        (digits, 1u64 << 10)
+    } else if let Some(digits) = lower.strip_suffix('m') {
+        (digits, 1u64 << 20)
+    } else if let Some(digits) = lower.strip_suffix('g') {
+        (digits, 1u64 << 30)
+    } else {
+        (lower.as_str(), 1u64)
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
+}
+
 fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_options(&args) {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("superpin: {err}");
+            usage();
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, ArgError> {
     let mut options = Options {
         sp: true,
         gantt: false,
@@ -84,50 +170,71 @@ fn parse_args() -> Options {
         chaos_seed: None,
         chaos_rate: None,
         watchdog_factor: 8,
+        mem_budget: None,
         emit_json: None,
         tool: String::new(),
         benchmark: String::new(),
         scale: Scale::Small,
         scale_explicit: false,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter().peekable();
     let mut after_dashes = Vec::new();
+    // `flag value` with a typed error for missing/unparseable values.
+    fn value<'a, I: Iterator<Item = &'a String>, V: std::str::FromStr>(
+        iter: &mut I,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<V, ArgError> {
+        let text = iter.next().ok_or(ArgError::MissingValue(flag))?;
+        text.parse().map_err(|_| ArgError::InvalidValue {
+            flag,
+            value: text.clone(),
+            expected,
+        })
+    }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "-sp" => match iter.next() {
-                Some(v) => options.sp = v != "0",
-                None => usage(),
-            },
-            "-spmsec" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.spmsec = v,
-                None => usage(),
-            },
-            "-spmp" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.spmp = v,
-                None => usage(),
-            },
-            "-spsysrecs" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.spsysrecs = v,
-                None => usage(),
-            },
+            "-sp" => {
+                let v = iter.next().ok_or(ArgError::MissingValue("-sp"))?;
+                options.sp = v != "0";
+            }
+            "-spmsec" => options.spmsec = value(&mut iter, "-spmsec", "milliseconds")?,
+            "-spmp" => options.spmp = value(&mut iter, "-spmp", "a slice count")?,
+            "-spsysrecs" => options.spsysrecs = value(&mut iter, "-spsysrecs", "a record count")?,
             "-gantt" => options.gantt = true,
-            "-threads" | "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.threads = v,
-                None => usage(),
-            },
-            "--chaos-seed" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.chaos_seed = Some(v),
-                None => usage(),
-            },
-            "--chaos-rate" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.chaos_rate = Some(v),
-                None => usage(),
-            },
-            "--watchdog-factor" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => options.watchdog_factor = v,
-                None => usage(),
-            },
+            "-threads" | "--threads" => {
+                let threads: usize = value(&mut iter, "--threads", "a thread count")?;
+                if threads == 0 {
+                    return Err(ArgError::ZeroThreads);
+                }
+                options.threads = threads;
+            }
+            "--chaos-seed" => {
+                options.chaos_seed = Some(value(&mut iter, "--chaos-seed", "a seed integer")?)
+            }
+            "--chaos-rate" => {
+                let rate: f64 = value(&mut iter, "--chaos-rate", "a probability in [0, 1]")?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(ArgError::ChaosRateOutOfRange(rate));
+                }
+                options.chaos_rate = Some(rate);
+            }
+            "--watchdog-factor" => {
+                let factor: u64 = value(&mut iter, "--watchdog-factor", "an integer multiplier")?;
+                if factor <= 1 {
+                    return Err(ArgError::WatchdogFactorTooSmall(factor));
+                }
+                options.watchdog_factor = factor;
+            }
+            "--mem-budget" => {
+                let text = iter.next().ok_or(ArgError::MissingValue("--mem-budget"))?;
+                let bytes = parse_bytes(text).ok_or_else(|| ArgError::InvalidValue {
+                    flag: "--mem-budget",
+                    value: text.clone(),
+                    expected: "a byte count with optional k/m/g suffix (e.g. 64m)",
+                })?;
+                options.mem_budget = Some(bytes);
+            }
             "--emit-json" => {
                 // Optional path operand; defaults to BENCH_parallel.json.
                 let path = match iter.peek() {
@@ -136,44 +243,45 @@ fn parse_args() -> Options {
                 };
                 options.emit_json = Some(path.unwrap_or_else(|| "BENCH_parallel.json".to_owned()));
             }
-            "--scale" => match iter.next() {
-                Some(v) => {
-                    options.scale = parse_scale(v);
-                    options.scale_explicit = true;
-                }
-                None => usage(),
-            },
-            "-t" => match iter.next() {
-                Some(v) => options.tool = v.clone(),
-                None => usage(),
-            },
+            "--scale" => {
+                let v = iter.next().ok_or(ArgError::MissingValue("--scale"))?;
+                options.scale = parse_scale(v)?;
+                options.scale_explicit = true;
+            }
+            "-t" => {
+                options.tool = iter.next().ok_or(ArgError::MissingValue("-t"))?.clone();
+            }
             "--" => {
                 after_dashes.extend(iter.by_ref().cloned());
             }
-            _ => usage(),
+            other => return Err(ArgError::UnknownFlag(other.to_owned())),
         }
     }
     if options.emit_json.is_some() {
-        return options;
+        return Ok(options);
     }
     if after_dashes.is_empty() || options.tool.is_empty() {
-        usage();
+        return Err(ArgError::MissingBenchmarkOrTool);
     }
     options.benchmark = after_dashes[0].clone();
     if let Some(scale) = after_dashes.get(1) {
-        options.scale = parse_scale(scale);
+        options.scale = parse_scale(scale)?;
         options.scale_explicit = true;
     }
-    options
+    Ok(options)
 }
 
-fn parse_scale(text: &str) -> Scale {
+fn parse_scale(text: &str) -> Result<Scale, ArgError> {
     match text {
-        "tiny" => Scale::Tiny,
-        "small" => Scale::Small,
-        "medium" => Scale::Medium,
-        "large" => Scale::Large,
-        _ => usage(),
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "medium" => Ok(Scale::Medium),
+        "large" => Ok(Scale::Large),
+        other => Err(ArgError::InvalidValue {
+            flag: "--scale",
+            value: other.to_owned(),
+            expected: "tiny|small|medium|large",
+        }),
     }
 }
 
@@ -186,6 +294,9 @@ fn superpin_config(options: &Options) -> SuperPinConfig {
         .with_max_sysrecs(options.spsysrecs)
         .with_threads(options.threads)
         .with_watchdog_factor(options.watchdog_factor);
+    if let Some(budget) = options.mem_budget {
+        cfg = cfg.with_mem_budget(budget);
+    }
     if options.chaos_seed.is_some() || options.chaos_rate.is_some() {
         cfg = cfg.with_chaos(FailPlan::new(
             options.chaos_seed.unwrap_or(1),
@@ -234,6 +345,15 @@ fn run_super<T: SuperTool>(
             report.slice_retries, report.slices_degraded
         );
     }
+    if present.mem_budget.is_some() {
+        println!(
+            "memory: peak {} bytes resident, {} slices deferred, {} checkpoints dropped, {} caches evicted",
+            report.peak_resident_bytes,
+            report.slices_deferred,
+            report.checkpoints_dropped,
+            report.caches_evicted
+        );
+    }
     if options.gantt {
         print!("{}", superpin_bench::render::render_gantt(&report, 100));
     }
@@ -252,6 +372,7 @@ fn main() {
         let rows = superpin_bench::parallel::run_parallel_bench(
             scale,
             superpin_bench::parallel::DEFAULT_SET,
+            options.mem_budget,
         );
         print!("{}", superpin_bench::parallel::render_parallel(&rows));
         let json = superpin_bench::parallel::parallel_to_json(scale, &rows);
@@ -487,5 +608,125 @@ fn main() {
             eprintln!("unknown tool `{other}`");
             usage();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(text: &[&str]) -> Vec<String> {
+        text.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn valid_command_line_parses() {
+        let options = parse_options(&args(&[
+            "-t",
+            "icount2",
+            "--threads",
+            "4",
+            "--",
+            "gcc",
+            "tiny",
+        ]))
+        .expect("parse");
+        assert_eq!(options.tool, "icount2");
+        assert_eq!(options.threads, 4);
+        assert_eq!(options.benchmark, "gcc");
+        assert_eq!(options.scale, Scale::Tiny);
+        assert!(options.scale_explicit);
+        assert_eq!(options.mem_budget, None);
+    }
+
+    #[test]
+    fn watchdog_factor_must_exceed_one() {
+        for bad in ["0", "1"] {
+            let err = parse_options(&args(&[
+                "--watchdog-factor",
+                bad,
+                "-t",
+                "icount2",
+                "--",
+                "gcc",
+            ]))
+            .expect_err("factor <= 1 must be rejected");
+            assert_eq!(err, ArgError::WatchdogFactorTooSmall(bad.parse().unwrap()));
+            assert!(err.to_string().contains("--watchdog-factor"));
+        }
+        assert!(parse_options(&args(&[
+            "--watchdog-factor",
+            "2",
+            "-t",
+            "icount2",
+            "--",
+            "gcc"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn chaos_rate_must_be_a_probability() {
+        for bad in ["-0.1", "1.5", "nan"] {
+            let err = parse_options(&args(&["--chaos-rate", bad, "-t", "icount2", "--", "gcc"]))
+                .expect_err("rate outside [0, 1] must be rejected");
+            assert!(err.to_string().contains("--chaos-rate"), "{err}");
+        }
+        let options = parse_options(&args(&[
+            "--chaos-rate",
+            "1.0",
+            "-t",
+            "icount2",
+            "--",
+            "gcc",
+        ]))
+        .expect("boundary is inclusive");
+        assert_eq!(options.chaos_rate, Some(1.0));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected() {
+        let err = parse_options(&args(&["--threads", "0", "-t", "icount2", "--", "gcc"]))
+            .expect_err("zero threads must be rejected");
+        assert_eq!(err, ArgError::ZeroThreads);
+    }
+
+    #[test]
+    fn mem_budget_accepts_binary_suffixes() {
+        assert_eq!(parse_bytes("4096"), Some(4096));
+        assert_eq!(parse_bytes("8k"), Some(8 << 10));
+        assert_eq!(parse_bytes("64M"), Some(64 << 20));
+        assert_eq!(parse_bytes("2g"), Some(2 << 30));
+        assert_eq!(parse_bytes("banana"), None);
+        assert_eq!(parse_bytes(""), None);
+        let options = parse_options(&args(&["--mem-budget", "1m", "-t", "icount2", "--", "gcc"]))
+            .expect("parse");
+        assert_eq!(options.mem_budget, Some(1 << 20));
+        let err = parse_options(&args(&[
+            "--mem-budget",
+            "lots",
+            "-t",
+            "icount2",
+            "--",
+            "gcc",
+        ]))
+        .expect_err("non-numeric budget must be rejected");
+        assert!(err.to_string().contains("--mem-budget"), "{err}");
+    }
+
+    #[test]
+    fn missing_values_and_unknown_flags_are_typed() {
+        assert_eq!(
+            parse_options(&args(&["--threads"])),
+            Err(ArgError::MissingValue("--threads"))
+        );
+        assert_eq!(
+            parse_options(&args(&["--frobnicate"])),
+            Err(ArgError::UnknownFlag("--frobnicate".to_owned()))
+        );
+        assert_eq!(
+            parse_options(&args(&["-t", "icount2"])),
+            Err(ArgError::MissingBenchmarkOrTool)
+        );
     }
 }

@@ -74,6 +74,15 @@ pub struct ParallelRow {
     /// Amdahl projection of the measured split to [`PARALLEL_THREADS`]
     /// cores (a model, not a measurement — see the module docs).
     pub modeled_speedup: f64,
+    /// High-water resident footprint in simulated bytes (0 when the
+    /// tracker runs without a `--mem-budget`).
+    pub peak_resident_bytes: u64,
+    /// Fork-deferral episodes under memory pressure (0 unbudgeted).
+    pub slices_deferred: u64,
+    /// Retained checkpoints reclaimed by the eviction ladder.
+    pub checkpoints_dropped: u64,
+    /// Slice code caches flushed by the eviction ladder.
+    pub caches_evicted: u64,
     /// Whether the two `SuperPinReport`s compared equal field-for-field.
     pub identical: bool,
 }
@@ -105,6 +114,7 @@ fn timed_run(
     scale: Scale,
     threads: usize,
     supervise: bool,
+    mem_budget: Option<u64>,
     name: &str,
 ) -> (f64, SuperPinReport, HostProfile) {
     let shared = SharedMem::new();
@@ -113,27 +123,43 @@ fn timed_run(
     if supervise {
         cfg = cfg.with_supervision();
     }
+    if let Some(budget) = mem_budget {
+        cfg = cfg.with_mem_budget(budget);
+    }
     let start = Instant::now();
     let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
     (start.elapsed().as_secs_f64() * 1e3, report, profile)
 }
 
-/// Runs the serial/parallel wall-clock comparison over `names`.
+/// Runs the serial/parallel wall-clock comparison over `names`. A
+/// `mem_budget` applies to every run, so the `identical` column also
+/// witnesses that governed admission is thread-count invariant.
 ///
 /// # Panics
 ///
 /// Panics on unknown benchmark names or simulator errors.
-pub fn run_parallel_bench(scale: Scale, names: &[&str]) -> Vec<ParallelRow> {
+pub fn run_parallel_bench(
+    scale: Scale,
+    names: &[&str],
+    mem_budget: Option<u64>,
+) -> Vec<ParallelRow> {
     names
         .iter()
         .map(|name| {
             let spec = find(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
             let program = spec.build(scale);
-            let (wall_ms_serial, serial, profile) = timed_run(&program, scale, 1, false, spec.name);
-            let (wall_ms_parallel, parallel, _) =
-                timed_run(&program, scale, PARALLEL_THREADS, false, spec.name);
+            let (wall_ms_serial, serial, profile) =
+                timed_run(&program, scale, 1, false, mem_budget, spec.name);
+            let (wall_ms_parallel, parallel, _) = timed_run(
+                &program,
+                scale,
+                PARALLEL_THREADS,
+                false,
+                mem_budget,
+                spec.name,
+            );
             let (wall_ms_supervised, supervised, _) =
-                timed_run(&program, scale, 1, true, spec.name);
+                timed_run(&program, scale, 1, true, mem_budget, spec.name);
             ParallelRow {
                 name: spec.name,
                 slices: serial.slice_count(),
@@ -144,7 +170,15 @@ pub fn run_parallel_bench(scale: Scale, names: &[&str]) -> Vec<ParallelRow> {
                 wall_ms_supervised,
                 slice_fraction: profile.slice_fraction(),
                 modeled_speedup: profile.modeled_speedup(PARALLEL_THREADS),
-                identical: serial == parallel && serial == supervised,
+                peak_resident_bytes: serial.peak_resident_bytes,
+                slices_deferred: serial.slices_deferred,
+                checkpoints_dropped: serial.checkpoints_dropped,
+                caches_evicted: serial.caches_evicted,
+                // Thread-count invariance must hold budgeted or not; the
+                // supervised run only joins the comparison unbudgeted,
+                // because retained checkpoints are *charged* bytes and
+                // legitimately shift governed admission decisions.
+                identical: serial == parallel && (mem_budget.is_some() || serial == supervised),
             }
         })
         .collect()
@@ -193,7 +227,9 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
              \"wall_ms_threads1\":{:.2},\"wall_ms_threads{}\":{:.2},\
              \"wall_ms_supervised\":{:.2},\"supervisor_overhead\":{:.3},\
              \"speedup\":{:.3},\"slice_fraction\":{:.3},\
-             \"modeled_speedup_threads{}\":{:.3},\"identical\":{}}}",
+             \"modeled_speedup_threads{}\":{:.3},\
+             \"peak_resident_bytes\":{},\"slices_deferred\":{},\
+             \"checkpoints_dropped\":{},\"caches_evicted\":{},\"identical\":{}}}",
             row.name,
             row.slices,
             row.epochs,
@@ -207,6 +243,10 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             row.slice_fraction,
             PARALLEL_THREADS,
             row.modeled_speedup,
+            row.peak_resident_bytes,
+            row.slices_deferred,
+            row.checkpoints_dropped,
+            row.caches_evicted,
             row.identical,
         );
     }
@@ -297,6 +337,10 @@ mod tests {
                 wall_ms_supervised: 420.0,
                 slice_fraction: 0.75,
                 modeled_speedup: 2.29,
+                peak_resident_bytes: 262_144,
+                slices_deferred: 3,
+                checkpoints_dropped: 2,
+                caches_evicted: 1,
                 identical: true,
             },
             ParallelRow {
@@ -309,6 +353,10 @@ mod tests {
                 wall_ms_supervised: 303.0,
                 slice_fraction: 0.60,
                 modeled_speedup: 1.82,
+                peak_resident_bytes: 0,
+                slices_deferred: 0,
+                checkpoints_dropped: 0,
+                caches_evicted: 0,
                 identical: true,
             },
         ]
@@ -327,6 +375,10 @@ mod tests {
         assert!(json.contains("\"wall_ms_supervised\":420.00"));
         assert!(json.contains("\"supervisor_overhead\":1.050"));
         assert!(json.contains("\"geomean_supervisor_overhead\":"));
+        assert!(json.contains("\"peak_resident_bytes\":262144"));
+        assert!(json.contains("\"slices_deferred\":3"));
+        assert!(json.contains("\"checkpoints_dropped\":2"));
+        assert!(json.contains("\"caches_evicted\":1"));
         assert!(json.contains("\"identical\":true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

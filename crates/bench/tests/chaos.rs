@@ -176,6 +176,54 @@ fn fork_and_publish_failpoints_are_absorbed_in_place() {
 }
 
 #[test]
+fn allocation_chaos_under_memory_pressure_recovers_bit_identically() {
+    // The chaos × pressure interaction: `vm.mem.alloc` injects a
+    // transient allocation failure into the COW fork path while a tight
+    // `--mem-budget` is simultaneously walking the eviction ladder
+    // (dropping checkpoints, evicting caches, deferring forks). The
+    // retry ladder must absorb the fault without perturbing a single
+    // governed decision — the baseline here is the *budgeted* supervised
+    // run, and the memory counters are compared unscrubbed.
+    let budget = 192 * 1024;
+    let spec = catalog().iter().find(|s| s.name == "gcc").expect("catalog");
+    let (_, count_plain) = run(spec, config());
+    let base_cfg = config().with_supervision().with_mem_budget(budget);
+    let (base, count_base) = run(spec, base_cfg);
+    assert!(
+        base.caches_evicted > 0 && base.checkpoints_dropped > 0,
+        "budget too loose: the ladder never engaged, the test is vacuous"
+    );
+    assert_eq!(count_plain, count_base, "pressure alone changed the merge");
+    for threads in [1usize, 4] {
+        // A pinpoint transient fault on the first allocation...
+        let plan = FailPlan::new(6, 0.0).with_site(Site::VmMemAlloc, SiteMode::Nth(1));
+        let cfg = config()
+            .with_mem_budget(budget)
+            .with_threads(threads)
+            .with_chaos(plan);
+        let (got, count) = run(spec, cfg);
+        assert!(
+            got.slice_retries >= 1,
+            "vm.mem.alloc failpoint never fired (threads={threads})"
+        );
+        assert_recovery_invisible(spec.name, "alloc fault under pressure", &base, &got);
+        assert_eq!(count_base, count, "merged icount differs under pressure");
+
+        // ...and broadband random chaos over every site at once.
+        let cfg = config()
+            .with_mem_budget(budget)
+            .with_threads(threads)
+            .with_chaos(FailPlan::new(7, 0.05));
+        let (got, count) = run(spec, cfg);
+        assert_recovery_invisible(spec.name, "random chaos under pressure", &base, &got);
+        assert_eq!(
+            count_base, count,
+            "merged icount differs under random chaos"
+        );
+    }
+}
+
+#[test]
 fn supervision_without_chaos_changes_nothing() {
     // The supervisor alone (checkpoints, journals, watchdogs) must be
     // invisible: same report, zero retries.

@@ -93,6 +93,17 @@ pub struct SuperPinConfig {
     /// Retries per slice before it degrades to serial re-execution
     /// pinned to the supervisor thread.
     pub max_slice_retries: u32,
+    /// Simulated resident-memory budget in bytes (`--mem-budget`).
+    /// `None` — the default — builds no governor and changes nothing:
+    /// reports are field-identical to an unbudgeted build. When set, the
+    /// runner charges COW page copies, per-slice code caches, retained
+    /// checkpoints, and shared-index snapshots against the budget,
+    /// defers slice forks under pressure, and walks the eviction ladder
+    /// (drop checkpoints → evict cold caches → degrade to inline
+    /// serial). The same budget also becomes the guest kernel's
+    /// per-process allocation limit: `brk`/`mmap` past it return ENOMEM
+    /// to the guest instead of growing the space.
+    pub mem_budget: Option<u64>,
 }
 
 impl SuperPinConfig {
@@ -119,6 +130,7 @@ impl SuperPinConfig {
             supervise: false,
             watchdog_factor: 8,
             max_slice_retries: 2,
+            mem_budget: None,
         }
     }
 
@@ -198,6 +210,13 @@ impl SuperPinConfig {
     /// Sets the per-slice retry budget before degradation.
     pub fn with_max_slice_retries(mut self, retries: u32) -> SuperPinConfig {
         self.max_slice_retries = retries;
+        self
+    }
+
+    /// Arms the memory governor with a resident-byte budget
+    /// (`--mem-budget`; see [`SuperPinConfig::mem_budget`]).
+    pub fn with_mem_budget(mut self, budget: u64) -> SuperPinConfig {
+        self.mem_budget = Some(budget);
         self
     }
 

@@ -62,6 +62,14 @@ pub enum SpError {
         /// The terminal failure.
         cause: Box<SpError>,
     },
+    /// A slice needed its wake-time checkpoint rebuilt, but the memory
+    /// governor had already reclaimed it. The eviction ladder only drops
+    /// checkpoints of committed (Done) slices, which are never condemned,
+    /// so this error indicates a supervision bug.
+    CheckpointDropped {
+        /// The slice whose checkpoint was reclaimed.
+        slice: u32,
+    },
 }
 
 impl fmt::Display for SpError {
@@ -92,6 +100,9 @@ impl fmt::Display for SpError {
             SpError::Unrecoverable { slice, cause } => {
                 write!(f, "slice {slice} unrecoverable after retries: {cause}")
             }
+            SpError::CheckpointDropped { slice } => {
+                write!(f, "slice {slice} checkpoint was reclaimed under memory pressure")
+            }
         }
     }
 }
@@ -101,6 +112,7 @@ impl std::error::Error for SpError {
         match self {
             SpError::Vm(err) => Some(err),
             SpError::Mem(err) => Some(err),
+            SpError::Unrecoverable { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }
@@ -115,5 +127,62 @@ impl From<VmError> for SpError {
 impl From<MemError> for SpError {
     fn from(err: MemError) -> SpError {
         SpError::Mem(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    /// Walks `source()` links, collecting each level's message.
+    fn chain(err: &dyn std::error::Error) -> Vec<String> {
+        let mut out = vec![err.to_string()];
+        let mut cursor = err.source();
+        while let Some(inner) = cursor {
+            out.push(inner.to_string());
+            cursor = inner.source();
+        }
+        out
+    }
+
+    #[test]
+    fn unrecoverable_chains_through_to_the_root_cause() {
+        let root = MemError::OutOfMemory {
+            requested: 0x1000,
+            limit: 0x2000,
+        };
+        let err = SpError::Unrecoverable {
+            slice: 7,
+            cause: Box::new(SpError::Vm(VmError::Mem(root))),
+        };
+        let messages = chain(&err);
+        assert_eq!(messages.len(), 4, "chain: {messages:?}");
+        assert!(messages[0].contains("slice 7 unrecoverable"));
+        assert!(messages[1].contains("guest execution error"));
+        assert!(messages[2].contains("memory fault"));
+        assert!(messages[3].contains("out of memory"));
+    }
+
+    #[test]
+    fn leaf_errors_have_no_source() {
+        assert!(SpError::NoProgress.source().is_none());
+        assert!(SpError::WorkerLost { worker: 2 }.source().is_none());
+        assert!(SpError::CheckpointDropped { slice: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn vm_and_mem_variants_expose_their_source() {
+        let vm = SpError::Vm(VmError::ProcessExited);
+        assert_eq!(
+            vm.source().expect("vm source").to_string(),
+            VmError::ProcessExited.to_string()
+        );
+        let mem = SpError::Mem(MemError::Unmapped(0x10));
+        assert!(mem
+            .source()
+            .expect("mem source")
+            .to_string()
+            .contains("unmapped"));
     }
 }

@@ -1,0 +1,212 @@
+//! Memory-pressure governance: a deterministic byte-budget ledger over
+//! the simulation's resident memory (see DESIGN.md §4.9).
+//!
+//! SuperPin's fork-per-timeslice design multiplies a program's footprint:
+//! every live slice holds COW-diverged pages, a private code cache, and —
+//! under supervision — a materialized wake-time checkpoint. On a real
+//! machine that pressure manifests as swap or OOM kills; here it is
+//! modeled as a **byte budget** (`--mem-budget`) that the epoch loop
+//! enforces with admission control and a three-rung eviction ladder:
+//!
+//! 1. **Drop retained checkpoints** of committed (`Done`, unmerged)
+//!    slices. A committed slice is never condemned, so its checkpoint is
+//!    pure insurance the run no longer needs.
+//! 2. **Evict cold code caches** of live slices, coldest first (LRU by
+//!    the slice's last-active virtual time). Costs re-JIT cycles, which
+//!    the supervisor journals so rebuilds stay bit-identical.
+//! 3. **Defer or degrade the fork.** If any live slice can still free
+//!    memory by completing, the fork is deferred to a later epoch
+//!    (backpressure — the master stalls exactly like a max-slices
+//!    stall). Otherwise deferring would deadlock — a slice only wakes
+//!    when the *next* slice is forked — so the fork is admitted but the
+//!    new slice is degraded to inline serial execution, mirroring the
+//!    supervisor's degrade rung.
+//!
+//! Every input to these decisions (page counters, cache occupancy,
+//! checkpoint footprints, virtual timestamps) is simulated state, and
+//! every decision is taken at a control step or epoch barrier on the
+//! supervisor thread. For a fixed budget, reports are therefore
+//! bit-identical across host thread counts; with no budget the governor
+//! is never built and the run is field-identical to an ungoverned one.
+
+use std::collections::HashSet;
+
+/// Simulated bytes charged per instruction resident in a slice's code
+/// cache (compiled trace bodies plus side tables).
+pub const COMPILED_INST_BYTES: u64 = 64;
+
+/// Simulated bytes charged per pc in a shared-code-cache index snapshot.
+pub const SNAPSHOT_ENTRY_BYTES: u64 = 8;
+
+/// Flat simulated cost of admitting one fork (kernel structures and page
+/// tables for the child), charged up front by the admission check.
+pub const FORK_COST_BYTES: u64 = 4096;
+
+/// The byte-budget ledger and its pressure counters.
+///
+/// The governor owns the *decision state* (budget, peak, episode flags,
+/// its own degraded set); the eviction ladder itself lives in the runner,
+/// which holds the slices, supervisor, and shared state the rungs act on.
+#[derive(Clone, Debug)]
+pub struct MemoryGovernor {
+    budget: u64,
+    /// High-water mark of observed resident usage.
+    pub peak_resident_bytes: u64,
+    /// Fork-deferral episodes (one per continuous stretch of deferrals,
+    /// matching the runner's stall-episode accounting).
+    pub slices_deferred: u64,
+    /// Checkpoints reclaimed by ladder rung 1.
+    pub checkpoints_dropped: u64,
+    /// Code caches flushed by ladder rung 2.
+    pub caches_evicted: u64,
+    /// Slices this governor admitted degraded-to-inline (ladder rung 3).
+    /// Tracked here — not only in the supervisor — because a budget can
+    /// be set without supervision.
+    degraded: HashSet<u32>,
+    /// Total rung-3 degradations, surviving merge-time release.
+    degraded_total: u64,
+    /// Whether the master is currently inside a deferral episode.
+    deferring: bool,
+}
+
+impl MemoryGovernor {
+    /// A governor enforcing `budget` simulated resident bytes.
+    pub fn new(budget: u64) -> MemoryGovernor {
+        MemoryGovernor {
+            budget,
+            peak_resident_bytes: 0,
+            slices_deferred: 0,
+            checkpoints_dropped: 0,
+            caches_evicted: 0,
+            degraded: HashSet::new(),
+            degraded_total: 0,
+            deferring: false,
+        }
+    }
+
+    /// The configured budget in simulated bytes.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Records an observed usage sample, updating the high-water mark.
+    pub fn observe(&mut self, usage: u64) {
+        self.peak_resident_bytes = self.peak_resident_bytes.max(usage);
+    }
+
+    /// Whether charging `extra` more bytes on top of `usage` would
+    /// exceed the budget.
+    pub fn over_budget(&self, usage: u64, extra: u64) -> bool {
+        usage.saturating_add(extra) > self.budget
+    }
+
+    /// Enters (or continues) a deferral episode. Episodes are counted
+    /// once per continuous stretch, like the runner's stall events.
+    pub fn note_deferral(&mut self) {
+        if !self.deferring {
+            self.deferring = true;
+            self.slices_deferred += 1;
+        }
+    }
+
+    /// Ends the current deferral episode (the fork was admitted).
+    pub fn end_deferral(&mut self) {
+        self.deferring = false;
+    }
+
+    /// Whether a deferral episode is in progress (the planner keeps
+    /// epochs short while it is, so admission is re-checked promptly).
+    pub fn is_deferring(&self) -> bool {
+        self.deferring
+    }
+
+    /// Counts a rung-1 checkpoint reclamation.
+    pub fn note_checkpoint_dropped(&mut self) {
+        self.checkpoints_dropped += 1;
+    }
+
+    /// Counts a rung-2 cache flush.
+    pub fn note_cache_evicted(&mut self) {
+        self.caches_evicted += 1;
+    }
+
+    /// Marks a slice admitted under rung 3: it runs inline on the
+    /// supervisor thread (bounded live memory) for its whole life.
+    pub fn degrade(&mut self, num: u32) {
+        if self.degraded.insert(num) {
+            self.degraded_total += 1;
+        }
+    }
+
+    /// Whether the governor pinned this slice inline.
+    pub fn is_degraded(&self, num: u32) -> bool {
+        self.degraded.contains(&num)
+    }
+
+    /// Slice numbers currently pinned inline by the governor.
+    pub fn degraded_set(&self) -> HashSet<u32> {
+        self.degraded.clone()
+    }
+
+    /// Total slices ever degraded by rung 3 (merge-time release does not
+    /// roll this back; it feeds the report's `slices_degraded`).
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_total
+    }
+
+    /// Forgets a merged slice's degraded pin.
+    pub fn release(&mut self, num: u32) {
+        self.degraded.remove(&num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_a_high_water_mark() {
+        let mut gov = MemoryGovernor::new(1000);
+        gov.observe(10);
+        gov.observe(500);
+        gov.observe(200);
+        assert_eq!(gov.peak_resident_bytes, 500);
+    }
+
+    #[test]
+    fn over_budget_is_inclusive_of_the_charge_and_saturates() {
+        let gov = MemoryGovernor::new(1000);
+        assert!(!gov.over_budget(900, 100), "exactly at budget fits");
+        assert!(gov.over_budget(900, 101));
+        assert!(gov.over_budget(u64::MAX, 1), "no overflow wraparound");
+        assert!(!MemoryGovernor::new(u64::MAX).over_budget(u64::MAX - 1, 1));
+    }
+
+    #[test]
+    fn deferral_episodes_count_once_per_stretch() {
+        let mut gov = MemoryGovernor::new(0);
+        gov.note_deferral();
+        gov.note_deferral();
+        gov.note_deferral();
+        assert_eq!(gov.slices_deferred, 1, "one continuous episode");
+        assert!(gov.is_deferring());
+        gov.end_deferral();
+        assert!(!gov.is_deferring());
+        gov.note_deferral();
+        assert_eq!(gov.slices_deferred, 2, "new stretch, new episode");
+    }
+
+    #[test]
+    fn degraded_total_survives_release() {
+        let mut gov = MemoryGovernor::new(0);
+        gov.degrade(3);
+        gov.degrade(3); // idempotent
+        assert!(gov.is_degraded(3));
+        assert_eq!(gov.degraded_total(), 1);
+        gov.release(3);
+        assert!(!gov.is_degraded(3));
+        assert_eq!(gov.degraded_total(), 1, "history is not rolled back");
+        gov.degrade(4);
+        assert_eq!(gov.degraded_total(), 2);
+    }
+}

@@ -84,6 +84,7 @@ pub mod api;
 pub mod baseline;
 pub mod bubble;
 pub mod config;
+pub mod governor;
 pub mod master;
 pub mod report;
 pub mod runner;
@@ -99,6 +100,7 @@ mod error;
 pub use api::SuperTool;
 pub use config::SuperPinConfig;
 pub use error::SpError;
+pub use governor::MemoryGovernor;
 pub use report::{SliceReport, SuperPinReport, TimeBreakdown};
 pub use runner::{HostProfile, SuperPinRunner};
 pub use shared::{AreaId, AutoMerge, SharedArea, SharedMem};

@@ -98,6 +98,21 @@ pub struct SuperPinReport {
     /// Slices that exhausted their retry budget and finished pinned to
     /// the supervisor thread with injection disabled.
     pub slices_degraded: u64,
+    /// High-water mark of governed resident bytes (master + slice
+    /// private pages + code caches + retained checkpoints + shared
+    /// state). 0 when no `--mem-budget` is set — the governor is not
+    /// built and charges nothing.
+    pub peak_resident_bytes: u64,
+    /// Fork-deferral episodes: times the master stalled because
+    /// admitting the next slice would exceed the memory budget even
+    /// after walking the eviction ladder. 0 without a budget.
+    pub slices_deferred: u64,
+    /// Retained recovery checkpoints reclaimed by the eviction ladder's
+    /// first rung. 0 without a budget.
+    pub checkpoints_dropped: u64,
+    /// Slice code caches flushed by the eviction ladder's second rung
+    /// (coldest first, by last-active quantum). 0 without a budget.
+    pub caches_evicted: u64,
 }
 
 impl SuperPinReport {

@@ -40,6 +40,7 @@ use crate::api::SuperTool;
 use crate::bubble::Bubble;
 use crate::config::SuperPinConfig;
 use crate::error::SpError;
+use crate::governor::{MemoryGovernor, COMPILED_INST_BYTES, FORK_COST_BYTES, SNAPSHOT_ENTRY_BYTES};
 use crate::master::{MasterEvent, MasterRuntime};
 use crate::report::{SliceReport, SuperPinReport, TimeBreakdown};
 use crate::shared::SharedMem;
@@ -60,6 +61,23 @@ use superpin_vm::VmError;
 enum PendingFork {
     Timer,
     Syscall,
+}
+
+/// Outcome of the memory governor's admission check for one fork.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Admission {
+    /// The fork fits the budget (possibly after walking the eviction
+    /// ladder).
+    Admit,
+    /// Over budget with nothing left to evict and nothing running that
+    /// could free memory by completing: admit the fork but pin the new
+    /// slice to inline serial execution (ladder rung 3). Deferring here
+    /// would deadlock — a slice only wakes when the *next* fork records
+    /// its boundary.
+    AdmitDegraded,
+    /// Over budget while live slices can still complete and free their
+    /// footprint: stall the master and re-check at a later barrier.
+    Defer,
 }
 
 /// One epoch's worth of work for one **worker**: its whole share of the
@@ -179,6 +197,12 @@ pub struct SuperPinRunner<T: SuperTool> {
     /// Checkpoint/retry supervisor; present when supervision is enabled
     /// explicitly or implied by an armed chaos plan.
     supervisor: Option<SliceSupervisor<T>>,
+    /// Memory-pressure governor (`--mem-budget`); `None` costs nothing
+    /// and leaves every report field identical to an ungoverned run.
+    governor: Option<MemoryGovernor>,
+    /// Entry count of the last shared-index snapshot handed to slices,
+    /// charged against the budget at `SNAPSHOT_ENTRY_BYTES` each.
+    last_snapshot_entries: u64,
 }
 
 impl<T: SuperTool> SuperPinRunner<T> {
@@ -197,6 +221,11 @@ impl<T: SuperTool> SuperPinRunner<T> {
     ) -> Result<SuperPinRunner<T>, SpError> {
         let mut master_process = process;
         let bubble = Bubble::reserve(&mut master_process.mem)?;
+        // The budget doubles as the guest kernel's per-process allocation
+        // limit: brk/mmap past it return ENOMEM to the guest. Slices
+        // inherit the limit through fork.
+        master_process.mem.set_mem_limit(cfg.mem_budget);
+        let governor = cfg.mem_budget.map(MemoryGovernor::new);
         let fault = cfg.chaos.map(|plan| Arc::new(FailpointRegistry::new(plan)));
         master_process.set_fault_registry(fault.clone());
         let supervisor = cfg
@@ -234,6 +263,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
             host_profile: HostProfile::default(),
             fault,
             supervisor,
+            governor,
+            last_snapshot_entries: 0,
         })
     }
 
@@ -248,6 +279,162 @@ impl<T: SuperTool> SuperPinRunner<T> {
     /// grows by one; the limit is the `-spmp` maximum of running slices.
     fn can_fork(&self) -> bool {
         self.running_count() < self.cfg.max_slices
+    }
+
+    /// The governed resident-byte ledger, recomputed from scratch at
+    /// every decision point (never incrementally, so there is no drift
+    /// to go non-deterministic): the master's full resident set, each
+    /// live slice's private pages and code cache, retained supervisor
+    /// checkpoints, the last shared-index snapshot, and the shared
+    /// merge segment. Every term is simulated state.
+    fn resident_usage(&self) -> u64 {
+        let mut usage = self.master.process().mem.resident_bytes();
+        for slice in &self.live {
+            usage += slice.private_resident_bytes();
+            usage += slice.cache_resident_insts() as u64 * COMPILED_INST_BYTES;
+        }
+        if let Some(sup) = &self.supervisor {
+            usage += sup.retained_checkpoint_bytes();
+        }
+        usage += self.last_snapshot_entries * SNAPSHOT_ENTRY_BYTES;
+        usage += self.shared.resident_bytes();
+        usage
+    }
+
+    /// Samples the ledger into the governor's high-water mark. A no-op
+    /// (not even a ledger walk) when no budget is set.
+    fn observe_usage(&mut self) {
+        if self.governor.is_some() {
+            let usage = self.resident_usage();
+            if let Some(gov) = self.governor.as_mut() {
+                gov.observe(usage);
+            }
+        }
+    }
+
+    /// Bytes the next fork will charge up front: the flat fork cost
+    /// plus — under supervision — the materialized checkpoint of the
+    /// currently sleeping slice, which `guard` deep-copies the moment
+    /// the fork wakes it.
+    fn fork_estimate(&self) -> u64 {
+        let checkpoint = if self.supervisor.is_some() {
+            self.live
+                .back()
+                .filter(|prev| prev.state() == SliceState::Sleeping)
+                .map_or(0, SliceRuntime::full_resident_bytes)
+        } else {
+            0
+        };
+        FORK_COST_BYTES + checkpoint
+    }
+
+    /// Memory-governed admission check for one fork, walking the
+    /// eviction ladder under pressure (see the `governor` module docs).
+    /// Called only when a slot is free; always [`Admission::Admit`]
+    /// without a budget. Deterministic: every input is simulated state
+    /// and the check runs at control steps on the supervisor thread.
+    fn admit_fork(&mut self) -> Admission {
+        if self.governor.is_none() {
+            return Admission::Admit;
+        }
+        let est = self.fork_estimate();
+        let mut usage = self.resident_usage();
+        let gov = self.governor.as_mut().expect("governor present");
+        gov.observe(usage);
+        if !gov.over_budget(usage, est) {
+            gov.end_deferral();
+            return Admission::Admit;
+        }
+        // Rung 1: drop retained checkpoints of committed slices. A
+        // `Done` slice is never condemned, so its checkpoint is pure
+        // insurance the run no longer needs.
+        let done: Vec<u32> = if self.supervisor.is_some() {
+            self.live
+                .iter()
+                .filter(|slice| slice.state() == SliceState::Done)
+                .map(SliceRuntime::num)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for num in done {
+            if !self
+                .governor
+                .as_ref()
+                .expect("governor present")
+                .over_budget(usage, est)
+            {
+                break;
+            }
+            let Some(sup) = self.supervisor.as_mut() else {
+                break;
+            };
+            let freed = sup.drop_checkpoint(num);
+            if freed > 0 {
+                usage = usage.saturating_sub(freed);
+                self.governor
+                    .as_mut()
+                    .expect("governor present")
+                    .note_checkpoint_dropped();
+            }
+        }
+        // Rung 2: flush cold code caches, coldest first (LRU by the
+        // slice's last-active virtual time; slice number breaks ties).
+        // Journaled so a condemned slice's rebuild replays the eviction
+        // at the same point in its schedule.
+        let mut cold: Vec<(u64, u32)> = self
+            .live
+            .iter()
+            .filter(|slice| slice.cache_resident_insts() > 0)
+            .map(|slice| (slice.last_active_cycles(), slice.num()))
+            .collect();
+        cold.sort_unstable();
+        for (_, num) in cold {
+            if !self
+                .governor
+                .as_ref()
+                .expect("governor present")
+                .over_budget(usage, est)
+            {
+                break;
+            }
+            let slice = self
+                .live
+                .iter_mut()
+                .find(|slice| slice.num() == num)
+                .expect("eviction candidate is live");
+            let freed_insts = slice.evict_code_cache();
+            if freed_insts > 0 {
+                usage = usage.saturating_sub(freed_insts as u64 * COMPILED_INST_BYTES);
+                if let Some(sup) = &mut self.supervisor {
+                    sup.journal_evict(num);
+                }
+                self.governor
+                    .as_mut()
+                    .expect("governor present")
+                    .note_cache_evicted();
+            }
+        }
+        let gov = self.governor.as_mut().expect("governor present");
+        if !gov.over_budget(usage, est) {
+            gov.end_deferral();
+            return Admission::Admit;
+        }
+        // Rung 3: still over budget. Defer while anything non-sleeping
+        // can free memory by completing; otherwise deferring deadlocks
+        // (the back slice only wakes at the next fork), so admit the
+        // fork degraded to inline serial execution.
+        if self
+            .live
+            .iter()
+            .any(|slice| slice.state() != SliceState::Sleeping)
+        {
+            gov.note_deferral();
+            Admission::Defer
+        } else {
+            gov.end_deferral();
+            Admission::AdmitDegraded
+        }
     }
 
     /// Forks a new slice from the master's current state and wakes the
@@ -361,6 +548,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
             if let Some(sup) = &mut self.supervisor {
                 sup.release(num);
             }
+            if let Some(gov) = &mut self.governor {
+                gov.release(num);
+            }
             slice.tool_mut().inner.on_slice_end(num, &self.shared);
             slice.set_merged();
             self.sig_stats.absorb(&slice.tool().sig_stats);
@@ -379,29 +569,54 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
     }
 
+    /// Stalls the master on a fork it cannot take yet (no free slot, or
+    /// the memory governor deferred admission), counting one stall
+    /// episode per continuous stretch.
+    fn stall_fork(&mut self, pending: PendingFork) {
+        if self.stalled.is_none() {
+            self.stall_events += 1;
+        }
+        self.stalled = Some(pending);
+    }
+
+    /// Marks the slice about to be forked as governor-degraded
+    /// (eviction-ladder rung 3): it will run pinned to the supervisor
+    /// thread for its whole life, like a supervisor-degraded slice.
+    fn pin_next_fork(&mut self) {
+        let num = self.next_slice_num;
+        if let Some(gov) = self.governor.as_mut() {
+            gov.degrade(num);
+        }
+    }
+
     /// Handles fork triggers at an epoch barrier: resolves a pending
     /// forced-fork syscall, or performs a timer fork, stalling the master
-    /// when no slot is free.
+    /// when no slot is free or the memory governor defers admission.
     fn control_step(&mut self) -> Result<(), SpError> {
         if self.master.exited() {
             self.stalled = None;
             return Ok(());
         }
         if self.master.pending_force() {
-            if self.can_fork() {
-                self.stalled = None;
-                let cycles = self.master.resolve_forced_syscall(self.now, &self.cfg)?;
-                self.master_debt += cycles;
-                self.forks_on_syscall += 1;
-                self.fork_slice(Some(Boundary::SyscallEnd))?;
-                if self.master.exited() {
-                    self.note_master_exit(self.now);
+            if !self.can_fork() {
+                self.stall_fork(PendingFork::Syscall);
+                return Ok(());
+            }
+            match self.admit_fork() {
+                Admission::Defer => self.stall_fork(PendingFork::Syscall),
+                admission => {
+                    self.stalled = None;
+                    if admission == Admission::AdmitDegraded {
+                        self.pin_next_fork();
+                    }
+                    let cycles = self.master.resolve_forced_syscall(self.now, &self.cfg)?;
+                    self.master_debt += cycles;
+                    self.forks_on_syscall += 1;
+                    self.fork_slice(Some(Boundary::SyscallEnd))?;
+                    if self.master.exited() {
+                        self.note_master_exit(self.now);
+                    }
                 }
-            } else {
-                if self.stalled.is_none() {
-                    self.stall_events += 1;
-                }
-                self.stalled = Some(PendingFork::Syscall);
             }
             return Ok(());
         }
@@ -412,16 +627,21 @@ impl<T: SuperTool> SuperPinRunner<T> {
         // state).
         let progressed = self.master.process().inst_count() > self.master_insts_at_last_fork;
         if progressed && self.now.saturating_sub(self.last_fork) >= timeslice {
-            if self.can_fork() {
-                self.stalled = None;
-                let signature = Signature::capture(self.master.process());
-                self.forks_on_timeout += 1;
-                self.fork_slice(Some(Boundary::Signature(Box::new(signature))))?;
-            } else {
-                if self.stalled.is_none() {
-                    self.stall_events += 1;
+            if !self.can_fork() {
+                self.stall_fork(PendingFork::Timer);
+                return Ok(());
+            }
+            match self.admit_fork() {
+                Admission::Defer => self.stall_fork(PendingFork::Timer),
+                admission => {
+                    self.stalled = None;
+                    if admission == Admission::AdmitDegraded {
+                        self.pin_next_fork();
+                    }
+                    let signature = Signature::capture(self.master.process());
+                    self.forks_on_timeout += 1;
+                    self.fork_slice(Some(Boundary::Signature(Box::new(signature))))?;
                 }
-                self.stalled = Some(PendingFork::Timer);
             }
         } else {
             self.stalled = None;
@@ -507,12 +727,17 @@ impl<T: SuperTool> SuperPinRunner<T> {
     ) -> Result<Vec<(u32, SpError)>, SpError> {
         let budget_of = |num: u32| budgets.iter().find(|&&(n, _)| n == num).map(|&(_, b)| b);
         let supervising = self.supervisor.is_some();
-        // Degraded slices are pinned to the supervisor thread.
-        let pinned = self
+        // Degraded slices are pinned to the supervisor thread — both the
+        // supervisor's retry-exhausted slices and the governor's
+        // pressure-degraded admissions.
+        let mut pinned = self
             .supervisor
             .as_ref()
             .map(SliceSupervisor::degraded_set)
             .unwrap_or_default();
+        if let Some(gov) = &self.governor {
+            pinned.extend(gov.degraded_set());
+        }
         let poolable = self
             .live
             .iter()
@@ -785,6 +1010,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             index.publish(fresh);
         }
         let snapshot = index.snapshot();
+        self.last_snapshot_entries = snapshot.len() as u64;
         for slice in self.live.iter_mut() {
             slice.enter_shared_epoch(Arc::clone(&snapshot));
             if let Some(sup) = &mut self.supervisor {
@@ -921,9 +1147,18 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 .collect();
 
             // Plan the epoch: next fork deadline and predicted slice
-            // completions, all from virtual state only.
+            // completions, all from virtual state only. While the
+            // governor is deferring a fork, keep epochs short so
+            // admission is re-checked promptly once running slices merge
+            // and free their footprint.
             let deadline = if master_runnable {
                 self.fork_deadline_quanta(quantum)
+            } else if self
+                .governor
+                .as_ref()
+                .is_some_and(MemoryGovernor::is_deferring)
+            {
+                Some(self.planner.deferral_review_quanta())
             } else {
                 None
             };
@@ -997,6 +1232,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             self.supervise_barrier(failures)?;
             self.now += epoch_len * quantum;
             self.sync_shared_cache();
+            self.observe_usage();
             self.merge_ready();
             self.host_profile.supervisor_ns += barrier_start.elapsed().as_nanos() as u64;
         }
@@ -1036,7 +1272,21 @@ impl<T: SuperTool> SuperPinRunner<T> {
             slices_degraded: self
                 .supervisor
                 .as_ref()
-                .map_or(0, |sup| sup.slices_degraded),
+                .map_or(0, |sup| sup.slices_degraded)
+                + self
+                    .governor
+                    .as_ref()
+                    .map_or(0, MemoryGovernor::degraded_total),
+            peak_resident_bytes: self
+                .governor
+                .as_ref()
+                .map_or(0, |gov| gov.peak_resident_bytes),
+            slices_deferred: self.governor.as_ref().map_or(0, |gov| gov.slices_deferred),
+            checkpoints_dropped: self
+                .governor
+                .as_ref()
+                .map_or(0, |gov| gov.checkpoints_dropped),
+            caches_evicted: self.governor.as_ref().map_or(0, |gov| gov.caches_evicted),
         })
     }
 }

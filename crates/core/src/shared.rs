@@ -169,6 +169,22 @@ impl SharedMem {
     pub fn output(&self) -> Vec<u8> {
         self.output.lock().expect("mutex poisoned").clone()
     }
+
+    /// Simulated resident bytes of the shared segment: every area's
+    /// words plus the buffered merge output. Charged against the memory
+    /// governor's budget; a pure function of simulated state, so it is
+    /// identical across host thread counts.
+    pub fn resident_bytes(&self) -> u64 {
+        let words: usize = self
+            .areas
+            .lock()
+            .expect("mutex poisoned")
+            .iter()
+            .map(|area| area.len())
+            .sum();
+        let output = self.output.lock().expect("mutex poisoned").len();
+        (words as u64) * 8 + output as u64
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +240,16 @@ mod tests {
         clone.area(id).add(0, 42);
         assert_eq!(mem.area(id).read(0), 42);
         assert_eq!(mem.area_count(), clone.area_count());
+    }
+
+    #[test]
+    fn resident_bytes_counts_areas_and_output() {
+        let mem = SharedMem::new();
+        assert_eq!(mem.resident_bytes(), 0);
+        mem.create_area(4, AutoMerge::Add);
+        mem.create_area(2, AutoMerge::Manual);
+        mem.append_output(b"abc");
+        assert_eq!(mem.resident_bytes(), 6 * 8 + 3);
     }
 
     #[test]

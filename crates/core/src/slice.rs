@@ -214,6 +214,11 @@ pub struct SliceRuntime<T: SuperTool> {
     /// exactly once the slice wakes (the master already ran it natively).
     /// Feeds the epoch planner's completion prediction.
     span_insts: Option<u64>,
+    /// Virtual time of the slice's most recent [`advance`]
+    /// (SliceRuntime::advance). The memory governor's eviction ladder
+    /// uses this as its coldness key (LRU by simulated quantum), so it
+    /// must be — and is — a pure function of simulated state.
+    last_active_cycles: u64,
 }
 
 impl<T: SuperTool> SliceRuntime<T> {
@@ -306,6 +311,7 @@ impl<T: SuperTool> SliceRuntime<T> {
             debt: 0,
             merged: false,
             span_insts: None,
+            last_active_cycles: now_cycles,
         })
     }
 
@@ -432,6 +438,7 @@ impl<T: SuperTool> SliceRuntime<T> {
     /// on master/slice divergence, or guest errors.
     pub fn advance(&mut self, budget: u64, now_cycles: u64) -> Result<u64, SpError> {
         debug_assert_eq!(self.state, SliceState::Running);
+        self.last_active_cycles = now_cycles;
         // Repay cycles overshot in previous quanta before doing new work.
         let repaid = self.debt.min(budget);
         self.debt -= repaid;
@@ -562,6 +569,45 @@ impl<T: SuperTool> SliceRuntime<T> {
         self.engine.tool().injected_faults
     }
 
+    /// Virtual time of the slice's most recent advance — the memory
+    /// governor's LRU coldness key.
+    pub fn last_active_cycles(&self) -> u64 {
+        self.last_active_cycles
+    }
+
+    /// Simulated bytes of memory *private* to this slice: pages it
+    /// copied on write or faulted in fresh since the fork, at page
+    /// granularity. Everything else is shared with the master (COW) and
+    /// charged once on the master's side. Deterministic — derived from
+    /// the space's fault counters, which are simulated state.
+    pub fn private_resident_bytes(&self) -> u64 {
+        let stats = self.engine.process().mem.stats();
+        (stats.cow_copies + stats.minor_faults) * superpin_vm::mem::PAGE_SIZE as u64
+    }
+
+    /// Simulated bytes of the slice's *full* address space (every
+    /// resident page, shared or private). This is what a materialized
+    /// supervisor checkpoint of the slice costs, since checkpointing
+    /// breaks COW sharing.
+    pub fn full_resident_bytes(&self) -> u64 {
+        self.engine.process().mem.resident_bytes()
+    }
+
+    /// Instructions resident in the slice's code cache (the governor
+    /// charges a fixed simulated byte cost per compiled instruction).
+    pub fn cache_resident_insts(&self) -> usize {
+        self.engine.cache_resident_insts()
+    }
+
+    /// Flushes the slice's code cache under memory pressure; returns the
+    /// instructions freed. Re-execution recompiles on demand at full JIT
+    /// cost, so eviction changes cycle accounting — which is why the
+    /// supervisor journals it (see
+    /// [`crate::supervisor::ReplayStep::EvictCache`]).
+    pub fn evict_code_cache(&mut self) -> usize {
+        self.engine.evict_code_cache()
+    }
+
     /// A deep, injection-free copy of this slice for supervisor
     /// checkpointing. Page frames are materialized (private copies, no
     /// COW sharing with the live slice — pure host-memory hygiene; the
@@ -593,6 +639,7 @@ impl<T: SuperTool> Clone for SliceRuntime<T> {
             debt: self.debt,
             merged: self.merged,
             span_insts: self.span_insts,
+            last_active_cycles: self.last_active_cycles,
         }
     }
 }

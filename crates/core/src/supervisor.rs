@@ -39,6 +39,11 @@ pub enum ReplayStep {
     /// were already published by the condemned incarnation — the index is
     /// idempotent) and this snapshot installed for the next epoch.
     Snapshot(Arc<HashSet<u64>>),
+    /// The memory governor flushed this slice's code cache at a barrier.
+    /// Eviction changes cycle accounting (re-execution recompiles at
+    /// full JIT cost), so a rebuilt slice must replay it at the same
+    /// point in its schedule to stay bit-identical.
+    EvictCache,
 }
 
 /// Outcome of condemning a slice.
@@ -60,8 +65,11 @@ pub enum Verdict {
 /// Per-slice recovery state, created when the slice wakes (its boundary,
 /// records, and split point are final from that moment on).
 struct SliceGuard<T: SuperTool> {
-    /// Injection-free deep copy of the slice at wake.
-    checkpoint: SliceRuntime<T>,
+    /// Injection-free deep copy of the slice at wake. `None` after the
+    /// memory governor's eviction ladder reclaimed it — the slice can no
+    /// longer be rebuilt, which is why the ladder only drops checkpoints
+    /// of committed ([`Done`](crate::slice::SliceState::Done)) slices.
+    checkpoint: Option<SliceRuntime<T>>,
     /// Epoch schedule delivered since the checkpoint.
     journal: Vec<ReplayStep>,
     /// Quanta of execution granted since wake (watchdog clock).
@@ -103,7 +111,7 @@ impl<T: SuperTool> SliceSupervisor<T> {
         self.guards
             .entry(slice.num())
             .or_insert_with(|| SliceGuard {
-                checkpoint: slice.checkpoint(),
+                checkpoint: Some(slice.checkpoint()),
                 journal: Vec::new(),
                 quanta_since_wake: 0,
                 deadline: None,
@@ -173,6 +181,40 @@ impl<T: SuperTool> SliceSupervisor<T> {
         }
     }
 
+    /// Journals a governor-driven code-cache eviction so a later rebuild
+    /// replays it at the same point in the schedule.
+    pub fn journal_evict(&mut self, num: u32) {
+        if let Some(guard) = self.guards.get_mut(&num) {
+            guard.journal.push(ReplayStep::EvictCache);
+        }
+    }
+
+    /// Simulated bytes held by retained checkpoints (each is a full
+    /// materialized copy of its slice's address space at wake). Charged
+    /// against the memory governor's budget.
+    pub fn retained_checkpoint_bytes(&self) -> u64 {
+        self.guards
+            .values()
+            .filter_map(|guard| guard.checkpoint.as_ref())
+            .map(|checkpoint| checkpoint.full_resident_bytes())
+            .sum()
+    }
+
+    /// Reclaims a slice's retained checkpoint (eviction-ladder rung 1).
+    /// Returns the simulated bytes freed — 0 when the slice is unguarded
+    /// or its checkpoint is already gone. The caller must only drop
+    /// checkpoints of slices that can no longer be condemned (committed
+    /// `Done` slices awaiting merge); a later
+    /// [`rebuild`](SliceSupervisor::rebuild) of this slice fails with
+    /// [`SpError::CheckpointDropped`].
+    pub fn drop_checkpoint(&mut self, num: u32) -> u64 {
+        self.guards
+            .get_mut(&num)
+            .and_then(|guard| guard.checkpoint.take())
+            .map(|checkpoint| checkpoint.full_resident_bytes())
+            .unwrap_or(0)
+    }
+
     /// Condemns a slice, charging its retry budget.
     pub fn condemn(&mut self, num: u32) -> Verdict {
         let guard = self
@@ -209,10 +251,16 @@ impl<T: SuperTool> SliceSupervisor<T> {
     ///
     /// Propagates replay errors — with injection off these are genuine
     /// defects (true divergence), which the runner reports as
-    /// [`SpError::Unrecoverable`].
+    /// [`SpError::Unrecoverable`] — and returns
+    /// [`SpError::CheckpointDropped`] if the eviction ladder reclaimed
+    /// the checkpoint (a supervision bug: only committed slices lose
+    /// their checkpoint, and committed slices are never condemned).
     pub fn rebuild(&self, num: u32) -> Result<SliceRuntime<T>, SpError> {
         let guard = self.guards.get(&num).expect("rebuilt slice is guarded");
-        let mut slice = guard.checkpoint.clone();
+        let Some(checkpoint) = &guard.checkpoint else {
+            return Err(SpError::CheckpointDropped { slice: num });
+        };
+        let mut slice = checkpoint.clone();
         for step in &guard.journal {
             match step {
                 ReplayStep::Advance {
@@ -226,6 +274,9 @@ impl<T: SuperTool> SliceSupervisor<T> {
                     // published; mirror its barrier exactly.
                     slice.take_fresh_traces();
                     slice.enter_shared_epoch(Arc::clone(snapshot));
+                }
+                ReplayStep::EvictCache => {
+                    slice.evict_code_cache();
                 }
             }
         }
@@ -272,5 +323,17 @@ mod tests {
         assert_eq!(sup.condemn(1), Verdict::Unrecoverable);
         assert_eq!(sup.slice_retries, 3);
         assert_eq!(sup.slices_degraded, 1);
+
+        // Rung-1 eviction: dropping the checkpoint frees its full
+        // resident footprint once, and a rebuild afterwards is refused.
+        assert!(sup.retained_checkpoint_bytes() > 0);
+        let freed = sup.drop_checkpoint(1);
+        assert_eq!(freed, slice.full_resident_bytes());
+        assert_eq!(sup.retained_checkpoint_bytes(), 0);
+        assert_eq!(sup.drop_checkpoint(1), 0, "second drop frees nothing");
+        assert!(matches!(
+            sup.rebuild(1),
+            Err(SpError::CheckpointDropped { slice: 1 })
+        ));
     }
 }

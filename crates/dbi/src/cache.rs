@@ -206,6 +206,27 @@ impl<T> CodeCache<T> {
         self.stats.smc_flushes += 1;
     }
 
+    /// Instructions currently resident in compiled traces — the
+    /// simulated footprint the memory governor charges for this cache.
+    pub fn resident_insts(&self) -> usize {
+        self.resident_insts
+    }
+
+    /// Drops every cached trace under memory pressure (the governor's
+    /// cache-eviction rung), returning the instructions freed. Counted as
+    /// a capacity flush in [`CacheStats::flushes`]; an already-empty
+    /// cache is left untouched and returns 0.
+    pub fn evict_for_pressure(&mut self) -> usize {
+        let freed = self.resident_insts;
+        if freed == 0 {
+            return 0;
+        }
+        self.traces.clear();
+        self.resident_insts = 0;
+        self.stats.flushes += 1;
+        freed
+    }
+
     /// Looks up the compiled trace entered at `entry`.
     pub fn lookup(&mut self, entry: u64) -> Option<Arc<CompiledTrace<T>>> {
         self.stats.lookups += 1;

@@ -349,6 +349,18 @@ impl<T: Pintool + 'static> Engine<T> {
         self.cache.stats()
     }
 
+    /// Instructions resident in the code cache (the memory governor's
+    /// charge basis for this engine).
+    pub fn cache_resident_insts(&self) -> usize {
+        self.cache.resident_insts()
+    }
+
+    /// Evicts the whole code cache under memory pressure, returning the
+    /// instructions freed. Subsequent execution recompiles on demand.
+    pub fn evict_code_cache(&mut self) -> usize {
+        self.cache.evict_for_pressure()
+    }
+
     /// Consumes the engine, returning the process and tool.
     pub fn into_parts(self) -> (Process, T) {
         (self.process, self.tool)

@@ -36,10 +36,14 @@ pub enum Site {
     SharedIndexPublish = 4,
     /// A worker thread dies, dropping its batch of slices.
     ParallelWorkerChannel = 5,
+    /// The kernel transiently fails to allocate memory for a slice fork
+    /// (page tables, kernel structures) — an ENOMEM the runner absorbs
+    /// through the transient retry ladder, like a failed COW fork.
+    VmMemAlloc = 6,
 }
 
 /// Number of defined sites.
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 7;
 
 impl Site {
     /// Every site, in stable order (indexable by `site as usize`).
@@ -50,6 +54,7 @@ impl Site {
         Site::CoreSignatureFullMismatch,
         Site::SharedIndexPublish,
         Site::ParallelWorkerChannel,
+        Site::VmMemAlloc,
     ];
 
     /// The site's stable dotted name (used in CLI/errors/logs).
@@ -61,6 +66,7 @@ impl Site {
             Site::CoreSignatureFullMismatch => "core.signature.full_mismatch",
             Site::SharedIndexPublish => "shared_index.publish",
             Site::ParallelWorkerChannel => "parallel.worker.channel",
+            Site::VmMemAlloc => "vm.mem.alloc",
         }
     }
 

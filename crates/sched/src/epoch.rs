@@ -127,7 +127,23 @@ impl EpochPlanner {
         }
         quanta.max(1)
     }
+
+    /// Epoch bound while a fork is *deferred* under memory pressure: the
+    /// planner keeps epochs short so admission is re-evaluated promptly
+    /// once running slices merge and free their footprint, instead of
+    /// parking the master for a full `max_quanta` epoch. Deterministic:
+    /// depends only on the planner's configuration.
+    ///
+    /// Returns a value in `[1, max_quanta]` (at most
+    /// [`DEFERRAL_REVIEW_QUANTA`]).
+    pub fn deferral_review_quanta(&self) -> u64 {
+        self.max_quanta.clamp(1, DEFERRAL_REVIEW_QUANTA)
+    }
 }
+
+/// Upper bound on epoch length while slice admission is deferred under
+/// memory pressure (see [`EpochPlanner::deferral_review_quanta`]).
+pub const DEFERRAL_REVIEW_QUANTA: u64 = 8;
 
 #[cfg(test)]
 mod tests {
@@ -139,6 +155,16 @@ mod tests {
         assert_eq!(planner.plan(None, []), 256);
         // Cap clamps to at least one quantum.
         assert_eq!(EpochPlanner::new(0).plan(None, []), 1);
+    }
+
+    #[test]
+    fn deferral_review_is_short_and_bounded_by_the_cap() {
+        assert_eq!(
+            EpochPlanner::new(256).deferral_review_quanta(),
+            DEFERRAL_REVIEW_QUANTA
+        );
+        assert_eq!(EpochPlanner::new(3).deferral_review_quanta(), 3);
+        assert_eq!(EpochPlanner::new(0).deferral_review_quanta(), 1);
     }
 
     #[test]

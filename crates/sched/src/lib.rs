@@ -31,7 +31,7 @@ mod timeline;
 
 pub use epoch::{
     predict_completion_quanta, watchdog_deadline_quanta, EpochPlanner, SliceEta,
-    DEFAULT_TICKS_PER_INST,
+    DEFAULT_TICKS_PER_INST, DEFERRAL_REVIEW_QUANTA,
 };
 pub use machine::Machine;
 pub use scheduler::{Policy, QuantumScheduler, Share};

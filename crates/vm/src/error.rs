@@ -72,3 +72,35 @@ impl From<MemError> for VmError {
         VmError::Mem(err)
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn mem_and_decode_variants_chain_their_source() {
+        let err = VmError::Mem(MemError::OutOfMemory {
+            requested: 4096,
+            limit: 0,
+        });
+        assert!(err
+            .source()
+            .expect("mem source")
+            .to_string()
+            .contains("out of memory"));
+        assert!(err.to_string().contains("memory fault"));
+    }
+
+    #[test]
+    fn leaf_variants_have_no_source() {
+        assert!(VmError::ProcessExited.source().is_none());
+        assert!(VmError::UnexpectedHalt { pc: 8 }.source().is_none());
+        assert!(VmError::BadSyscall { pc: 8, number: 99 }.source().is_none());
+        assert!(VmError::FaultInjected {
+            site: "vm.mem.alloc"
+        }
+        .source()
+        .is_none());
+    }
+}

@@ -317,9 +317,17 @@ pub fn execute_syscall(
             };
         }
         SyscallNo::Brk => {
-            let new_brk = mem.set_brk(args[0]);
-            record.ret = new_brk;
-            record.map_ops.push(MapOp::Brk { brk: new_brk });
+            // A grow past the space's budget is the kernel's ENOMEM: the
+            // guest sees an errno and no map op is recorded, so slice
+            // playback replays the failure as a no-op — exactly like a
+            // failed mmap.
+            match mem.try_set_brk(args[0]) {
+                Ok(new_brk) => {
+                    record.ret = new_brk;
+                    record.map_ops.push(MapOp::Brk { brk: new_brk });
+                }
+                Err(_) => record.ret = SYSCALL_ERROR,
+            }
         }
         SyscallNo::Mmap => {
             let hint = if args[0] == 0 { None } else { Some(args[0]) };
@@ -767,5 +775,131 @@ mod signal_tests {
         }
         assert_eq!(replica_cpu, cpu);
         assert_eq!(replica_mem.content_digest(), mem.content_digest());
+    }
+}
+
+#[cfg(test)]
+mod enomem_tests {
+    use super::*;
+    use crate::mem::{RegionKind, PAGE_SIZE};
+
+    const HEAP_BASE: u64 = 0x0100_0000;
+
+    fn setup(limit: Option<u64>) -> (CpuState, AddressSpace, KernelState) {
+        let mut mem = AddressSpace::new(HEAP_BASE);
+        mem.map_region(0x8000, 4096, RegionKind::Data).expect("map");
+        mem.set_mem_limit(limit);
+        let cpu = CpuState::at(0x1000);
+        (cpu, mem, KernelState::new(7))
+    }
+
+    fn call(
+        cpu: &mut CpuState,
+        mem: &mut AddressSpace,
+        state: &mut KernelState,
+        number: SyscallNo,
+        args: &[u64],
+    ) -> SyscallRecord {
+        cpu.regs.set(Reg::R0, number as u64);
+        for (i, &arg) in args.iter().enumerate() {
+            cpu.regs.set(Reg::new(1 + i as u8), arg);
+        }
+        execute_syscall(cpu, mem, state, 0).expect("syscall")
+    }
+
+    #[test]
+    fn brk_past_the_budget_is_errno_and_the_guest_recovers() {
+        let limit = 4 * PAGE_SIZE as u64;
+        let (mut cpu, mut mem, mut state) = setup(Some(limit));
+        let brk_before = mem.brk();
+
+        // One page over budget: the guest observes errno, the heap is
+        // untouched, and no map op leaks into the record.
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Brk,
+            &[HEAP_BASE + limit + PAGE_SIZE as u64],
+        );
+        assert_eq!(rec.ret, SYSCALL_ERROR);
+        assert!(rec.map_ops.is_empty());
+        assert_eq!(mem.brk(), brk_before);
+
+        // The same guest can retry with a smaller request and proceed.
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Brk,
+            &[HEAP_BASE + limit],
+        );
+        assert_eq!(rec.ret, HEAP_BASE + limit);
+        assert_eq!(mem.brk(), HEAP_BASE + limit);
+    }
+
+    #[test]
+    fn mmap_past_the_budget_is_errno_and_the_guest_recovers() {
+        let limit = 4 * PAGE_SIZE as u64;
+        let (mut cpu, mut mem, mut state) = setup(Some(limit));
+
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Mmap,
+            &[0, limit + 1],
+        );
+        assert_eq!(rec.ret, SYSCALL_ERROR);
+        assert!(rec.map_ops.is_empty());
+        assert_eq!(mem.dynamic_bytes(), 0);
+
+        // A request inside the budget still succeeds afterwards, and
+        // unmapping frees budget for the previously impossible size.
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::Mmap, &[0, limit]);
+        assert_ne!(rec.ret, SYSCALL_ERROR);
+        let addr = rec.ret;
+        call(&mut cpu, &mut mem, &mut state, SyscallNo::Munmap, &[addr]);
+        let rec = call(&mut cpu, &mut mem, &mut state, SyscallNo::Mmap, &[0, limit]);
+        assert_ne!(rec.ret, SYSCALL_ERROR);
+    }
+
+    #[test]
+    fn failed_allocation_replays_as_a_no_op() {
+        let (mut cpu, mut mem, mut state) = setup(Some(0));
+        let mut slice_cpu = cpu;
+        let mut slice_mem = mem.fork();
+
+        let rec = call(
+            &mut cpu,
+            &mut mem,
+            &mut state,
+            SyscallNo::Brk,
+            &[HEAP_BASE + PAGE_SIZE as u64],
+        );
+        assert_eq!(rec.ret, SYSCALL_ERROR);
+
+        slice_cpu.regs.set(Reg::R1, HEAP_BASE + PAGE_SIZE as u64);
+        slice_cpu.regs.set(Reg::R0, SyscallNo::Brk as u64);
+        apply_record(&mut slice_cpu, &mut slice_mem, &rec).expect("playback");
+        assert_eq!(slice_cpu.regs.get(Reg::R0), SYSCALL_ERROR);
+        assert_eq!(slice_cpu, cpu);
+        assert_eq!(slice_mem.content_digest(), mem.content_digest());
+        assert_eq!(slice_mem.brk(), mem.brk());
+    }
+
+    #[test]
+    fn no_syscall_panics_under_a_zero_budget() {
+        // Every syscall must degrade to a clean return value or a typed
+        // VmError under a 0-byte budget — never a panic. Arguments are
+        // all zero, the hostile-but-representable baseline.
+        for number in SyscallNo::ALL {
+            let (mut cpu, mut mem, mut state) = setup(Some(0));
+            cpu.regs.set(Reg::R0, number as u64);
+            for i in 1..6u8 {
+                cpu.regs.set(Reg::new(i), 0);
+            }
+            let _ = execute_syscall(&mut cpu, &mut mem, &mut state, 0);
+        }
     }
 }

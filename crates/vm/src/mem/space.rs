@@ -67,6 +67,15 @@ pub enum MemError {
         /// The address no mapping starts at.
         addr: u64,
     },
+    /// A dynamic allocation (`brk` grow or anonymous `mmap`) would push
+    /// the space past its configured byte budget — the emulated kernel's
+    /// ENOMEM.
+    OutOfMemory {
+        /// Bytes the allocation asked for.
+        requested: u64,
+        /// The per-space dynamic-memory budget in bytes.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -79,6 +88,12 @@ impl fmt::Display for MemError {
             MemError::Unaligned { addr } => write!(f, "address {addr:#x} is not page aligned"),
             MemError::NoSuchMapping { addr } => {
                 write!(f, "no mapping starts at {addr:#x}")
+            }
+            MemError::OutOfMemory { requested, limit } => {
+                write!(
+                    f,
+                    "out of memory: {requested:#x} bytes requested against a {limit:#x}-byte budget"
+                )
             }
         }
     }
@@ -133,6 +148,14 @@ pub struct AddressSpace {
     /// DBI engine can detect self-modifying code and invalidate its
     /// translations.
     code_version: u64,
+    /// Optional budget for *dynamic* memory (the `brk` heap plus
+    /// anonymous `mmap` regions), in bytes. `None` (the default) never
+    /// fails an allocation; `Some(limit)` makes `brk` grows and `mmap`s
+    /// past the budget return [`MemError::OutOfMemory`] — the emulated
+    /// kernel turns that into an errno for the guest. Inherited across
+    /// [`fork`](AddressSpace::fork), so slices observe the master's
+    /// budget deterministically.
+    mem_limit: Option<u64>,
 }
 
 /// Base address for hint-less anonymous mappings.
@@ -158,7 +181,37 @@ impl AddressSpace {
             cow_pending: BTreeSet::new(),
             stats: MemStats::default(),
             code_version: 0,
+            mem_limit: None,
         }
+    }
+
+    /// Sets (or clears) the dynamic-memory budget. Existing mappings are
+    /// never retroactively failed; only future `brk` grows and `mmap`s
+    /// check the budget.
+    pub fn set_mem_limit(&mut self, limit: Option<u64>) {
+        self.mem_limit = limit;
+    }
+
+    /// The dynamic-memory budget, if one is set.
+    pub fn mem_limit(&self) -> Option<u64> {
+        self.mem_limit
+    }
+
+    /// Bytes currently committed to dynamic memory: the page-aligned
+    /// `brk` heap plus every anonymous `mmap` region. This is the
+    /// quantity charged against [`mem_limit`](AddressSpace::mem_limit).
+    pub fn dynamic_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .filter(|region| matches!(region.kind, RegionKind::Heap | RegionKind::Mmap))
+            .map(|region| region.len)
+            .sum()
+    }
+
+    /// Bytes of resident (allocated) pages — the simulated physical
+    /// footprint the memory governor charges.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
     }
 
     /// Monotonic counter bumped by every write into a code region.
@@ -260,9 +313,18 @@ impl AddressSpace {
     ///
     /// With a hint, fails like [`map_region`](Self::map_region). Without a
     /// hint, only alignment errors are possible (the search skips used
-    /// space).
+    /// space). With a [`mem_limit`](AddressSpace::mem_limit) set, a
+    /// request past the budget fails with [`MemError::OutOfMemory`].
     pub fn map_anonymous(&mut self, hint: Option<u64>, len: u64) -> Result<u64, MemError> {
         let len = page_align_up(len.max(1));
+        if let Some(limit) = self.mem_limit {
+            if self.dynamic_bytes().saturating_add(len) > limit {
+                return Err(MemError::OutOfMemory {
+                    requested: len,
+                    limit,
+                });
+            }
+        }
         if let Some(addr) = hint {
             self.map_region(addr, len, RegionKind::Mmap)?;
             return Ok(addr);
@@ -314,6 +376,32 @@ impl AddressSpace {
             self.cow_pending.remove(&key);
         }
         Ok(())
+    }
+
+    /// Budget-checked [`set_brk`](AddressSpace::set_brk): a grow past the
+    /// [`mem_limit`](AddressSpace::mem_limit) fails without changing any
+    /// state, so the kernel can hand the guest an errno. Shrinks and
+    /// unbudgeted spaces never fail. The infallible `set_brk` remains the
+    /// replay path — a recorded successful `brk` re-applies unchecked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] when the grow exceeds the budget.
+    pub fn try_set_brk(&mut self, new_brk: u64) -> Result<u64, MemError> {
+        if let Some(limit) = self.mem_limit {
+            let new_heap = page_align_up(new_brk.max(self.heap_base)) - self.heap_base;
+            let old_heap = page_align_up(self.brk) - self.heap_base;
+            if new_heap > old_heap {
+                let other = self.dynamic_bytes() - old_heap;
+                if other.saturating_add(new_heap) > limit {
+                    return Err(MemError::OutOfMemory {
+                        requested: new_heap - old_heap,
+                        limit,
+                    });
+                }
+            }
+        }
+        Ok(self.set_brk(new_brk))
     }
 
     /// Adjusts the program break. Growing maps heap pages; shrinking
@@ -695,6 +783,70 @@ mod tests {
         // Touch a page with zeroes: logically identical content.
         a.write_u64(0x1000, 0).expect("write");
         assert_eq!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn mem_limit_fails_dynamic_allocations_past_budget() {
+        let heap_base = 0x0100_0000;
+        let mut space = AddressSpace::new(heap_base);
+        space.set_mem_limit(Some(2 * PAGE_SIZE as u64));
+
+        // One page of heap and one page of mmap fit exactly.
+        let brk = space
+            .try_set_brk(heap_base + PAGE_SIZE as u64)
+            .expect("brk within budget");
+        assert_eq!(brk, heap_base + PAGE_SIZE as u64);
+        let addr = space
+            .map_anonymous(None, PAGE_SIZE as u64)
+            .expect("mmap within budget");
+
+        // A third page fails either way, without changing state.
+        assert!(matches!(
+            space.try_set_brk(heap_base + 2 * PAGE_SIZE as u64),
+            Err(MemError::OutOfMemory { .. })
+        ));
+        assert_eq!(space.brk(), heap_base + PAGE_SIZE as u64);
+        assert!(matches!(
+            space.map_anonymous(None, 1),
+            Err(MemError::OutOfMemory { .. })
+        ));
+
+        // Releasing the mmap frees budget for the heap to grow — the
+        // guest can recover from ENOMEM.
+        space.unmap(addr).expect("unmap");
+        space
+            .try_set_brk(heap_base + 2 * PAGE_SIZE as u64)
+            .expect("brk after recovery");
+    }
+
+    #[test]
+    fn mem_limit_allows_shrink_and_is_inherited_by_fork() {
+        let heap_base = 0x0100_0000;
+        let mut space = AddressSpace::new(heap_base);
+        space.set_mem_limit(Some(PAGE_SIZE as u64));
+        space.try_set_brk(heap_base + 8).expect("grow");
+        // Shrinks always succeed, even at a 0-byte budget.
+        space.set_mem_limit(Some(0));
+        assert_eq!(space.try_set_brk(heap_base).expect("shrink"), heap_base);
+
+        let child = space.fork();
+        assert_eq!(child.mem_limit(), Some(0));
+        assert!(matches!(
+            space.fork().try_set_brk(heap_base + 1),
+            Err(MemError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn unbudgeted_space_never_fails_allocations() {
+        let heap_base = 0x0100_0000;
+        let mut space = AddressSpace::new(heap_base);
+        assert_eq!(space.mem_limit(), None);
+        let brk = space
+            .try_set_brk(heap_base + (1 << 20))
+            .expect("unbudgeted brk");
+        assert_eq!(brk, space.brk());
+        space.map_anonymous(None, 1 << 20).expect("unbudgeted mmap");
     }
 
     #[test]

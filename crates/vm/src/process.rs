@@ -131,7 +131,8 @@ impl Process {
     }
 
     /// Fallible fork: like [`fork`](Process::fork), but consults the
-    /// [`Site::VmForkCow`] failpoint first when a registry is armed.
+    /// [`Site::VmForkCow`] and [`Site::VmMemAlloc`] failpoints first when
+    /// a registry is armed.
     /// `chaos_key` must be derived from deterministic simulation state
     /// (e.g. child pid and retry attempt) so the schedule replays
     /// identically for a given seed.
@@ -144,6 +145,15 @@ impl Process {
             if registry.fire(Site::VmForkCow, chaos_key) {
                 return Err(VmError::FaultInjected {
                     site: Site::VmForkCow.name(),
+                });
+            }
+            // Transient kernel allocation failure while building the
+            // child (page tables, kernel structures): an ENOMEM the
+            // caller absorbs through the same retry ladder as a failed
+            // COW fork.
+            if registry.fire(Site::VmMemAlloc, chaos_key) {
+                return Err(VmError::FaultInjected {
+                    site: Site::VmMemAlloc.name(),
                 });
             }
         }
