@@ -53,6 +53,10 @@ impl Problem for DomProblem {
 /// Solved dominator sets.
 pub struct Dominators {
     solution: Solution<Bits>,
+    /// Reachability snapshot taken at solve time. Unreachable blocks
+    /// keep the optimistic full dominator set, which would otherwise
+    /// make `dominates(a, unreachable)` vacuously true for every `a`.
+    reachable: Vec<bool>,
 }
 
 impl Dominators {
@@ -60,17 +64,24 @@ impl Dominators {
     pub fn compute(cfg: &Cfg) -> Dominators {
         Dominators {
             solution: solve(cfg, &DomProblem),
+            reachable: cfg.reachable(),
         }
     }
 
     /// True if `a` dominates `b` (every path from a root to `b` passes
-    /// through `a`). Reflexive: every block dominates itself.
+    /// through `a`). Reflexive: every reachable block dominates
+    /// itself. Always false when `b` is unreachable — there is no
+    /// path to dominate.
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        self.solution.exit[b].contains(a)
+        self.reachable[b] && self.solution.exit[b].contains(a)
     }
 
-    /// All dominators of `block`, including itself.
+    /// All dominators of `block`, including itself; empty for
+    /// unreachable blocks.
     pub fn dominators_of(&self, block: BlockId) -> Vec<BlockId> {
+        if !self.reachable[block] {
+            return Vec::new();
+        }
         self.solution.exit[block].iter().collect()
     }
 
@@ -78,11 +89,7 @@ impl Dominators {
     /// that every other strict dominator also dominates. `None` for
     /// roots and unreachable blocks.
     pub fn idom(&self, cfg: &Cfg, block: BlockId) -> Option<BlockId> {
-        // Unreachable blocks keep the full optimistic set; their "dom
-        // set" is meaningless, so report none.
-        if !cfg.reachable()[block] {
-            return None;
-        }
+        let _ = cfg;
         let strict: Vec<BlockId> = self
             .dominators_of(block)
             .into_iter()
@@ -98,10 +105,9 @@ impl Dominators {
     /// natural loops. Unreachable blocks are skipped (their dominator
     /// sets stay at the optimistic full set).
     pub fn back_edges(&self, cfg: &Cfg) -> Vec<(BlockId, BlockId)> {
-        let reachable = cfg.reachable();
         let mut edges = Vec::new();
         for (u, block) in cfg.blocks().iter().enumerate() {
-            if !reachable[u] {
+            if !self.reachable[u] {
                 continue;
             }
             for &v in &block.succs {

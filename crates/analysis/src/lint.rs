@@ -52,6 +52,12 @@ pub enum LintKind {
     FallOffEnd,
     StackImbalance,
     DeadStore,
+    /// Whole-program: a recovered function no call path can reach.
+    UnreachableFunction,
+    /// Whole-program: a `jalr` whose target set could not be bounded.
+    UnresolvedIndirect,
+    /// Whole-program: a self-modifying-code page inside a hot loop.
+    SmcOverlapsHotLoop,
 }
 
 impl LintKind {
@@ -63,16 +69,21 @@ impl LintKind {
             LintKind::FallOffEnd => "fall-off-end",
             LintKind::StackImbalance => "stack-imbalance",
             LintKind::DeadStore => "dead-store",
+            LintKind::UnreachableFunction => "unreachable-function",
+            LintKind::UnresolvedIndirect => "unresolved-indirect",
+            LintKind::SmcOverlapsHotLoop => "smc-overlaps-hot-loop",
         }
     }
 
     /// The severity every finding of this kind carries.
     pub fn severity(self) -> Severity {
         match self {
-            LintKind::FallOffEnd => Severity::Error,
-            LintKind::UndefinedRead | LintKind::UnreachableBlock | LintKind::StackImbalance => {
-                Severity::Warning
-            }
+            LintKind::FallOffEnd | LintKind::SmcOverlapsHotLoop => Severity::Error,
+            LintKind::UndefinedRead
+            | LintKind::UnreachableBlock
+            | LintKind::StackImbalance
+            | LintKind::UnreachableFunction
+            | LintKind::UnresolvedIndirect => Severity::Warning,
             LintKind::DeadStore => Severity::Info,
         }
     }
@@ -161,6 +172,59 @@ pub fn run_lints(program: &Program) -> Result<LintReport, AnalysisError> {
     lint_unreachable(&cfg, &mut findings);
     lint_stack_imbalance(&cfg, &mut findings);
     lint_dead_stores(&cfg, &mut findings);
+    findings.sort_by_key(|f| (f.addr, f.kind.slug()));
+    Ok(LintReport { findings })
+}
+
+/// Runs the whole-program lints (on top of [`run_lints`]'s per-block
+/// checks): unreachable functions, unresolved indirect transfers, and
+/// SMC pages overlapping hot loops.
+pub fn run_whole_program_lints(program: &Program) -> Result<LintReport, AnalysisError> {
+    let analysis = crate::plan::ProgramAnalysis::compute(program)?;
+    let mut report = run_lints(program)?;
+    let mut findings = std::mem::take(&mut report.findings);
+
+    for func in analysis.callgraph.unreachable_funcs() {
+        let label = match &func.name {
+            Some(name) => format!("function `{name}`"),
+            None => "function".to_owned(),
+        };
+        findings.push(Finding {
+            kind: LintKind::UnreachableFunction,
+            addr: func.entry,
+            message: format!("{label} is never reached from the program entry"),
+        });
+    }
+
+    for site in analysis.targets.unresolved_sites() {
+        findings.push(Finding {
+            kind: LintKind::UnresolvedIndirect,
+            addr: site,
+            message: "indirect transfer target set could not be statically bounded".to_owned(),
+        });
+    }
+
+    // SMC pages are errors when they overlap a block inside a natural
+    // loop: the engine must flush its code cache (and discard its
+    // plan) on every rewrite, so self-modifying hot code forfeits the
+    // entire point of trace caching.
+    let reachable = analysis.cfg.reachable();
+    for (id, block) in analysis.cfg.blocks().iter().enumerate() {
+        if !reachable[id] || analysis.loops.depth(id) == 0 || block.insts.is_empty() {
+            continue;
+        }
+        if analysis.smc.covers(block.start, 1) || analysis.smc.covers(block.end() - 1, 1) {
+            findings.push(Finding {
+                kind: LintKind::SmcOverlapsHotLoop,
+                addr: block.start,
+                message: format!(
+                    "block at loop depth {} sits on a page the program may rewrite",
+                    analysis.loops.depth(id)
+                ),
+            });
+        }
+    }
+
     findings.sort_by_key(|f| (f.addr, f.kind.slug()));
     Ok(LintReport { findings })
 }

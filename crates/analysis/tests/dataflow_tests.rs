@@ -274,3 +274,83 @@ fn unresolved_syscall_number_keeps_the_full_argument_window() {
     let expected = RegSet::from_regs(&[Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5]);
     assert_eq!(live.live_before(syscall_addr), expected);
 }
+
+/// A block that no root reaches must not be "dominated" by anything:
+/// the optimistic iteration leaves unreachable blocks with the full
+/// solution set, which `Dominators` must mask out.
+#[test]
+fn unreachable_blocks_have_no_dominators() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 4);
+    b.label("loop");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.bne(Reg::R8, Reg::R0, "loop");
+    b.exit(0);
+    // Dead code: only reachable from itself.
+    b.label("dead");
+    b.addi(Reg::R1, Reg::R1, 1);
+    b.jmp("dead");
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let dom = Dominators::compute(&cfg);
+    let entry = cfg.entry();
+    let dead = cfg
+        .block_at(program.symbol("dead").expect("dead").addr)
+        .expect("dead block");
+    let loop_id = cfg
+        .block_at(program.symbol("loop").expect("loop").addr)
+        .expect("loop block");
+
+    assert!(!cfg.reachable()[dead]);
+    assert!(!dom.dominates(entry, dead), "nothing dominates dead code");
+    assert!(!dom.dominates(dead, dead));
+    assert!(dom.dominators_of(dead).is_empty());
+    assert_eq!(dom.idom(&cfg, dead), None);
+    // The dead self-loop must not surface as a back edge, while the
+    // live loop's must.
+    assert_eq!(dom.back_edges(&cfg), vec![(loop_id, loop_id)]);
+}
+
+/// An irreducible region (a two-entry loop) has no natural back edge:
+/// neither header dominates the other, so `back_edges` stays empty
+/// and dominance facts reflect only the common prefix.
+#[test]
+fn irreducible_loop_has_no_back_edges() {
+    let mut b = ProgramBuilder::new();
+    b.label("main");
+    b.li(Reg::R8, 10);
+    b.beq(Reg::R8, Reg::R0, "b_side");
+    b.label("a_side");
+    b.subi(Reg::R8, Reg::R8, 1);
+    b.beq(Reg::R8, Reg::R0, "out");
+    b.jmp("b_side");
+    b.label("b_side");
+    b.subi(Reg::R8, Reg::R8, 2);
+    b.bne(Reg::R8, Reg::R0, "a_side");
+    b.label("out");
+    b.inst(Inst::Halt);
+    let program = b.build().expect("build");
+
+    let cfg = Cfg::build(&program).expect("cfg");
+    let dom = Dominators::compute(&cfg);
+    let entry = cfg.entry();
+    let a_side = cfg
+        .block_at(program.symbol("a_side").expect("a_side").addr)
+        .expect("a block");
+    let b_side = cfg
+        .block_at(program.symbol("b_side").expect("b_side").addr)
+        .expect("b block");
+
+    assert!(!dom.dominates(a_side, b_side), "b_side entered from main");
+    assert!(!dom.dominates(b_side, a_side), "a_side entered from main");
+    assert!(dom.dominates(entry, a_side));
+    assert!(dom.dominates(entry, b_side));
+    assert_eq!(dom.idom(&cfg, a_side), Some(entry));
+    assert_eq!(dom.idom(&cfg, b_side), Some(entry));
+    assert!(
+        dom.back_edges(&cfg).is_empty(),
+        "irreducible cycles have no natural back edges"
+    );
+}

@@ -36,8 +36,12 @@
 //! superpin --chaos-seed 1 --chaos-rate 0.05 -threads 4 -t icount1 -- gcc tiny
 //! ```
 
+use std::sync::Arc;
+
 use superpin::baseline::run_pin;
-use superpin::{FailPlan, SharedMem, SuperPinConfig, SuperPinRunner, SuperTool};
+use superpin::{
+    FailPlan, PlanKnobs, ProgramAnalysis, SharedMem, SuperPinConfig, SuperPinRunner, SuperTool,
+};
 use superpin_bench::runs::time_scale_for;
 use superpin_tools::{
     BranchProfile, DCache, DCacheConfig, ICount1, ICount2, ITrace, MemProfile, Sampler,
@@ -57,6 +61,8 @@ struct Options {
     chaos_rate: Option<f64>,
     watchdog_factor: u64,
     mem_budget: Option<u64>,
+    plan: bool,
+    plan_knobs: PlanKnobs,
     emit_json: Option<String>,
     tool: String,
     benchmark: String,
@@ -124,6 +130,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: superpin [-sp 0|1] [-spmsec MSEC] [-spmp N] [-spsysrecs N] [-threads N] [-gantt] \
          [--chaos-seed N] [--chaos-rate F] [--watchdog-factor K] [--mem-budget BYTES[k|m|g]] \
+         [--plan on|off] [--hot-loop-threshold N] [--max-trace-len N] \
          -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
          \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large] \
          [--mem-budget BYTES[k|m|g]]\n\
@@ -171,6 +178,8 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
         chaos_rate: None,
         watchdog_factor: 8,
         mem_budget: None,
+        plan: false,
+        plan_knobs: PlanKnobs::default(),
         emit_json: None,
         tool: String::new(),
         benchmark: String::new(),
@@ -225,6 +234,28 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
                     return Err(ArgError::WatchdogFactorTooSmall(factor));
                 }
                 options.watchdog_factor = factor;
+            }
+            "--plan" => {
+                let v = iter.next().ok_or(ArgError::MissingValue("--plan"))?;
+                options.plan = match v.as_str() {
+                    "on" | "1" => true,
+                    "off" | "0" => false,
+                    other => {
+                        return Err(ArgError::InvalidValue {
+                            flag: "--plan",
+                            value: other.to_owned(),
+                            expected: "on|off",
+                        })
+                    }
+                };
+            }
+            "--hot-loop-threshold" => {
+                options.plan_knobs.hot_loop_threshold =
+                    value(&mut iter, "--hot-loop-threshold", "a loop nesting depth")?;
+            }
+            "--max-trace-len" => {
+                options.plan_knobs.max_trace_len =
+                    value(&mut iter, "--max-trace-len", "an instruction count")?;
             }
             "--mem-budget" => {
                 let text = iter.next().ok_or(ArgError::MissingValue("--mem-budget"))?;
@@ -306,13 +337,30 @@ fn superpin_config(options: &Options) -> SuperPinConfig {
     cfg
 }
 
+/// [`superpin_config`] plus the program-specific whole-program plan and
+/// soundness oracle when `--plan on`: slice engines pre-decode
+/// predicted-hot traces and elide provably dead save/restores, and
+/// (debug builds) every indirect transfer and code write is validated
+/// against the static analysis. Reports are bit-identical to
+/// `--plan off`.
+fn superpin_config_for(program: &superpin_isa::Program, options: &Options) -> SuperPinConfig {
+    let mut cfg = superpin_config(options);
+    if options.plan {
+        let analysis = ProgramAnalysis::compute(program).expect("whole-program analysis");
+        cfg = cfg
+            .with_plan(Arc::new(analysis.plan(options.plan_knobs)))
+            .with_oracle(Arc::new(analysis.oracle()));
+    }
+    cfg
+}
+
 fn run_super<T: SuperTool>(
     program: &superpin_isa::Program,
     tool: T,
     shared: &SharedMem,
     options: &Options,
 ) -> superpin::SuperPinReport {
-    let cfg = superpin_config(options);
+    let cfg = superpin_config_for(program, options);
     let present = cfg.clone();
     let report = SuperPinRunner::new(
         Process::load(1, program).expect("load"),
@@ -412,7 +460,7 @@ fn main() {
             let shared = SharedMem::new();
             let tool = ICount1::new(&shared);
             if options.sp {
-                let cfg = superpin_config(&options);
+                let cfg = superpin_config_for(&program, &options);
                 SuperPinRunner::new(
                     Process::load(1, &program).expect("load"),
                     tool.clone(),
@@ -712,6 +760,32 @@ mod tests {
         ]))
         .expect_err("non-numeric budget must be rejected");
         assert!(err.to_string().contains("--mem-budget"), "{err}");
+    }
+
+    #[test]
+    fn plan_flags_parse() {
+        let options = parse_options(&args(&[
+            "--plan",
+            "on",
+            "--hot-loop-threshold",
+            "2",
+            "--max-trace-len",
+            "32",
+            "-t",
+            "icount2",
+            "--",
+            "gcc",
+        ]))
+        .expect("parse");
+        assert!(options.plan);
+        assert_eq!(options.plan_knobs.hot_loop_threshold, 2);
+        assert_eq!(options.plan_knobs.max_trace_len, 32);
+        let defaults = parse_options(&args(&["-t", "icount2", "--", "gcc"])).expect("parse");
+        assert!(!defaults.plan);
+        assert_eq!(defaults.plan_knobs, PlanKnobs::default());
+        assert!(
+            parse_options(&args(&["--plan", "sideways", "-t", "icount2", "--", "gcc"])).is_err()
+        );
     }
 
     #[test]

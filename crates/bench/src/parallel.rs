@@ -29,8 +29,11 @@
 
 use crate::runs::{run_superpin_profiled, time_scale_for};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
-use superpin::{HostProfile, SharedMem, SuperPinConfig, SuperPinReport};
+use superpin::{
+    HostProfile, PlanKnobs, ProgramAnalysis, SharedMem, SuperPinConfig, SuperPinReport,
+};
 use superpin_tools::ICount1;
 use superpin_workloads::{find, Scale};
 
@@ -68,6 +71,11 @@ pub struct ParallelRow {
     /// supervisor armed (checkpoints + journals) and chaos disabled —
     /// the recovery machinery's idle cost.
     pub wall_ms_supervised: f64,
+    /// Wall-clock milliseconds at `threads = 1` with the ahead-of-time
+    /// superblock plan installed (default knobs, no oracle). The
+    /// simulated report is bit-identical to the plan-off run — only
+    /// host wall-clock may differ.
+    pub wall_ms_planned: f64,
     /// Fraction of the `threads = 1` wall clock spent in the
     /// parallelizable slice phase (measured, [`HostProfile`]).
     pub slice_fraction: f64,
@@ -100,6 +108,23 @@ impl ParallelRow {
     pub fn supervisor_overhead(&self) -> f64 {
         self.wall_ms_supervised / self.wall_ms_serial.max(1e-9)
     }
+
+    /// Plan-on over plan-off wall-clock ratio at `threads = 1` (>1.0
+    /// means the ahead-of-time superblock plan saved host time).
+    pub fn speedup_planned(&self) -> f64 {
+        self.wall_ms_serial / self.wall_ms_planned.max(1e-9)
+    }
+
+    /// Interpreter throughput without a plan, in millions of simulated
+    /// cycles retired per wall-clock second at `threads = 1`.
+    pub fn throughput_mcps(&self) -> f64 {
+        self.simulated_cycles as f64 / 1e3 / self.wall_ms_serial.max(1e-9)
+    }
+
+    /// Interpreter throughput with the superblock plan installed.
+    pub fn throughput_mcps_planned(&self) -> f64 {
+        self.simulated_cycles as f64 / 1e3 / self.wall_ms_planned.max(1e-9)
+    }
 }
 
 /// The tracker's configuration: a 2 s paper timeslice (so each epoch
@@ -115,6 +140,7 @@ fn timed_run(
     threads: usize,
     supervise: bool,
     mem_budget: Option<u64>,
+    plan: Option<&ProgramAnalysis>,
     name: &str,
 ) -> (f64, SuperPinReport, HostProfile) {
     let shared = SharedMem::new();
@@ -125,6 +151,9 @@ fn timed_run(
     }
     if let Some(budget) = mem_budget {
         cfg = cfg.with_mem_budget(budget);
+    }
+    if let Some(analysis) = plan {
+        cfg = cfg.with_plan(Arc::new(analysis.plan(PlanKnobs::default())));
     }
     let start = Instant::now();
     let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
@@ -148,18 +177,30 @@ pub fn run_parallel_bench(
         .map(|name| {
             let spec = find(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
             let program = spec.build(scale);
+            let analysis = ProgramAnalysis::compute(&program)
+                .unwrap_or_else(|e| panic!("{name} whole-program analysis: {e}"));
             let (wall_ms_serial, serial, profile) =
-                timed_run(&program, scale, 1, false, mem_budget, spec.name);
+                timed_run(&program, scale, 1, false, mem_budget, None, spec.name);
             let (wall_ms_parallel, parallel, _) = timed_run(
                 &program,
                 scale,
                 PARALLEL_THREADS,
                 false,
                 mem_budget,
+                None,
                 spec.name,
             );
             let (wall_ms_supervised, supervised, _) =
-                timed_run(&program, scale, 1, true, mem_budget, spec.name);
+                timed_run(&program, scale, 1, true, mem_budget, None, spec.name);
+            let (wall_ms_planned, planned, _) = timed_run(
+                &program,
+                scale,
+                1,
+                false,
+                mem_budget,
+                Some(&analysis),
+                spec.name,
+            );
             ParallelRow {
                 name: spec.name,
                 slices: serial.slice_count(),
@@ -168,6 +209,7 @@ pub fn run_parallel_bench(
                 wall_ms_serial,
                 wall_ms_parallel,
                 wall_ms_supervised,
+                wall_ms_planned,
                 slice_fraction: profile.slice_fraction(),
                 modeled_speedup: profile.modeled_speedup(PARALLEL_THREADS),
                 peak_resident_bytes: serial.peak_resident_bytes,
@@ -177,8 +219,12 @@ pub fn run_parallel_bench(
                 // Thread-count invariance must hold budgeted or not; the
                 // supervised run only joins the comparison unbudgeted,
                 // because retained checkpoints are *charged* bytes and
-                // legitimately shift governed admission decisions.
-                identical: serial == parallel && (mem_budget.is_some() || serial == supervised),
+                // legitimately shift governed admission decisions. The
+                // plan is a pure accelerator, so plan-on must match
+                // unconditionally.
+                identical: serial == parallel
+                    && serial == planned
+                    && (mem_budget.is_some() || serial == supervised),
             }
         })
         .collect()
@@ -207,6 +253,15 @@ pub fn geomean_supervisor_overhead(rows: &[ParallelRow]) -> f64 {
     geomean(rows.iter().map(ParallelRow::supervisor_overhead))
 }
 
+/// Geometric-mean plan-on over plan-off wall-clock speedup at
+/// `threads = 1` (>1.0 means the superblock plan saved host time).
+pub fn geomean_plan_speedup(rows: &[ParallelRow]) -> f64 {
+    geomean(
+        rows.iter()
+            .map(|row| row.wall_ms_serial / row.wall_ms_planned.max(1e-9)),
+    )
+}
+
 /// Serializes the comparison as the `BENCH_parallel.json` tracking
 /// format (same hand-rolled emitter policy as [`crate::json`]).
 pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
@@ -226,6 +281,8 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             "{{\"name\":\"{}\",\"slices\":{},\"epochs\":{},\"simulated_cycles\":{},\
              \"wall_ms_threads1\":{:.2},\"wall_ms_threads{}\":{:.2},\
              \"wall_ms_supervised\":{:.2},\"supervisor_overhead\":{:.3},\
+             \"wall_ms_planned\":{:.2},\"throughput_mcps\":{:.3},\
+             \"throughput_mcps_planned\":{:.3},\
              \"speedup\":{:.3},\"slice_fraction\":{:.3},\
              \"modeled_speedup_threads{}\":{:.3},\
              \"peak_resident_bytes\":{},\"slices_deferred\":{},\
@@ -239,6 +296,9 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             row.wall_ms_parallel,
             row.wall_ms_supervised,
             row.supervisor_overhead(),
+            row.wall_ms_planned,
+            row.throughput_mcps(),
+            row.throughput_mcps_planned(),
             row.speedup(),
             row.slice_fraction,
             PARALLEL_THREADS,
@@ -253,11 +313,12 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
     let _ = write!(
         out,
         "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3},\
-         \"geomean_supervisor_overhead\":{:.3}}}",
+         \"geomean_supervisor_overhead\":{:.3},\"geomean_plan_speedup\":{:.3}}}",
         geomean_speedup(rows),
         rows.iter().map(ParallelRow::speedup).fold(0.0, f64::max),
         geomean_modeled_speedup(rows),
         geomean_supervisor_overhead(rows),
+        geomean_plan_speedup(rows),
     );
     out
 }
@@ -310,6 +371,13 @@ pub fn render_parallel(rows: &[ParallelRow]) -> String {
         "supervisor overhead (chaos off, threads=1): {:.2}x geomean",
         geomean_supervisor_overhead(rows)
     );
+    let _ = writeln!(
+        out,
+        "superblock plan (threads=1): {:.2}x geomean wall-clock speedup; throughput {:.1} -> {:.1} Mcyc/s geomean",
+        geomean_plan_speedup(rows),
+        geomean(rows.iter().map(ParallelRow::throughput_mcps)),
+        geomean(rows.iter().map(ParallelRow::throughput_mcps_planned)),
+    );
     if cpus < PARALLEL_THREADS {
         let _ = writeln!(
             out,
@@ -335,6 +403,7 @@ mod tests {
                 wall_ms_serial: 400.0,
                 wall_ms_parallel: 160.0,
                 wall_ms_supervised: 420.0,
+                wall_ms_planned: 380.0,
                 slice_fraction: 0.75,
                 modeled_speedup: 2.29,
                 peak_resident_bytes: 262_144,
@@ -351,6 +420,7 @@ mod tests {
                 wall_ms_serial: 300.0,
                 wall_ms_parallel: 200.0,
                 wall_ms_supervised: 303.0,
+                wall_ms_planned: 250.0,
                 slice_fraction: 0.60,
                 modeled_speedup: 1.82,
                 peak_resident_bytes: 0,
@@ -371,6 +441,10 @@ mod tests {
         assert!(json.contains("\"wall_ms_threads4\":160.00"));
         assert!(json.contains("\"host_cpus\":"));
         assert!(json.contains("\"slice_fraction\":0.750"));
+        assert!(json.contains("\"wall_ms_planned\":380.00"));
+        assert!(json.contains("\"throughput_mcps\":"));
+        assert!(json.contains("\"throughput_mcps_planned\":"));
+        assert!(json.contains("\"geomean_plan_speedup\":"));
         assert!(json.contains("\"modeled_speedup_threads4\":2.290"));
         assert!(json.contains("\"wall_ms_supervised\":420.00"));
         assert!(json.contains("\"supervisor_overhead\":1.050"));
@@ -414,6 +488,19 @@ mod tests {
         assert!((rows[1].supervisor_overhead() - 1.01).abs() < 1e-9);
         let geo = geomean_supervisor_overhead(&rows);
         assert!(geo > 1.01 && geo < 1.05, "geomean {geo}");
+    }
+
+    #[test]
+    fn plan_speedup_and_throughput_track_planned_wall_clock() {
+        let rows = sample_rows();
+        // gcc: 400 ms plan-off -> 380 ms plan-on.
+        assert!((rows[0].speedup_planned() - 400.0 / 380.0).abs() < 1e-9);
+        // 3e6 simulated cycles over 400 ms = 7.5 Mcyc/s plan-off.
+        assert!((rows[0].throughput_mcps() - 7.5).abs() < 1e-9);
+        assert!(rows[0].throughput_mcps_planned() > rows[0].throughput_mcps());
+        let geo = geomean_plan_speedup(&rows);
+        let (lo, hi) = (400.0 / 380.0, 300.0 / 250.0);
+        assert!(geo >= lo && geo <= hi, "geomean {geo}");
     }
 
     #[test]

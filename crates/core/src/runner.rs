@@ -1238,6 +1238,19 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
 
         // All slices merged: render the final result.
+        //
+        // Soundness gate: if an oracle was installed, no engine may have
+        // observed a transfer or code write the static analysis does not
+        // admit. Engines assert at the offending site in debug builds;
+        // this catches violations that were only recorded (and any run
+        // driven through a release-built harness under a debug test).
+        if let Some(oracle) = &self.cfg.oracle {
+            debug_assert!(
+                oracle.is_clean(),
+                "soundness oracle recorded violations: {:?}",
+                oracle.violations()
+            );
+        }
         let mut fin = self.tool_template.clone();
         fin.fini_shared(&self.shared);
 

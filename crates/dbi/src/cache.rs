@@ -26,6 +26,12 @@ pub struct InsertedCall<T> {
     /// [`LiveMap`] installed, registers dead at the insertion point are
     /// elided.
     pub saves: RegSet,
+    /// Subset of `saves` additionally proven dead by the *refined*
+    /// interprocedural liveness of a superblock plan
+    /// ([`CodeCache::set_refined_liveness`]). These registers skip the
+    /// host-side restore, but `saves` is untouched — it is the cost
+    /// basis, so charged cycles stay identical with a plan on or off.
+    pub elided: RegSet,
 }
 
 impl<T> fmt::Debug for InsertedCall<T> {
@@ -33,6 +39,7 @@ impl<T> fmt::Debug for InsertedCall<T> {
         f.debug_struct("InsertedCall")
             .field("call", &self.call)
             .field("saves", &self.saves)
+            .field("elided", &self.elided)
             .finish()
     }
 }
@@ -118,6 +125,15 @@ pub struct CodeCache<T> {
     /// Static liveness used to elide save/restores of dead registers
     /// around analysis calls; `None` saves the full clobber set.
     liveness: Option<Arc<LiveMap>>,
+    /// Interprocedurally refined liveness from a superblock plan.
+    /// Registers in a call's save set that this map proves dead skip
+    /// the host-side restore ([`InsertedCall::elided`]) without
+    /// changing the charged cost.
+    refined: Option<Arc<LiveMap>>,
+    /// Host-only counter: restores elided via `refined` across all
+    /// compilations. Deliberately *not* part of [`CacheStats`], which
+    /// feeds bit-identical-report comparisons.
+    elided_restores: u64,
     /// Test hook: a register deliberately omitted from every planned
     /// save set, so the clobber-safety verifier has a bug to catch.
     clobber_bug: Option<Reg>,
@@ -156,6 +172,8 @@ impl<T> CodeCache<T> {
             capacity_insts: capacity_insts.max(1),
             stats: CacheStats::default(),
             liveness: None,
+            refined: None,
+            elided_restores: 0,
             clobber_bug: None,
             violations: Vec::new(),
         }
@@ -168,6 +186,22 @@ impl<T> CodeCache<T> {
     /// save sets.
     pub fn set_liveness(&mut self, liveness: Arc<LiveMap>) {
         self.liveness = Some(liveness);
+    }
+
+    /// Installs the superblock plan's interprocedurally refined
+    /// liveness. Registers a call must *save* (per the conservative
+    /// map) but that the refined map proves dead are marked
+    /// [`InsertedCall::elided`]: the host skips their restore while
+    /// the charged cost still covers the full save set. Like
+    /// [`CodeCache::set_liveness`], install while cold.
+    pub fn set_refined_liveness(&mut self, refined: Arc<LiveMap>) {
+        self.refined = Some(refined);
+    }
+
+    /// Host-only count of save/restores elided by the refined
+    /// liveness across all compilations. Not part of [`CacheStats`].
+    pub fn elided_restores(&self) -> u64 {
+        self.elided_restores
     }
 
     /// Test hook: omit `reg` from every save set the compiler plans, so
@@ -278,6 +312,19 @@ impl<T> CodeCache<T> {
                 if let Some(bug) = self.clobber_bug {
                     saves.remove(bug);
                 }
+                // Refined interprocedural liveness (superblock plan):
+                // saved registers the refined map proves dead skip
+                // their host-side restore. `saves` itself is untouched
+                // — it is the cost basis.
+                let refined_live = self.refined.as_ref().map(|map| match point {
+                    IPoint::Before => map.live_before(addr),
+                    IPoint::After => map.live_after(addr),
+                });
+                let elided = match refined_live {
+                    None => RegSet::EMPTY,
+                    Some(refined) => saves.minus(required_saves(refined)),
+                };
+                self.elided_restores += elided.len() as u64;
                 let list = match point {
                     IPoint::Before => &mut slot.before,
                     IPoint::After => &mut slot.after,
@@ -295,8 +342,27 @@ impl<T> CodeCache<T> {
                             live,
                         });
                     }
+                    // With elision, what is actually restored is
+                    // `saves − elided`; it must still cover the
+                    // refined requirement.
+                    if let Some(refined) = refined_live {
+                        let missing = required_saves(refined).minus(saves.minus(elided));
+                        if !missing.is_empty() {
+                            self.violations.push(ClobberViolation {
+                                addr,
+                                point,
+                                call_index: list.len(),
+                                missing,
+                                live: refined,
+                            });
+                        }
+                    }
                 }
-                list.push(InsertedCall { call, saves });
+                list.push(InsertedCall {
+                    call,
+                    saves,
+                    elided,
+                });
             }
             // Calls aimed at addresses outside the trace are dropped,
             // mirroring Pin: instrumentation only applies to the trace

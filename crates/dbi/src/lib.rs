@@ -60,7 +60,9 @@ pub mod trace;
 
 pub use cache::{CacheStats, CodeCache, InsertedCall};
 pub use cost::{cycles_to_secs, secs_to_cycles, CostModel, CYCLES_PER_SEC};
-pub use engine::{cycles_to_ns, CycleBreakdown, Engine, EngineStats, EngineStop, RunResult};
+pub use engine::{
+    cycles_to_ns, CycleBreakdown, Engine, EngineStats, EngineStop, PlanStats, RunResult,
+};
 pub use inserter::{AnalysisFn, Call, CallCtx, EngineCtl, IArg, IPoint, Inserter, PredicateFn};
 pub use shared_index::{ProbeOutcome, SharedIndexStats, SharedTraceIndex};
 pub use spill::{analysis_clobbers, ClobberViolation};
@@ -69,4 +71,6 @@ pub use trace::{discover_trace, BasicBlock, InstRef, Trace};
 
 // Re-exported so DBI consumers can build and install liveness without
 // depending on `superpin-analysis` directly.
-pub use superpin_analysis::{LiveMap, RegSet};
+pub use superpin_analysis::{
+    LiveMap, PlanKnobs, ProgramAnalysis, RegSet, SoundnessOracle, SuperblockPlan,
+};

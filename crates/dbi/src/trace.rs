@@ -151,6 +151,25 @@ pub fn discover_trace_split(
     entry: u64,
     split: Option<u64>,
 ) -> Result<Trace, VmError> {
+    discover_trace_with(|pc| decode_guest(mem, pc), entry, split)
+}
+
+/// [`discover_trace_split`] over an arbitrary instruction source.
+///
+/// The fetch closure abstracts where instruction bytes come from: live
+/// guest-memory decode ([`decode_guest`]) or an ahead-of-time
+/// superblock plan's pre-decoded stream. Both must yield identical
+/// [`InstRef`]s for the same pc — the engine debug-asserts this when a
+/// plan is installed.
+///
+/// # Errors
+///
+/// Propagates fetch errors.
+pub fn discover_trace_with(
+    fetch: impl Fn(u64) -> Result<InstRef, VmError>,
+    entry: u64,
+    split: Option<u64>,
+) -> Result<Trace, VmError> {
     let mut bbls = Vec::new();
     let mut current = Vec::new();
     let mut pc = entry;
@@ -165,7 +184,7 @@ pub fn discover_trace_split(
             }
             break;
         }
-        let inst_ref = decode_guest(mem, pc)?;
+        let inst_ref = fetch(pc)?;
         current.push(inst_ref);
         total += 1;
         pc += inst_ref.size;

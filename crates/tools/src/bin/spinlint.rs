@@ -3,21 +3,27 @@
 //! Runs the `superpin-analysis` lint suite (undefined register reads,
 //! unreachable blocks, fall-off-end, stack imbalance, dead stores)
 //! over assembly files or generated workloads and prints the findings
-//! compiler-style.
+//! compiler-style. With `--whole-program` the interprocedural passes
+//! run too: unreachable functions, indirect transfers whose target set
+//! cannot be statically bounded, and self-modifying code overlapping a
+//! hot loop.
 //!
 //! ```text
-//! spinlint prog.s another.s      # lint assembly source files
-//! spinlint --workload gcc        # lint one generated workload
-//! spinlint --all-workloads       # lint the whole catalog
+//! spinlint prog.s another.s          # lint assembly source files
+//! spinlint --workload gcc            # lint one generated workload
+//! spinlint --all-workloads           # lint the whole catalog
+//! spinlint --whole-program --all-workloads --emit-json lint.json
 //! ```
 //!
 //! Exit status: 0 if every linted program is free of errors and
 //! warnings (info findings are advisory), 1 otherwise, 2 on usage or
-//! input errors.
+//! input errors. Error-severity findings always force a nonzero exit,
+//! so CI can gate on the catalog staying lint-clean.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use superpin_analysis::{run_lints, LintReport, Severity};
+use superpin_analysis::{run_lints, run_whole_program_lints, LintReport, Severity};
 use superpin_isa::{asm, Program};
 use superpin_workloads::{catalog, find, Scale};
 
@@ -26,8 +32,11 @@ usage: spinlint [options] [file.s ...]
   <file.s>            lint assembly source files
   --workload <name>   lint the generated workload <name>
   --all-workloads     lint every workload in the catalog
+  --whole-program     also run interprocedural lints (call-graph
+                      reachability, indirect-target resolution, SMC)
   --scale <s>         workload scale: tiny | small | medium | large (default tiny)
   --input <n>         workload input id (default 0)
+  --emit-json <path>  write all findings as JSON to <path> ('-' = stdout)
   --quiet             suppress info-severity findings
   --help              show this help";
 
@@ -35,8 +44,10 @@ struct Options {
     files: Vec<String>,
     workloads: Vec<String>,
     all_workloads: bool,
+    whole_program: bool,
     scale: Scale,
     input: u64,
+    emit_json: Option<String>,
     quiet: bool,
 }
 
@@ -45,8 +56,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         files: Vec::new(),
         workloads: Vec::new(),
         all_workloads: false,
+        whole_program: false,
         scale: Scale::Tiny,
         input: 0,
+        emit_json: None,
         quiet: false,
     };
     let mut iter = args.iter();
@@ -57,6 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.workloads.push(name.clone());
             }
             "--all-workloads" => options.all_workloads = true,
+            "--whole-program" => options.whole_program = true,
             "--scale" => {
                 options.scale = match iter.next().map(String::as_str) {
                     Some("tiny") => Scale::Tiny,
@@ -70,6 +84,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--input" => {
                 let raw = iter.next().ok_or("--input needs a value")?;
                 options.input = raw.parse().map_err(|_| format!("bad input id `{raw}`"))?;
+            }
+            "--emit-json" => {
+                let path = iter.next().ok_or("--emit-json needs a path")?;
+                options.emit_json = Some(path.clone());
             }
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err(String::new()),
@@ -85,17 +103,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-/// Lints one program; returns true if it is clean of errors/warnings.
-fn lint_one(name: &str, program: &Program, quiet: bool) -> bool {
-    let report = match run_lints(program) {
-        Ok(report) => report,
+/// Lints one program; `None` means the analysis itself failed.
+fn lint_one(name: &str, program: &Program, options: &Options) -> Option<LintReport> {
+    let result = if options.whole_program {
+        run_whole_program_lints(program)
+    } else {
+        run_lints(program)
+    };
+    match result {
+        Ok(report) => {
+            print_report(name, &report, options.quiet);
+            Some(report)
+        }
         Err(e) => {
             eprintln!("{name}: analysis failed: {e}");
-            return false;
+            None
         }
-    };
-    print_report(name, &report, quiet);
-    report.is_clean()
+    }
 }
 
 fn print_report(name: &str, report: &LintReport, quiet: bool) {
@@ -119,6 +143,71 @@ fn print_report(name: &str, report: &LintReport, quiet: bool) {
     );
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes every report (the workspace's dependency policy has no
+/// JSON crate; the records are flat, so a hand-rolled emitter keeps the
+/// output machine-readable without a new dependency).
+fn reports_to_json(reports: &[(String, LintReport)], whole_program: bool) -> String {
+    let mut total_errors = 0usize;
+    let mut total_warnings = 0usize;
+    let mut out = String::from("{\"programs\":[");
+    for (i, (name, report)) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"errors\":{},\"warnings\":{},\"infos\":{},\"clean\":{},\"findings\":[",
+            json_escape(name),
+            report.errors(),
+            report.warnings(),
+            report.infos(),
+            report.is_clean(),
+        );
+        for (j, finding) in report.findings().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\":\"{}\",\"severity\":\"{}\",\"addr\":{},\"message\":\"{}\"}}",
+                finding.kind.slug(),
+                finding.severity(),
+                finding.addr,
+                json_escape(&finding.message),
+            );
+        }
+        out.push_str("]}");
+    }
+    let _ = write!(
+        out,
+        "],\"whole_program\":{whole_program},\"total_errors\":{total_errors},\
+         \"total_warnings\":{total_warnings},\"clean\":{}}}",
+        total_errors == 0 && total_warnings == 0
+    );
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -134,7 +223,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut all_clean = true;
+    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    let mut analysis_failed = false;
     for path in &options.files {
         let source = match std::fs::read_to_string(path) {
             Ok(source) => source,
@@ -144,7 +234,10 @@ fn main() -> ExitCode {
             }
         };
         match asm::assemble(&source) {
-            Ok(program) => all_clean &= lint_one(path, &program, options.quiet),
+            Ok(program) => match lint_one(path, &program, &options) {
+                Some(report) => reports.push((path.clone(), report)),
+                None => analysis_failed = true,
+            },
             Err(e) => {
                 eprintln!("spinlint: {path}: {e}");
                 return ExitCode::from(2);
@@ -175,9 +268,23 @@ fn main() -> ExitCode {
     }
     for spec in specs {
         let program = spec.build_with_input(options.scale, options.input);
-        all_clean &= lint_one(spec.name, &program, options.quiet);
+        match lint_one(spec.name, &program, &options) {
+            Some(report) => reports.push((spec.name.to_owned(), report)),
+            None => analysis_failed = true,
+        }
     }
 
+    if let Some(path) = &options.emit_json {
+        let json = reports_to_json(&reports, options.whole_program);
+        if path == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(path, json) {
+            eprintln!("spinlint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let all_clean = !analysis_failed && reports.iter().all(|(_, report)| report.is_clean());
     if all_clean {
         ExitCode::SUCCESS
     } else {

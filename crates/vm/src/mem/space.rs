@@ -156,6 +156,12 @@ pub struct AddressSpace {
     /// [`fork`](AddressSpace::fork), so slices observe the master's
     /// budget deterministically.
     mem_limit: Option<u64>,
+    /// When `Some`, every write into a code region is also logged as
+    /// `(addr, len)` for a static↔dynamic soundness oracle to audit
+    /// alongside the [`code_version`](AddressSpace::code_version) bump.
+    /// `None` (the default) costs one branch per write. Bounded: the
+    /// consumer drains it at every code-version mismatch.
+    code_write_log: Option<Vec<(u64, usize)>>,
 }
 
 /// Base address for hint-less anonymous mappings.
@@ -182,6 +188,7 @@ impl AddressSpace {
             stats: MemStats::default(),
             code_version: 0,
             mem_limit: None,
+            code_write_log: None,
         }
     }
 
@@ -218,6 +225,27 @@ impl AddressSpace {
     /// Translation caches compare it to detect self-modifying code.
     pub fn code_version(&self) -> u64 {
         self.code_version
+    }
+
+    /// Enables (or with `false` disables and discards) the code-write
+    /// log: subsequent writes that bump
+    /// [`code_version`](AddressSpace::code_version) also record their
+    /// `(addr, len)` for [`take_code_writes`](Self::take_code_writes).
+    pub fn log_code_writes(&mut self, enable: bool) {
+        self.code_write_log = if enable {
+            Some(self.code_write_log.take().unwrap_or_default())
+        } else {
+            None
+        };
+    }
+
+    /// Drains the logged code writes since the last drain. Empty unless
+    /// [`log_code_writes`](Self::log_code_writes) is enabled.
+    pub fn take_code_writes(&mut self) -> Vec<(u64, usize)> {
+        match &mut self.code_write_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Current program break.
@@ -488,6 +516,10 @@ impl AddressSpace {
                 None => return Err(MemError::Unmapped(addr)),
                 Some(region) if region.kind == RegionKind::Code => {
                     self.code_version += 1;
+                    if let Some(log) = &mut self.code_write_log {
+                        let chunk = data.len().min(PAGE_SIZE - (addr & PAGE_MASK) as usize);
+                        log.push((addr, chunk));
+                    }
                 }
                 Some(_) => {}
             }

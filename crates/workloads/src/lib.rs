@@ -36,6 +36,7 @@
 //! ```
 
 mod gen;
+pub mod meta;
 mod rng;
 mod spec;
 

@@ -1,0 +1,57 @@
+//! Ground-truth jump-table metadata for generated workloads.
+//!
+//! Every generated workload dispatches its work units through an
+//! indirect-call table (`unit_table` in the data section, one 8-byte
+//! word per `unitN` function). This module *re-reads* that structure
+//! from the built [`Program`]'s symbols and data bytes and exposes it
+//! as [`DispatchMeta`] — the ground truth that tests compare the
+//! `superpin-analysis` whole-program resolver against. The analysis
+//! itself never reads symbols; it must rediscover the same table by
+//! constant propagation over the dispatch idiom.
+
+use superpin_isa::Program;
+
+/// The indirect-dispatch table of a generated workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DispatchMeta {
+    /// Address of the first table word (`unit_table`).
+    pub table_addr: u64,
+    /// Code addresses of the unit functions, in table order.
+    pub entries: Vec<u64>,
+    /// The index mask the dispatch sequence applies (`units - 1`;
+    /// unit counts are powers of two).
+    pub mask: u64,
+}
+
+/// Extracts the dispatch table from a generated workload.
+///
+/// Returns `None` for programs without a `unit_table` symbol (e.g.
+/// hand-written assembly).
+pub fn dispatch_meta(program: &Program) -> Option<DispatchMeta> {
+    let table = program.symbol("unit_table")?;
+    let mut entries = Vec::new();
+    // Unit count = number of unitN code symbols.
+    let units = program
+        .symbols()
+        .filter(|s| {
+            s.name
+                .strip_prefix("unit")
+                .is_some_and(|rest| rest.parse::<u64>().is_ok())
+        })
+        .count() as u64;
+    if units == 0 || !units.is_power_of_two() {
+        return None;
+    }
+    let data = program.data();
+    let base = program.data_base();
+    for i in 0..units {
+        let offset = (table.addr - base + i * 8) as usize;
+        let word = data.get(offset..offset + 8)?;
+        entries.push(u64::from_le_bytes(word.try_into().ok()?));
+    }
+    Some(DispatchMeta {
+        table_addr: table.addr,
+        entries,
+        mask: units - 1,
+    })
+}
