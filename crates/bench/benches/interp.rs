@@ -1,0 +1,121 @@
+//! Interpreter hot-path micro-benchmarks, isolating the two unit-level
+//! wins of the fast-core work independent of the benchmark catalog:
+//!
+//! * **decode-once vs decode-per-step** — the per-page [`DecodeCache`]
+//!   against a loop that re-decodes every instruction through
+//!   [`cpu::fetch_at`] on every execution;
+//! * **dispatch-table vs match** — the direct-threaded
+//!   [`cpu::exec_decoded`] against the match-based reference
+//!   [`cpu::exec_decoded_match`], both fed from the same warm decode
+//!   cache so only the dispatch mechanism differs.
+//!
+//! All four variants execute the same ~20k-instruction countdown loop
+//! and are cross-checked to retire the same instruction count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superpin_isa::Inst;
+use superpin_vm::cpu::{self, CpuState, ExecOutcome};
+use superpin_vm::decode::DecodeCache;
+use superpin_vm::mem::AddressSpace;
+use superpin_vm::process::Process;
+use superpin_vm::VmError;
+
+type ExecFn = fn(&mut CpuState, &mut AddressSpace, Inst, u64) -> Result<ExecOutcome, VmError>;
+
+/// Runs until halt, decoding every step through the given fetcher and
+/// executing through the given dispatcher; returns instructions retired.
+fn run_loop(
+    cpu: &mut CpuState,
+    mem: &mut AddressSpace,
+    mut fetch: impl FnMut(&AddressSpace, u64) -> Result<(Inst, u64), VmError>,
+    exec: ExecFn,
+) -> u64 {
+    let mut retired = 0u64;
+    loop {
+        let (inst, size) = fetch(mem, cpu.pc).expect("fetch");
+        match exec(cpu, mem, inst, size).expect("exec") {
+            ExecOutcome::Next | ExecOutcome::Jumped => retired += 1,
+            ExecOutcome::Syscall | ExecOutcome::Halt => break retired,
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let src = "main:\n li r1, 10000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n halt\n";
+    let program = superpin_isa::asm::assemble(src).expect("assemble");
+    let process = Process::load(1, &program).expect("load");
+    let entry = process.cpu.pc;
+    let mut mem = process.mem;
+
+    // Reference count from the never-cached, match-dispatched loop.
+    let mut cpu_state = CpuState::at(entry);
+    let expected = run_loop(
+        &mut cpu_state,
+        &mut mem,
+        cpu::fetch_at,
+        cpu::exec_decoded_match,
+    );
+    assert_eq!(expected, 20_001, "li + 10000 x (subi, bne)");
+
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(20);
+
+    // Decode-per-step: the pre-decode-cache interpreter shape.
+    group.bench_function("decode_per_step_20k", |b| {
+        b.iter(|| {
+            let mut cpu_state = CpuState::at(entry);
+            let retired = run_loop(&mut cpu_state, &mut mem, cpu::fetch_at, cpu::exec_decoded);
+            assert_eq!(retired, expected);
+        })
+    });
+
+    // Decode-once: same loop through a persistent decode cache, so the
+    // steady state is an array read per instruction.
+    let mut cache = DecodeCache::new();
+    group.bench_function("decode_once_20k", |b| {
+        b.iter(|| {
+            let mut cpu_state = CpuState::at(entry);
+            let retired = run_loop(
+                &mut cpu_state,
+                &mut mem,
+                |mem, pc| cache.fetch(mem, pc),
+                cpu::exec_decoded,
+            );
+            assert_eq!(retired, expected);
+        })
+    });
+
+    // Dispatch comparison: identical warm-cache fetch path, only the
+    // execute dispatch differs (direct-threaded table vs match).
+    let mut cache = DecodeCache::new();
+    group.bench_function("dispatch_table_20k", |b| {
+        b.iter(|| {
+            let mut cpu_state = CpuState::at(entry);
+            let retired = run_loop(
+                &mut cpu_state,
+                &mut mem,
+                |mem, pc| cache.fetch(mem, pc),
+                cpu::exec_decoded,
+            );
+            assert_eq!(retired, expected);
+        })
+    });
+    let mut cache = DecodeCache::new();
+    group.bench_function("dispatch_match_20k", |b| {
+        b.iter(|| {
+            let mut cpu_state = CpuState::at(entry);
+            let retired = run_loop(
+                &mut cpu_state,
+                &mut mem,
+                |mem, pc| cache.fetch(mem, pc),
+                cpu::exec_decoded_match,
+            );
+            assert_eq!(retired, expected);
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -64,6 +64,8 @@ struct Options {
     plan: bool,
     plan_knobs: PlanKnobs,
     emit_json: Option<String>,
+    tag: Option<String>,
+    perf_guard: Option<(String, String)>,
     tool: String,
     benchmark: String,
     scale: Scale,
@@ -132,8 +134,9 @@ fn usage() -> ! {
          [--chaos-seed N] [--chaos-rate F] [--watchdog-factor K] [--mem-budget BYTES[k|m|g]] \
          [--plan on|off] [--hot-loop-threshold N] [--max-trace-len N] \
          -t TOOL -- BENCHMARK [tiny|small|medium|large]\n\
-         \x20      superpin --emit-json [PATH] [--scale tiny|small|medium|large] \
+         \x20      superpin --emit-json [PATH] [--tag KEY] [--scale tiny|small|medium|large] \
          [--mem-budget BYTES[k|m|g]]\n\
+         \x20      superpin --perf-guard FRESH.json BASELINE.json\n\
          tools: icount1 icount2 dcache dcache-assoc icache bblcount insmix itrace branch mem sampler"
     );
     std::process::exit(2);
@@ -181,6 +184,8 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
         plan: false,
         plan_knobs: PlanKnobs::default(),
         emit_json: None,
+        tag: None,
+        perf_guard: None,
         tool: String::new(),
         benchmark: String::new(),
         scale: Scale::Small,
@@ -279,6 +284,20 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
                 options.scale = parse_scale(v)?;
                 options.scale_explicit = true;
             }
+            "--tag" => {
+                options.tag = Some(iter.next().ok_or(ArgError::MissingValue("--tag"))?.clone());
+            }
+            "--perf-guard" => {
+                let fresh = iter
+                    .next()
+                    .ok_or(ArgError::MissingValue("--perf-guard"))?
+                    .clone();
+                let baseline = iter
+                    .next()
+                    .ok_or(ArgError::MissingValue("--perf-guard"))?
+                    .clone();
+                options.perf_guard = Some((fresh, baseline));
+            }
             "-t" => {
                 options.tool = iter.next().ok_or(ArgError::MissingValue("-t"))?.clone();
             }
@@ -288,7 +307,7 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
             other => return Err(ArgError::UnknownFlag(other.to_owned())),
         }
     }
-    if options.emit_json.is_some() {
+    if options.emit_json.is_some() || options.perf_guard.is_some() {
         return Ok(options);
     }
     if after_dashes.is_empty() || options.tool.is_empty() {
@@ -408,8 +427,66 @@ fn run_super<T: SuperTool>(
     report
 }
 
+/// The history key for an `--emit-json` run: the `--tag` string when
+/// given, otherwise the current git short SHA, otherwise `untagged`.
+fn history_key(options: &Options) -> String {
+    if let Some(tag) = &options.tag {
+        return tag.clone();
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|sha| sha.trim().to_owned())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "untagged".to_owned())
+}
+
+/// `--perf-guard FRESH BASELINE`: compare geomean plan-off throughput
+/// in a fresh `--emit-json` file against a checked-in baseline snapshot
+/// and fail (exit 1) on a >10% regression. Runs no simulation itself,
+/// so CI can reuse the tracker output it just produced.
+fn run_perf_guard(fresh_path: &str, baseline_path: &str) -> ! {
+    const FIELD: &str = "geomean_throughput_mcps";
+    const ALLOWED_REGRESSION: f64 = 0.10;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf-guard: read {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let number = |path: &str, json: &str| {
+        superpin_bench::parallel::extract_number(json, FIELD).unwrap_or_else(|| {
+            eprintln!("perf-guard: no `{FIELD}` field in {path}");
+            std::process::exit(1);
+        })
+    };
+    let fresh = number(fresh_path, &read(fresh_path));
+    let baseline = number(baseline_path, &read(baseline_path));
+    let floor = baseline * (1.0 - ALLOWED_REGRESSION);
+    println!(
+        "perf-guard: {FIELD} fresh {fresh:.3} vs baseline {baseline:.3} \
+         (floor {floor:.3}, {:.0}% regression allowed)",
+        ALLOWED_REGRESSION * 100.0
+    );
+    if fresh < floor {
+        eprintln!(
+            "perf-guard: geomean throughput regressed {:.1}% (> {:.0}% allowed)",
+            100.0 * (1.0 - fresh / baseline),
+            ALLOWED_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let options = parse_args();
+    if let Some((fresh, baseline)) = &options.perf_guard {
+        run_perf_guard(fresh, baseline);
+    }
     if let Some(path) = &options.emit_json {
         // Wall-clock tracker mode: serial vs parallel over a fixed set.
         let scale = if options.scale_explicit {
@@ -423,7 +500,15 @@ fn main() {
             options.mem_budget,
         );
         print!("{}", superpin_bench::parallel::render_parallel(&rows));
-        let json = superpin_bench::parallel::parallel_to_json(scale, &rows);
+        // Appending (not clobbering) the history array keeps the perf
+        // trajectory across PRs; same-key reruns replace their entry.
+        let previous = std::fs::read_to_string(path).ok();
+        let json = superpin_bench::parallel::parallel_to_json_with_history(
+            scale,
+            &rows,
+            &history_key(&options),
+            previous.as_deref(),
+        );
         std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
         if rows.iter().any(|row| !row.identical) {
@@ -785,6 +870,30 @@ mod tests {
         assert_eq!(defaults.plan_knobs, PlanKnobs::default());
         assert!(
             parse_options(&args(&["--plan", "sideways", "-t", "icount2", "--", "gcc"])).is_err()
+        );
+    }
+
+    #[test]
+    fn tag_and_perf_guard_parse() {
+        let options =
+            parse_options(&args(&["--emit-json", "out.json", "--tag", "pr7"])).expect("parse");
+        assert_eq!(options.emit_json.as_deref(), Some("out.json"));
+        assert_eq!(options.tag.as_deref(), Some("pr7"));
+
+        let options =
+            parse_options(&args(&["--perf-guard", "fresh.json", "base.json"])).expect("parse");
+        assert_eq!(
+            options.perf_guard,
+            Some(("fresh.json".to_owned(), "base.json".to_owned()))
+        );
+
+        assert_eq!(
+            parse_options(&args(&["--perf-guard", "fresh.json"])),
+            Err(ArgError::MissingValue("--perf-guard"))
+        );
+        assert_eq!(
+            parse_options(&args(&["--emit-json", "x.json", "--tag"])),
+            Err(ArgError::MissingValue("--tag"))
         );
     }
 

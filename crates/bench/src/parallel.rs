@@ -134,6 +134,13 @@ pub fn bench_config(scale: Scale) -> SuperPinConfig {
     SuperPinConfig::scaled(2000, time_scale_for(scale))
 }
 
+/// Timing repetitions per configuration; the row records the *minimum*
+/// wall clock. One-shot timing let a single scheduler hiccup in the
+/// plan-off run invert the throughput columns (planned < unplanned on a
+/// run where the plan can only remove work); the min over three runs is
+/// the standard estimator for the noise-free cost of deterministic work.
+const TIMING_RUNS: usize = 3;
+
 fn timed_run(
     program: &superpin_isa::Program,
     scale: Scale,
@@ -143,21 +150,36 @@ fn timed_run(
     plan: Option<&ProgramAnalysis>,
     name: &str,
 ) -> (f64, SuperPinReport, HostProfile) {
-    let shared = SharedMem::new();
-    let tool = ICount1::new(&shared);
-    let mut cfg = bench_config(scale).with_threads(threads);
-    if supervise {
-        cfg = cfg.with_supervision();
+    let mut best: Option<(f64, SuperPinReport, HostProfile)> = None;
+    for _ in 0..TIMING_RUNS {
+        let shared = SharedMem::new();
+        let tool = ICount1::new(&shared);
+        let mut cfg = bench_config(scale).with_threads(threads);
+        if supervise {
+            cfg = cfg.with_supervision();
+        }
+        if let Some(budget) = mem_budget {
+            cfg = cfg.with_mem_budget(budget);
+        }
+        if let Some(analysis) = plan {
+            cfg = cfg.with_plan(Arc::new(analysis.plan(PlanKnobs::default())));
+        }
+        let start = Instant::now();
+        let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some((best_ms, best_report, _)) = &best {
+            debug_assert_eq!(
+                best_report, &report,
+                "simulation must be run-to-run identical"
+            );
+            if wall_ms < *best_ms {
+                best = Some((wall_ms, report, profile));
+            }
+        } else {
+            best = Some((wall_ms, report, profile));
+        }
     }
-    if let Some(budget) = mem_budget {
-        cfg = cfg.with_mem_budget(budget);
-    }
-    if let Some(analysis) = plan {
-        cfg = cfg.with_plan(Arc::new(analysis.plan(PlanKnobs::default())));
-    }
-    let start = Instant::now();
-    let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
-    (start.elapsed().as_secs_f64() * 1e3, report, profile)
+    best.expect("TIMING_RUNS >= 1")
 }
 
 /// Runs the serial/parallel wall-clock comparison over `names`. A
@@ -262,6 +284,17 @@ pub fn geomean_plan_speedup(rows: &[ParallelRow]) -> f64 {
     )
 }
 
+/// Geometric-mean plan-off interpreter throughput in Mcyc/s — the
+/// headline number the CI perf guard compares against its baseline.
+pub fn geomean_throughput_mcps(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(ParallelRow::throughput_mcps))
+}
+
+/// Geometric-mean plan-on interpreter throughput in Mcyc/s.
+pub fn geomean_throughput_mcps_planned(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(ParallelRow::throughput_mcps_planned))
+}
+
 /// Serializes the comparison as the `BENCH_parallel.json` tracking
 /// format (same hand-rolled emitter policy as [`crate::json`]).
 pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
@@ -313,14 +346,146 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
     let _ = write!(
         out,
         "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3},\
-         \"geomean_supervisor_overhead\":{:.3},\"geomean_plan_speedup\":{:.3}}}",
+         \"geomean_supervisor_overhead\":{:.3},\"geomean_plan_speedup\":{:.3},\
+         \"geomean_throughput_mcps\":{:.3},\"geomean_throughput_mcps_planned\":{:.3}}}",
         geomean_speedup(rows),
         rows.iter().map(ParallelRow::speedup).fold(0.0, f64::max),
         geomean_modeled_speedup(rows),
         geomean_supervisor_overhead(rows),
         geomean_plan_speedup(rows),
+        geomean_throughput_mcps(rows),
+        geomean_throughput_mcps_planned(rows),
     );
     out
+}
+
+/// [`parallel_to_json`] plus a `history` array: the per-run summary is
+/// appended to whatever history the previous file contents carried, so
+/// the tracking file accumulates a perf trajectory across PRs instead
+/// of clobbering it. Entries are keyed (git SHA or `--tag`); re-running
+/// under the same key replaces that entry rather than duplicating it.
+pub fn parallel_to_json_with_history(
+    scale: Scale,
+    rows: &[ParallelRow],
+    key: &str,
+    previous: Option<&str>,
+) -> String {
+    let mut out = parallel_to_json(scale, rows);
+    let closing = out.pop();
+    debug_assert_eq!(closing, Some('}'));
+    let entry = format!(
+        "{{\"key\":\"{key}\",\"scale\":\"{scale:?}\",\"geomean_speedup\":{:.3},\
+         \"geomean_plan_speedup\":{:.3},\"geomean_throughput_mcps\":{:.3},\
+         \"geomean_throughput_mcps_planned\":{:.3}}}",
+        geomean_speedup(rows),
+        geomean_plan_speedup(rows),
+        geomean_throughput_mcps(rows),
+        geomean_throughput_mcps_planned(rows),
+    );
+    out.push_str(",\"history\":[");
+    let mut first = true;
+    if let Some(body) = previous.and_then(|json| extract_array(json, "history")) {
+        let same_key = format!("\"key\":\"{key}\"");
+        for old in split_top_level(body) {
+            let old = old.trim();
+            if old.is_empty() || old.contains(same_key.as_str()) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            out.push_str(old);
+            first = false;
+        }
+    }
+    if !first {
+        out.push(',');
+    }
+    out.push_str(&entry);
+    out.push_str("]}");
+    out
+}
+
+/// Finds the raw text between the brackets of `"field":[...]` in
+/// `json`, honoring nesting and string literals. `None` when the field
+/// is absent (e.g. a pre-history tracking file).
+fn extract_array<'a>(json: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":[");
+    let start = json.find(&needle)? + needle.len();
+    let mut depth = 1usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, ch) in json[start..].char_indices() {
+        if in_string {
+            match ch {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&json[start..start + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a JSON array body into its top-level elements (text slices),
+/// honoring nesting and string literals.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut from = 0usize;
+    for (i, ch) in body.char_indices() {
+        if in_string {
+            match ch {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '[' | '{' => depth += 1,
+            ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&body[from..i]);
+                from = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if from < body.len() {
+        parts.push(&body[from..]);
+    }
+    parts
+}
+
+/// Reads the numeric value of a top-level `"field":<number>` pair from
+/// emitted JSON — enough parsing for the CI perf guard to compare a
+/// fresh run against the checked-in baseline without a JSON dependency.
+pub fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|ch: char| !matches!(ch, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// Renders the comparison as a text table for the terminal.
@@ -456,6 +621,58 @@ mod tests {
         assert!(json.contains("\"identical\":true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn history_appends_and_replaces_by_key() {
+        let rows = sample_rows();
+        // First emission: no previous file, history holds one entry.
+        let first = parallel_to_json_with_history(Scale::Medium, &rows, "abc1234", None);
+        assert!(first.ends_with("]}"), "history must be the last field");
+        assert!(first.contains("\"history\":[{\"key\":\"abc1234\""));
+        assert_eq!(first.matches("\"key\":").count(), 1);
+        assert_eq!(first.matches('{').count(), first.matches('}').count());
+        assert_eq!(first.matches('[').count(), first.matches(']').count());
+
+        // Second emission under a new key: the old entry survives.
+        let second = parallel_to_json_with_history(Scale::Medium, &rows, "def5678", Some(&first));
+        assert!(second.contains("\"key\":\"abc1234\""));
+        assert!(second.contains("\"key\":\"def5678\""));
+        assert_eq!(second.matches("\"key\":").count(), 2);
+
+        // Re-running the same key replaces its entry, no duplicate.
+        let third = parallel_to_json_with_history(Scale::Medium, &rows, "def5678", Some(&second));
+        assert_eq!(third.matches("\"key\":\"abc1234\"").count(), 1);
+        assert_eq!(third.matches("\"key\":\"def5678\"").count(), 1);
+        assert_eq!(third.matches('{').count(), third.matches('}').count());
+
+        // A pre-history tracking file (no history field) starts fresh.
+        let legacy = parallel_to_json(Scale::Medium, &rows);
+        let upgraded = parallel_to_json_with_history(Scale::Medium, &rows, "tag", Some(&legacy));
+        assert_eq!(upgraded.matches("\"key\":").count(), 1);
+    }
+
+    #[test]
+    fn extract_number_reads_emitted_fields() {
+        let rows = sample_rows();
+        let json = parallel_to_json(Scale::Medium, &rows);
+        let geomean = extract_number(&json, "geomean_throughput_mcps").expect("field present");
+        assert!((geomean - geomean_throughput_mcps(&rows)).abs() < 1e-3);
+        assert_eq!(extract_number(&json, "no_such_field"), None);
+        assert_eq!(extract_number("{\"x\":12.5}", "x"), Some(12.5));
+        assert_eq!(extract_number("{\"x\":-3e2,\"y\":1}", "x"), Some(-300.0));
+    }
+
+    #[test]
+    fn array_extraction_honors_strings_and_nesting() {
+        let json = "{\"history\":[{\"key\":\"a]b\",\"v\":[1,2]},{\"key\":\"c\"}],\"z\":1}";
+        let body = extract_array(json, "history").expect("array present");
+        assert_eq!(body, "{\"key\":\"a]b\",\"v\":[1,2]},{\"key\":\"c\"}");
+        let parts = split_top_level(body);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], "{\"key\":\"a]b\",\"v\":[1,2]}");
+        assert_eq!(parts[1], "{\"key\":\"c\"}");
+        assert_eq!(extract_array(json, "missing"), None);
     }
 
     #[test]

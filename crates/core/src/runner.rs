@@ -45,7 +45,7 @@ use crate::master::{MasterEvent, MasterRuntime};
 use crate::report::{SliceReport, SuperPinReport, TimeBreakdown};
 use crate::shared::SharedMem;
 use crate::signature::{Signature, SignatureStats};
-use crate::slice::{Boundary, SliceRuntime, SliceState};
+use crate::slice::{Boundary, SliceRuntime, SliceState, SpSliceTool};
 use crate::supervisor::{SliceSupervisor, Verdict};
 use std::collections::VecDeque;
 use std::sync::{mpsc, Arc};
@@ -203,6 +203,12 @@ pub struct SuperPinRunner<T: SuperTool> {
     /// Entry count of the last shared-index snapshot handed to slices,
     /// charged against the budget at `SNAPSHOT_ENTRY_BYTES` each.
     last_snapshot_entries: u64,
+    /// Host-side compiled-trace templates shared by every slice engine
+    /// (see [`superpin_dbi::engine::Engine::set_trace_templates`]).
+    /// Purely a wall-clock accelerator — simulated reports are
+    /// unchanged. Disabled under chaos: a clobber-bugged or
+    /// fault-injected slice must compile exactly as it would alone.
+    trace_templates: Option<superpin_dbi::engine::TraceTemplates<SpSliceTool<T>>>,
 }
 
 impl<T: SuperTool> SuperPinRunner<T> {
@@ -261,6 +267,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
             shared_traces,
             epochs: 0,
             host_profile: HostProfile::default(),
+            trace_templates: fault
+                .is_none()
+                .then(|| Arc::new(std::sync::Mutex::new(std::collections::HashMap::new()))),
             fault,
             supervisor,
             governor,
@@ -492,6 +501,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
             )?
         };
         self.next_slice_num += 1;
+        if let Some(templates) = &self.trace_templates {
+            slice.set_trace_templates(Arc::clone(templates));
+        }
         // Real fork(2) write-protects the parent too: the master's next
         // write to each currently resident page takes a COW fault.
         self.master.process_mut().mem.mark_cow_shared();

@@ -117,6 +117,18 @@ impl<T: SuperTool> Pintool for SpSliceTool<T> {
         });
     }
 
+    fn instrumentation_is_shareable(&self, trace: &Trace) -> bool {
+        // The boundary signature detector is the one slice-specific piece
+        // of instrumentation; traces that contain the boundary pc stay
+        // private. Everything else defers to the user tool's own
+        // certification.
+        let detection_free = match &self.detect {
+            Some(sig) => !trace.insts().any(|iref| iref.addr == sig.pc),
+            None => true,
+        };
+        detection_free && self.inner.instrumentation_is_shareable(trace)
+    }
+
     fn on_syscall(&mut self, record: &SyscallRecord) {
         self.inner.on_syscall(record);
     }
@@ -374,6 +386,15 @@ impl<T: SuperTool> SliceRuntime<T> {
     /// independent of host thread interleaving.
     pub fn enter_shared_epoch(&mut self, snapshot: Arc<std::collections::HashSet<u64>>) {
         self.engine.enter_shared_epoch(snapshot);
+    }
+
+    /// Installs the run-wide host-side compiled-trace template cache
+    /// (see [`Engine::set_trace_templates`]).
+    pub fn set_trace_templates(
+        &mut self,
+        templates: superpin_dbi::engine::TraceTemplates<SpSliceTool<T>>,
+    ) {
+        self.engine.set_trace_templates(templates);
     }
 
     /// Drains trace pcs this slice compiled at full price since the last

@@ -1,13 +1,44 @@
 //! The code cache: compiled, instrumented traces keyed by entry address.
 
-use crate::inserter::{Call, IPoint, Inserter};
+use crate::cost::CostModel;
+use crate::inserter::{Call, IArg, IPoint, Inserter};
 use crate::spill::{required_saves, ClobberViolation};
 use crate::trace::Trace;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 use superpin_analysis::{LiveMap, RegSet};
 use superpin_isa::{Inst, Reg};
+
+/// Hasher for trace-entry keys. Entries are guest addresses — already
+/// well distributed — so the default SipHash's per-lookup cost (it
+/// dominates a hot dispatch loop) buys nothing; a single multiply-xor
+/// finalizer (splitmix64's) is sufficient and an order of magnitude
+/// cheaper.
+#[derive(Default)]
+struct EntryHasher(u64);
+
+impl Hasher for EntryHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the cache, but required).
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut v = value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        v ^= v >> 32;
+        self.0 = v;
+    }
+}
+
+type EntryMap<V> = HashMap<u64, V, BuildHasherDefault<EntryHasher>>;
 
 /// Default cache capacity in cached instructions. Workloads whose hot
 /// footprint exceeds this (the paper repeatedly calls out gcc's "large
@@ -56,6 +87,10 @@ pub struct CompiledInst<T> {
     pub before: Vec<InsertedCall<T>>,
     /// Calls to run after the instruction.
     pub after: Vec<InsertedCall<T>>,
+    /// Whether any attached call takes [`IArg::MemAddr`] or
+    /// [`IArg::MemSize`] — precomputed so the executor only derives the
+    /// effective address for slots that can observe it.
+    pub needs_mem_ea: bool,
 }
 
 impl<T> fmt::Debug for CompiledInst<T> {
@@ -79,6 +114,92 @@ pub struct CompiledTrace<T> {
     pub fallthrough: u64,
     /// Number of basic blocks the source trace had.
     pub num_bbls: usize,
+    /// Superinstruction fusion metadata, present only when this trace
+    /// was compiled under a valid superblock plan that predicted it hot
+    /// *and* every attached call is fusible (see [`FusedMeta`]). Purely a
+    /// host-side accelerator: the fused executor charges exactly the
+    /// cycles the slow path would.
+    pub fused: Option<FusedMeta>,
+}
+
+/// One analysis call pre-lowered for the fused executor: its full static
+/// charge and its argument values, both computed once at fuse time
+/// instead of once per execution.
+#[derive(Clone, Debug)]
+pub struct FusedCall {
+    /// `analysis_call_base + |saves| · save_restore_per_reg +
+    /// |args| · analysis_arg` — the slow path's charge for this call
+    /// before any tool-requested extra cycles.
+    pub static_cost: u64,
+    /// Pre-evaluated argument values. Fusion requires every argument to
+    /// be static (known at compile time), so this is the exact vector
+    /// the slow path's `eval_args` would build.
+    pub args: Box<[u64]>,
+}
+
+/// One trace instruction's fused call lists (parallel to
+/// [`CompiledInst::before`] / [`CompiledInst::after`]).
+#[derive(Clone, Debug, Default)]
+pub struct FusedSlot {
+    /// Pre-lowered before-calls, in insertion order.
+    pub before: Box<[FusedCall]>,
+    /// Pre-lowered after-calls, in insertion order.
+    pub after: Box<[FusedCall]>,
+}
+
+/// Superinstruction fusion: per-instruction tool-callback costs and cost
+/// accounting batched into pre-computed per-slot constants, so a hot
+/// planned trace executes as one tight dispatch over pre-lowered slots
+/// (cycle charges and argument vectors summed/evaluated at fuse time)
+/// instead of re-deriving each call's cost and arguments per execution.
+///
+/// Fusion is only attempted for traces a [`SuperblockPlan`] predicted
+/// hot, and only succeeds when every call is `Plain` with all-static
+/// arguments; anything else (if-then calls, dynamic arguments such as
+/// `MemAddr` on a load/store or `BranchTaken` on an after-call) leaves
+/// `fused` as `None` and the trace on the slow path. The signature check
+/// at dispatch (`slots.len() == insts.len()` plus a still-valid plan)
+/// guards the fused executor; any mismatch falls back to the slow path.
+///
+/// [`SuperblockPlan`]: superpin_analysis::SuperblockPlan
+#[derive(Clone, Debug)]
+pub struct FusedMeta {
+    /// Per-instruction fused call lists, parallel to the trace's
+    /// `insts` — the length equality is the dispatch signature check.
+    pub slots: Box<[FusedSlot]>,
+    /// `cached_cpi` at fuse time (per retired instruction).
+    pub cached_cpi: u64,
+}
+
+/// The value of `arg` when it is statically known at `(addr, inst,
+/// size, point)`, mirroring the engine's dynamic `eval_args` exactly.
+/// `None` means the argument depends on execution state (registers,
+/// effective addresses, branch outcomes) and disqualifies fusion.
+fn static_arg_value(arg: &IArg, addr: u64, inst: Inst, size: u64, point: IPoint) -> Option<u64> {
+    match *arg {
+        IArg::InstPtr => Some(addr),
+        IArg::UInt(value) => Some(value),
+        // Non-memory instructions evaluate MemAddr/MemSize to 0.
+        IArg::MemAddr => {
+            if inst.is_mem_read() || inst.is_mem_write() {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        IArg::MemSize => match inst {
+            Inst::Ld { width, .. } | Inst::St { width, .. } => Some(width.bytes() as u64),
+            _ => Some(0),
+        },
+        IArg::IsMemWrite => Some(u64::from(inst.is_mem_write())),
+        // Before-calls always observe `taken = false`.
+        IArg::BranchTaken => match point {
+            IPoint::Before => Some(0),
+            IPoint::After => None,
+        },
+        IArg::RegValue(_) | IArg::StackWord(_) => None,
+        IArg::FallthroughAddr => Some(addr + size),
+    }
 }
 
 impl<T> fmt::Debug for CompiledTrace<T> {
@@ -118,7 +239,12 @@ pub struct CacheStats {
 /// and copies the counters — exactly what a slice checkpoint needs.
 #[derive(Clone)]
 pub struct CodeCache<T> {
-    traces: HashMap<u64, Arc<CompiledTrace<T>>>,
+    traces: EntryMap<Arc<CompiledTrace<T>>>,
+    /// Memo of the most recent hit: hot loops re-enter the same trace
+    /// back to back, so this answers most lookups without touching the
+    /// map. Invalidated by every flush/evict/compile. The memoized hit
+    /// still counts in [`CacheStats`] exactly like a map hit.
+    last: Option<(u64, Arc<CompiledTrace<T>>)>,
     resident_insts: usize,
     capacity_insts: usize,
     stats: CacheStats,
@@ -167,7 +293,8 @@ impl<T> CodeCache<T> {
     /// An empty cache bounded at `capacity_insts` cached instructions.
     pub fn with_capacity(capacity_insts: usize) -> CodeCache<T> {
         CodeCache {
-            traces: HashMap::new(),
+            traces: EntryMap::default(),
+            last: None,
             resident_insts: 0,
             capacity_insts: capacity_insts.max(1),
             stats: CacheStats::default(),
@@ -218,6 +345,14 @@ impl<T> CodeCache<T> {
         &self.violations
     }
 
+    /// Whether a deliberate clobber bug is armed
+    /// ([`inject_clobber_bug`](CodeCache::inject_clobber_bug)). A bugged
+    /// cache compiles differently from its peers, so its traces must not
+    /// be shared across engines.
+    pub fn has_clobber_bug(&self) -> bool {
+        self.clobber_bug.is_some()
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -236,6 +371,7 @@ impl<T> CodeCache<T> {
     /// Drops every cached trace (self-modifying code detected).
     pub fn flush_for_smc(&mut self) {
         self.traces.clear();
+        self.last = None;
         self.resident_insts = 0;
         self.stats.smc_flushes += 1;
     }
@@ -256,17 +392,26 @@ impl<T> CodeCache<T> {
             return 0;
         }
         self.traces.clear();
+        self.last = None;
         self.resident_insts = 0;
         self.stats.flushes += 1;
         freed
     }
 
     /// Looks up the compiled trace entered at `entry`.
+    #[inline]
     pub fn lookup(&mut self, entry: u64) -> Option<Arc<CompiledTrace<T>>> {
         self.stats.lookups += 1;
+        if let Some((memo_entry, memo)) = &self.last {
+            if *memo_entry == entry {
+                self.stats.hits += 1;
+                return Some(Arc::clone(memo));
+            }
+        }
         let hit = self.traces.get(&entry).cloned();
-        if hit.is_some() {
+        if let Some(trace) = &hit {
             self.stats.hits += 1;
+            self.last = Some((entry, Arc::clone(trace)));
         }
         hit
     }
@@ -275,12 +420,21 @@ impl<T> CodeCache<T> {
     /// instrumentation and inserts it. Returns the compiled trace and the
     /// number of instructions compiled (for JIT cost accounting).
     ///
+    /// With `fuse` set (the engine passes its cost model for traces a
+    /// superblock plan predicted hot), the compiler additionally tries to
+    /// fuse the trace into a superinstruction ([`FusedMeta`]): per-call
+    /// charges and static argument vectors are pre-computed here so the
+    /// fused executor dispatches the whole trace without re-deriving
+    /// them. Ineligible traces (if-then calls, dynamic arguments) simply
+    /// get `fused: None`.
+    ///
     /// If inserting would exceed capacity, the whole cache is flushed
     /// first (Pin's wholesale-flush policy).
     pub fn compile(
         &mut self,
         trace: &Trace,
         inserter: Inserter<T>,
+        fuse: Option<&CostModel>,
     ) -> (Arc<CompiledTrace<T>>, usize)
     where
         T: 'static,
@@ -293,6 +447,7 @@ impl<T> CodeCache<T> {
                 size: iref.size,
                 before: Vec::new(),
                 after: Vec::new(),
+                needs_mem_ea: false,
             })
             .collect();
 
@@ -325,6 +480,7 @@ impl<T> CodeCache<T> {
                     Some(refined) => saves.minus(required_saves(refined)),
                 };
                 self.elided_restores += elided.len() as u64;
+                slot.needs_mem_ea |= call_needs_mem_ea(&call);
                 let list = match point {
                     IPoint::Before => &mut slot.before,
                     IPoint::After => &mut slot.after,
@@ -369,6 +525,20 @@ impl<T> CodeCache<T> {
             // being compiled.
         }
 
+        let fused = fuse.and_then(|cost| {
+            let mut slots = Vec::with_capacity(insts.len());
+            for slot in &insts {
+                slots.push(FusedSlot {
+                    before: fuse_calls(&slot.before, slot, IPoint::Before, cost)?,
+                    after: fuse_calls(&slot.after, slot, IPoint::After, cost)?,
+                });
+            }
+            Some(FusedMeta {
+                slots: slots.into_boxed_slice(),
+                cached_cpi: cost.cached_cpi,
+            })
+        });
+
         let count = insts.len();
         // Recompiling an entry (e.g. after a mid-trace resume) replaces
         // the old trace; release its accounting first.
@@ -377,6 +547,7 @@ impl<T> CodeCache<T> {
         }
         if self.resident_insts + count > self.capacity_insts {
             self.traces.clear();
+            self.last = None;
             self.resident_insts = 0;
             self.stats.flushes += 1;
         }
@@ -386,13 +557,91 @@ impl<T> CodeCache<T> {
             insts,
             fallthrough: trace.fallthrough(),
             num_bbls: trace.bbls().len(),
+            fused,
         });
         self.traces.insert(trace.entry(), Arc::clone(&compiled));
+        self.last = Some((trace.entry(), Arc::clone(&compiled)));
         self.resident_insts += count;
         self.stats.traces_compiled += 1;
         self.stats.insts_compiled += count as u64;
         (compiled, count)
     }
+
+    /// Adopts a trace compiled by a peer engine (host-side template
+    /// sharing), skipping the instrument+build work but performing the
+    /// *same* cache bookkeeping as [`compile`](CodeCache::compile) —
+    /// capacity flush, residency, compile statistics — so every
+    /// simulated observable is identical to having compiled it here.
+    /// Returns the instruction count for JIT cost accounting.
+    ///
+    /// The caller must have verified that compiling locally would have
+    /// produced this exact trace (same instructions, pure shareable
+    /// instrumentation, no clobber bug armed).
+    pub fn adopt(&mut self, template: &Arc<CompiledTrace<T>>) -> usize {
+        let count = template.insts.len();
+        if let Some(old) = self.traces.remove(&template.entry) {
+            self.resident_insts -= old.insts.len();
+        }
+        if self.resident_insts + count > self.capacity_insts {
+            self.traces.clear();
+            self.last = None;
+            self.resident_insts = 0;
+            self.stats.flushes += 1;
+        }
+        self.traces.insert(template.entry, Arc::clone(template));
+        self.last = Some((template.entry, Arc::clone(template)));
+        self.resident_insts += count;
+        self.stats.traces_compiled += 1;
+        self.stats.insts_compiled += count as u64;
+        count
+    }
+}
+
+/// Whether a call requests the effective address or access size, i.e.
+/// whether the executor must derive `mem_ea` for the call's slot.
+fn call_needs_mem_ea<T>(call: &Call<T>) -> bool {
+    let wants = |args: &[IArg]| {
+        args.iter()
+            .any(|arg| matches!(arg, IArg::MemAddr | IArg::MemSize))
+    };
+    match call {
+        Call::Plain { args, .. } => wants(args),
+        Call::IfThen {
+            pred_args,
+            then_args,
+            ..
+        } => wants(pred_args) || wants(then_args),
+    }
+}
+
+/// Pre-lowers one call list for the fused executor, or `None` if any
+/// call is ineligible (non-`Plain`, or any dynamic argument).
+fn fuse_calls<T>(
+    calls: &[InsertedCall<T>],
+    slot: &CompiledInst<T>,
+    point: IPoint,
+    cost: &CostModel,
+) -> Option<Box<[FusedCall]>> {
+    let mut out = Vec::with_capacity(calls.len());
+    for inserted in calls {
+        let Call::Plain { args, .. } = &inserted.call else {
+            return None;
+        };
+        let mut values = Vec::with_capacity(args.len());
+        for arg in args {
+            values.push(static_arg_value(
+                arg, slot.addr, slot.inst, slot.size, point,
+            )?);
+        }
+        let static_cost = cost.analysis_call_base
+            + inserted.saves.len() as u64 * cost.save_restore_per_reg
+            + args.len() as u64 * cost.analysis_arg;
+        out.push(FusedCall {
+            static_cost,
+            args: values.into_boxed_slice(),
+        });
+    }
+    Some(out.into_boxed_slice())
 }
 
 #[cfg(test)]
@@ -420,7 +669,7 @@ mod tests {
         inserter.insert_call(0xdead, IPoint::Before, |t, _, _| *t += 1, vec![]);
 
         let mut cache: CodeCache<u64> = CodeCache::new();
-        let (compiled, count) = cache.compile(&trace, inserter);
+        let (compiled, count) = cache.compile(&trace, inserter, None);
         assert_eq!(count, 3);
         assert_eq!(compiled.insts[1].before.len(), 1);
         assert_eq!(compiled.insts[1].after.len(), 1);
@@ -432,7 +681,7 @@ mod tests {
         let trace = trace_for("main:\n jmp main\n");
         let mut cache: CodeCache<u64> = CodeCache::new();
         assert!(cache.lookup(trace.entry()).is_none());
-        cache.compile(&trace, Inserter::new());
+        cache.compile(&trace, Inserter::new(), None);
         assert!(cache.lookup(trace.entry()).is_some());
         let stats = cache.stats();
         assert_eq!(stats.lookups, 2);
@@ -450,18 +699,18 @@ mod tests {
         let t2 = discover_trace(&process.mem, program.entry() + 32).expect("t2"); // 2 insts
 
         let mut cache: CodeCache<u64> = CodeCache::with_capacity(6);
-        cache.compile(&t1, Inserter::new()); // 4 resident
-        cache.compile(&t2, Inserter::new()); // 6 resident
+        cache.compile(&t1, Inserter::new(), None); // 4 resident
+        cache.compile(&t2, Inserter::new(), None); // 6 resident
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().flushes, 0);
         // Recompiling t1 releases its 4 first (6-4+4 = 6 fits, no flush)...
-        cache.compile(&t1, Inserter::new());
+        cache.compile(&t1, Inserter::new(), None);
         assert_eq!(cache.stats().flushes, 0);
         assert_eq!(cache.len(), 2);
         // ...but a brand-new 4-inst trace exceeds capacity → flush.
         let t3 = discover_trace(&process.mem, program.entry() + 8).expect("t3");
         assert_eq!(t3.num_insts(), 3);
-        cache.compile(&t3, Inserter::new());
+        cache.compile(&t3, Inserter::new(), None);
         assert_eq!(cache.stats().flushes, 1);
         assert_eq!(cache.len(), 1);
     }
@@ -470,7 +719,7 @@ mod tests {
     fn fallthrough_and_bbl_metadata() {
         let trace = trace_for("main:\n beq r1, r2, main\n nop\n jmp main\n");
         let mut cache: CodeCache<u64> = CodeCache::new();
-        let (compiled, _) = cache.compile(&trace, Inserter::new());
+        let (compiled, _) = cache.compile(&trace, Inserter::new(), None);
         assert_eq!(compiled.num_bbls, 2);
         assert_eq!(compiled.fallthrough, trace.fallthrough());
     }

@@ -1,12 +1,14 @@
 //! The instrumentation engine: dispatcher + JIT loop over a guest process.
 
-use crate::cache::{CodeCache, CompiledInst, CompiledTrace, InsertedCall, DEFAULT_CAPACITY_INSTS};
+use crate::cache::{
+    CodeCache, CompiledInst, CompiledTrace, FusedMeta, InsertedCall, DEFAULT_CAPACITY_INSTS,
+};
 use crate::cost::CostModel;
 use crate::inserter::{Call, CallCtx, EngineCtl, IArg, Inserter};
 use crate::shared_index::SharedTraceIndex;
 use crate::spill::ClobberViolation;
 use crate::tool::Pintool;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use superpin_analysis::{SoundnessOracle, SuperblockPlan};
@@ -203,7 +205,18 @@ pub struct Engine<T: Pintool> {
     /// Host-only plan counters (`elided_restores` lives in the cache and
     /// is merged in by [`Engine::plan_stats`]).
     plan_stats: PlanStats,
+    /// Host-side cross-engine template cache (see
+    /// [`Engine::set_trace_templates`]). `None` keeps every compile
+    /// private to this engine.
+    templates: Option<TraceTemplates<T>>,
 }
+
+/// Host-side map of compiled-trace templates shared by every engine of a
+/// run (SuperPin's slices). Keyed by trace entry address; adoption is
+/// guarded by an instruction-for-instruction comparison against the
+/// adopter's own freshly discovered trace, so a stale or mismatched
+/// template is simply recompiled, never executed.
+pub type TraceTemplates<T> = Arc<std::sync::Mutex<HashMap<u64, Arc<CompiledTrace<T>>>>>;
 
 impl<T: Pintool + Clone> Clone for Engine<T> {
     /// Checkpoint clone: compiled traces are shared (immutable `Arc`s),
@@ -228,6 +241,7 @@ impl<T: Pintool + Clone> Clone for Engine<T> {
             plan_valid: self.plan_valid,
             oracle: self.oracle.clone(),
             plan_stats: self.plan_stats,
+            templates: self.templates.clone(),
         }
     }
 }
@@ -274,6 +288,7 @@ impl<T: Pintool + 'static> Engine<T> {
             plan_valid: false,
             oracle: None,
             plan_stats: PlanStats::default(),
+            templates: None,
         }
     }
 
@@ -359,6 +374,19 @@ impl<T: Pintool + 'static> Engine<T> {
         self.cache.set_refined_liveness(plan.refined_liveness_arc());
         self.plan = Some(plan);
         self.plan_valid = true;
+    }
+
+    /// Installs a cross-engine compiled-trace template cache.
+    ///
+    /// Engines sharing one map reuse each other's compiled traces when
+    /// the tool certifies its instrumentation as shareable
+    /// ([`Pintool::instrumentation_is_shareable`]) and the adopter's own
+    /// trace discovery produced instruction-identical shape. This is
+    /// purely a host-side accelerator: the adopting engine's code cache
+    /// performs the same bookkeeping and the same JIT cycles are
+    /// charged, so simulated reports are unchanged.
+    pub fn set_trace_templates(&mut self, templates: TraceTemplates<T>) {
+        self.templates = Some(templates);
     }
 
     /// Installs the static↔dynamic soundness oracle and turns on the
@@ -508,7 +536,18 @@ impl<T: Pintool + 'static> Engine<T> {
             }
             self.stats.traces_executed += 1;
 
-            match self.exec_trace(&trace, &mut spent)? {
+            // Superinstruction dispatch: if this trace was fused at compile
+            // time and the signature check passes (slot count consistent
+            // with the compiled trace — SMC flushes already removed any
+            // stale trace), run the batched fast path; otherwise fall back
+            // to the generic per-call executor.
+            let exit = match &trace.fused {
+                Some(fused) if fused.slots.len() == trace.insts.len() => {
+                    self.exec_trace_fused(&trace, fused, &mut spent)?
+                }
+                _ => self.exec_trace(&trace, &mut spent)?,
+            };
+            match exit {
                 TraceExit::Stop(stop) => {
                     if let EngineStop::Exited(_) = stop {
                         self.run_fini();
@@ -585,11 +624,78 @@ impl<T: Pintool + 'static> Engine<T> {
                 self.plan_stats.fallback_decodes += fallbacks.get();
                 trace
             }
-            None => crate::trace::discover_trace_split(&self.process.mem, pc, self.split_point)?,
+            None => {
+                // Live discovery routes through the process decode cache:
+                // a forked slice inherits its master's decoded pages, so
+                // re-discovering a trace the master already walked decodes
+                // nothing.
+                let split = self.split_point;
+                let process = &mut self.process;
+                crate::trace::discover_trace_with(
+                    |pc| {
+                        let (inst, size) = process.fetch_decoded(pc)?;
+                        Ok(crate::trace::InstRef {
+                            addr: pc,
+                            inst,
+                            size,
+                        })
+                    },
+                    pc,
+                    split,
+                )?
+            }
         };
+        // Template sharing: when a peer engine already compiled this
+        // exact trace with certified-pure instrumentation, adopt its
+        // compiled form instead of re-instrumenting. Guarded by an
+        // instruction-for-instruction comparison against the trace *this*
+        // engine just discovered, so SMC divergence or a different slice
+        // boundary falls through to a private compile.
+        let shareable = self.templates.is_some()
+            && !self.cache.has_clobber_bug()
+            && self.tool.instrumentation_is_shareable(&trace);
+        if shareable {
+            let template = self
+                .templates
+                .as_ref()
+                .expect("checked is_some")
+                .lock()
+                .expect("template lock")
+                .get(&pc)
+                .cloned();
+            if let Some(template) = template {
+                if template_matches(&template, &trace) {
+                    let count = self.cache.adopt(&template);
+                    self.charge_jit(pc, count, spent);
+                    return Ok(template);
+                }
+            }
+        }
         let mut inserter = Inserter::new();
         self.tool.instrument_trace(&trace, &mut inserter);
-        let (compiled, count) = self.cache.compile(&trace, inserter);
+        // Every compile attempts fusion: eligibility is per-call (plain
+        // call, fully static arguments) and the fused accounting is the
+        // slow path's accounting computed ahead of time, so fusing is
+        // sound with or without a plan installed.
+        let (compiled, count) = self.cache.compile(&trace, inserter, Some(&self.cost));
+        if shareable {
+            self.templates
+                .as_ref()
+                .expect("checked is_some")
+                .lock()
+                .expect("template lock")
+                .insert(pc, Arc::clone(&compiled));
+        }
+        self.charge_jit(pc, count, spent);
+        Ok(compiled)
+    }
+
+    /// Charges the simulated JIT cost for compiling (or adopting) a
+    /// trace of `count` instructions entered at `pc`. The charge depends
+    /// only on the *simulated* shared-code-cache mode — host-side
+    /// template adoption takes this exact same path, so both routes cost
+    /// the same simulated cycles.
+    fn charge_jit(&mut self, pc: u64, count: usize, spent: &mut u64) {
         let per_inst = match &mut self.shared_traces {
             Some(SharedTraceMode::Live(index)) => {
                 let probe = index.probe_insert(pc);
@@ -622,7 +728,6 @@ impl<T: Pintool + 'static> Engine<T> {
         let jit = count as u64 * per_inst;
         self.stats.cycles.jit += jit;
         *spent += jit;
-        Ok(compiled)
     }
 
     fn exec_trace(
@@ -636,8 +741,14 @@ impl<T: Pintool + 'static> Engine<T> {
             debug_assert_eq!(slot.addr, self.process.cpu.pc, "trace desync");
 
             // Effective address is computed from pre-execution registers
-            // for both before- and after-calls.
-            let mem_ea = mem_effective_address(&self.process, slot.inst);
+            // for both before- and after-calls. Slots whose calls never
+            // ask for it skip the computation entirely — nothing can
+            // observe it.
+            let mem_ea = if slot.needs_mem_ea {
+                mem_effective_address(&self.process, slot.inst)
+            } else {
+                None
+            };
 
             // Before-calls.
             if !slot.before.is_empty() && self.run_calls(&slot.before, slot, mem_ea, None, spent)? {
@@ -706,6 +817,142 @@ impl<T: Pintool + 'static> Engine<T> {
         // on a context switch, and block-counting tools (icount2) rely on
         // block entry firing exactly once per block execution.
         Ok(TraceExit::Continue)
+    }
+
+    /// Superinstruction fast path: executes a fused trace as one batched
+    /// dispatch.
+    ///
+    /// Per-call invocation costs and argument values were lowered at
+    /// compile time into [`crate::cache::FusedCall`]s, so the hot loop
+    /// does no argument evaluation and no cost arithmetic beyond adding
+    /// pre-computed constants. Accounting accumulates in locals and is
+    /// flushed on *every* exit path — tool stop, syscall, halt, early
+    /// branch-out, and guest faults — so observable counters are
+    /// bit-identical to [`Self::exec_trace`] at any exit point.
+    fn exec_trace_fused(
+        &mut self,
+        trace: &CompiledTrace<T>,
+        fused: &FusedMeta,
+        spent: &mut u64,
+    ) -> Result<TraceExit, VmError> {
+        let mut app = 0u64;
+        let mut insts = 0u64;
+        let mut analysis = 0u64;
+        let mut calls = 0u64;
+        let mut acc = 0u64;
+        let result = 'body: {
+            let mut index = 0usize;
+            while index < trace.insts.len() {
+                let slot = &trace.insts[index];
+                let fslot = &fused.slots[index];
+                debug_assert_eq!(slot.addr, self.process.cpu.pc, "trace desync");
+                debug_assert_eq!(fslot.before.len(), slot.before.len());
+                debug_assert_eq!(fslot.after.len(), slot.after.len());
+
+                // Before-calls. A stop request short-circuits the rest of
+                // the list and leaves the instruction unexecuted, exactly
+                // like the slow path.
+                let mut stop = false;
+                for (fc, inserted) in fslot.before.iter().zip(slot.before.iter()) {
+                    if stop {
+                        break;
+                    }
+                    let Call::Plain { func, .. } = &inserted.call else {
+                        unreachable!("fusion only admits plain calls")
+                    };
+                    let mut ctl = EngineCtl::default();
+                    let ctx = CallCtx {
+                        pc: slot.addr,
+                        args: &fc.args,
+                    };
+                    func(&mut self.tool, &ctx, &mut ctl);
+                    let charged = fc.static_cost + ctl.extra_cycles();
+                    analysis += charged;
+                    acc += charged;
+                    calls += 1;
+                    stop |= ctl.stop_requested();
+                }
+                if stop {
+                    break 'body Ok(TraceExit::Stop(EngineStop::ToolStop));
+                }
+
+                // The guest instruction itself.
+                let outcome = match self.process.exec_decoded(slot.inst, slot.size) {
+                    Ok(outcome) => outcome,
+                    Err(err) => break 'body Err(err),
+                };
+                match outcome {
+                    ExecOutcome::Syscall => {
+                        break 'body Ok(TraceExit::Stop(EngineStop::SyscallEntry));
+                    }
+                    ExecOutcome::Halt => {
+                        break 'body Ok(TraceExit::Stop(EngineStop::Halted));
+                    }
+                    ExecOutcome::Next | ExecOutcome::Jumped => {
+                        app += fused.cached_cpi;
+                        acc += fused.cached_cpi;
+                        insts += 1;
+                    }
+                }
+                let taken = outcome == ExecOutcome::Jumped;
+
+                // After-calls.
+                let mut stop = false;
+                for (fc, inserted) in fslot.after.iter().zip(slot.after.iter()) {
+                    if stop {
+                        break;
+                    }
+                    let Call::Plain { func, .. } = &inserted.call else {
+                        unreachable!("fusion only admits plain calls")
+                    };
+                    let mut ctl = EngineCtl::default();
+                    let ctx = CallCtx {
+                        pc: slot.addr,
+                        args: &fc.args,
+                    };
+                    func(&mut self.tool, &ctx, &mut ctl);
+                    let charged = fc.static_cost + ctl.extra_cycles();
+                    analysis += charged;
+                    acc += charged;
+                    calls += 1;
+                    stop |= ctl.stop_requested();
+                }
+                if stop {
+                    break 'body Ok(TraceExit::Stop(EngineStop::ToolStop));
+                }
+
+                if taken {
+                    if matches!(slot.inst, Inst::Jalr { .. }) {
+                        self.pending_dispatch = true;
+                        if let Some(oracle) = &self.oracle {
+                            let dest = self.process.cpu.pc;
+                            let admitted = oracle.check_transfer(slot.addr, dest);
+                            debug_assert!(
+                                admitted,
+                                "soundness oracle: jalr at {:#x} reached {dest:#x} outside its \
+                                 static target set",
+                                slot.addr
+                            );
+                        }
+                    }
+                    let next_matches = trace
+                        .insts
+                        .get(index + 1)
+                        .is_some_and(|next| next.addr == self.process.cpu.pc);
+                    if !next_matches {
+                        break 'body Ok(TraceExit::Continue);
+                    }
+                }
+                index += 1;
+            }
+            Ok(TraceExit::Continue)
+        };
+        self.stats.cycles.app += app;
+        self.stats.cycles.analysis += analysis;
+        self.stats.insts_executed += insts;
+        self.stats.analysis_calls += calls;
+        *spent += acc;
+        result
     }
 
     /// Runs a call list; returns `true` if a stop was requested.
@@ -907,6 +1154,21 @@ const _: () = {
 /// Converts 2.2 GHz cycles to virtual nanoseconds.
 pub fn cycles_to_ns(cycles: u64) -> u64 {
     ((cycles as u128) * 10 / 22) as u64
+}
+
+/// Whether a shared template is instruction-for-instruction identical to
+/// the trace this engine just discovered. Anything else — self-modified
+/// code, a different slice-boundary truncation — fails the comparison
+/// and the engine compiles privately.
+fn template_matches<T>(template: &CompiledTrace<T>, trace: &crate::trace::Trace) -> bool {
+    template.insts.len() == trace.num_insts()
+        && template
+            .insts
+            .iter()
+            .zip(trace.insts())
+            .all(|(slot, iref)| {
+                slot.addr == iref.addr && slot.inst == iref.inst && slot.size == iref.size
+            })
 }
 
 fn mem_effective_address(process: &Process, inst: Inst) -> Option<(u64, u64)> {

@@ -20,6 +20,22 @@ pub trait Pintool: Sized + Send {
     /// Inspect a newly compiled trace and insert analysis calls.
     fn instrument_trace(&mut self, trace: &Trace, inserter: &mut Inserter<Self>);
 
+    /// Whether [`instrument_trace`](Pintool::instrument_trace) for
+    /// `trace` is a pure function of the trace — same calls, in the same
+    /// places, with no tool-state reads or writes at instrumentation
+    /// time — for *every* clone of this tool.
+    ///
+    /// Returning `true` lets a host runner reuse one compiled trace
+    /// across many engines running clones of the tool (SuperPin's
+    /// slices), skipping redundant instrument+compile work. This is a
+    /// host-side optimization only: each engine's code cache still
+    /// accounts the compile, so simulated reports are unchanged. The
+    /// conservative default is `false`.
+    fn instrumentation_is_shareable(&self, trace: &Trace) -> bool {
+        let _ = trace;
+        false
+    }
+
     /// Observe a serviced (or played-back) syscall.
     fn on_syscall(&mut self, record: &SyscallRecord) {
         let _ = record;

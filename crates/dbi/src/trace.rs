@@ -166,7 +166,7 @@ pub fn discover_trace_split(
 ///
 /// Propagates fetch errors.
 pub fn discover_trace_with(
-    fetch: impl Fn(u64) -> Result<InstRef, VmError>,
+    mut fetch: impl FnMut(u64) -> Result<InstRef, VmError>,
     entry: u64,
     split: Option<u64>,
 ) -> Result<Trace, VmError> {

@@ -107,7 +107,7 @@ fn compile_plans_minimal_save_sets() {
     }
     let mut cache: CodeCache<u64> = CodeCache::new();
     cache.set_liveness(live);
-    let (compiled, _) = cache.compile(&trace, inserter);
+    let (compiled, _) = cache.compile(&trace, inserter, None);
 
     // Before `subi` (the loop head) live = {r8, r0}: only r0 of the
     // clobber set needs saving.
@@ -124,7 +124,7 @@ fn compile_plans_minimal_save_sets() {
     let mut conservative: CodeCache<u64> = CodeCache::new();
     let mut inserter: Inserter<u64> = Inserter::new();
     inserter.insert_call(program.entry(), IPoint::Before, |t, _, _| *t += 1, vec![]);
-    let (compiled, _) = conservative.compile(&trace, inserter);
+    let (compiled, _) = conservative.compile(&trace, inserter, None);
     assert_eq!(compiled.insts[0].before[0].saves, analysis_clobbers());
 }
 

@@ -77,6 +77,12 @@ impl Pintool for BranchProfile {
         }
     }
 
+    fn instrumentation_is_shareable(&self, _trace: &Trace) -> bool {
+        // Calls depend only on the trace; all state is touched at
+        // analysis time, so clones instrument identically.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "branch-profile"
     }

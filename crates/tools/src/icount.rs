@@ -50,6 +50,12 @@ impl Pintool for ICount1 {
         }
     }
 
+    fn instrumentation_is_shareable(&self, _trace: &Trace) -> bool {
+        // Calls depend only on the trace; all state is touched at
+        // analysis time, so clones instrument identically.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "icount1"
     }
@@ -104,6 +110,12 @@ impl Pintool for ICount2 {
                 vec![],
             );
         }
+    }
+
+    fn instrumentation_is_shareable(&self, _trace: &Trace) -> bool {
+        // Calls depend only on the trace; all state is touched at
+        // analysis time, so clones instrument identically.
+        true
     }
 
     fn name(&self) -> &'static str {

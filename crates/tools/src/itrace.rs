@@ -50,6 +50,12 @@ impl Pintool for ITrace {
         }
     }
 
+    fn instrumentation_is_shareable(&self, _trace: &Trace) -> bool {
+        // Calls depend only on the trace; all state is touched at
+        // analysis time, so clones instrument identically.
+        true
+    }
+
     fn name(&self) -> &'static str {
         "itrace"
     }

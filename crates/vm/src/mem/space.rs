@@ -382,6 +382,11 @@ impl AddressSpace {
 
     /// Unmaps the region starting exactly at `start`, discarding its pages.
     ///
+    /// Unmapping a [`RegionKind::Code`] region bumps
+    /// [`code_version`](AddressSpace::code_version): removing code is
+    /// self-modification as far as any decode or translation cache is
+    /// concerned, so the same invalidation channel covers it.
+    ///
     /// # Errors
     ///
     /// Returns [`MemError::NoSuchMapping`] if no region starts there.
@@ -392,6 +397,9 @@ impl AddressSpace {
             .position(|region| region.start == start)
             .ok_or(MemError::NoSuchMapping { addr: start })?;
         let region = self.regions.remove(pos);
+        if region.kind == RegionKind::Code {
+            self.code_version += 1;
+        }
         let first = page_index(region.start);
         let last = page_index(region.end() - 1);
         let keys: Vec<u64> = self

@@ -1,6 +1,7 @@
 //! Guest processes: CPU state + address space + kernel state, with `fork`.
 
 use crate::cpu::{self, CpuState, ExecOutcome};
+use crate::decode::{DecodeCache, RunStop};
 use crate::error::VmError;
 use crate::kernel::{self, KernelState, SyscallRecord};
 use crate::mem::{AddressSpace, RegionKind};
@@ -44,6 +45,12 @@ pub struct Process {
     /// in [`try_fork`](Process::try_fork)). `None` — the default — is
     /// zero-cost: no registry is consulted anywhere on the hot path.
     fault: Option<Arc<FailpointRegistry>>,
+    /// Pre-decoded code pages for the native run loop. Purely a host-side
+    /// accelerator: keyed on `mem.code_version()`, so guest-visible
+    /// behaviour (including self-modifying code) is identical to
+    /// re-decoding every step. Forks inherit the parent's decoded pages,
+    /// which stay valid because the fork shares the same code bytes.
+    decode: DecodeCache,
 }
 
 impl Process {
@@ -82,6 +89,7 @@ impl Process {
             exited: None,
             inst_count: 0,
             fault: None,
+            decode: DecodeCache::new(),
         })
     }
 
@@ -128,6 +136,24 @@ impl Process {
     /// The armed fault registry, if any.
     pub fn fault_registry(&self) -> Option<&Arc<FailpointRegistry>> {
         self.fault.as_ref()
+    }
+
+    /// The native run loop's decode cache (diagnostics/tests).
+    pub fn decode_cache(&self) -> &DecodeCache {
+        &self.decode
+    }
+
+    /// Fetches and decodes the instruction at `pc` through the decode
+    /// cache — equivalent to [`cpu::fetch_at`] on this process's memory,
+    /// just memoized. A DBI engine's trace discovery uses this so a
+    /// forked slice re-decodes nothing its master already decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Mem`] for unmapped fetches or
+    /// [`VmError::Decode`] for invalid encodings.
+    pub fn fetch_decoded(&mut self, pc: u64) -> Result<(superpin_isa::Inst, u64), VmError> {
+        self.decode.fetch(&self.mem, pc)
     }
 
     /// Fallible fork: like [`fork`](Process::fork), but consults the
@@ -199,18 +225,21 @@ impl Process {
         if self.exited.is_some() {
             return Err(VmError::ProcessExited);
         }
-        let mut executed = 0u64;
-        while executed < max_insts {
-            match cpu::step(&mut self.cpu, &mut self.mem)? {
-                ExecOutcome::Next | ExecOutcome::Jumped => {
-                    executed += 1;
-                    self.inst_count += 1;
-                }
-                ExecOutcome::Syscall => return Ok(RunExit::SyscallEntry),
-                ExecOutcome::Halt => return Ok(RunExit::Halted),
-            }
+        // Stream whole decoded runs out of the per-page decode cache
+        // instead of fetch+decode per outer-loop iteration. Semantically
+        // identical to a `cpu::step` loop (the cache re-validates
+        // `code_version` on every fetch), just without redundant decodes.
+        let stop = self.decode.run(
+            &mut self.cpu,
+            &mut self.mem,
+            max_insts,
+            &mut self.inst_count,
+        )?;
+        match stop {
+            RunStop::Syscall => Ok(RunExit::SyscallEntry),
+            RunStop::Halt => Ok(RunExit::Halted),
+            RunStop::Budget => Ok(RunExit::BudgetExhausted),
         }
-        Ok(RunExit::BudgetExhausted)
     }
 
     /// Executes one already-decoded instruction, updating the dynamic
