@@ -524,6 +524,13 @@ fn main() {
             eprintln!("supervisor overhead {overhead:.2}x exceeds the 1.5x noise bound");
             std::process::exit(1);
         }
+        // Bench guard: streaming the replay log must stay cheap — the
+        // recorded run's wall clock within 1.25x geomean of plain runs.
+        let record_overhead = superpin_bench::parallel::geomean_record_overhead(&rows);
+        if record_overhead > 1.25 {
+            eprintln!("record overhead {record_overhead:.2}x exceeds the 1.25x bound");
+            std::process::exit(1);
+        }
         return;
     }
     let Some(spec) = find(&options.benchmark) else {

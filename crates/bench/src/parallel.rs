@@ -27,13 +27,19 @@
 //! which regime produced the numbers; the projection is labeled as a
 //! model, never substituted into the measured column.
 
-use crate::runs::{run_superpin_profiled, time_scale_for};
+use crate::runs::{run_superpin_profiled, run_superpin_recorded, time_scale_for};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use superpin::{
     HostProfile, PlanKnobs, ProgramAnalysis, SharedMem, SuperPinConfig, SuperPinReport,
 };
+// The hand-rolled JSON readers this module grew for the tracking file's
+// history merge now live in `superpin-replay`'s shared `json` module
+// (replay verification needs the same parsing); re-exported so existing
+// callers (the CI perf guard in `bin/superpin.rs`) keep working.
+pub use superpin_replay::json::extract_number;
+use superpin_replay::json::{extract_array, split_top_level};
 use superpin_tools::ICount1;
 use superpin_workloads::{find, Scale};
 
@@ -76,6 +82,11 @@ pub struct ParallelRow {
     /// simulated report is bit-identical to the plan-off run — only
     /// host wall-clock may differ.
     pub wall_ms_planned: f64,
+    /// Wall-clock milliseconds at `threads = 1` with a run recorder
+    /// attached streaming the nondeterministic surface into memory —
+    /// the cost of always-on record/replay. The simulated report is
+    /// bit-identical to the plain run.
+    pub wall_ms_recorded: f64,
     /// Fraction of the `threads = 1` wall clock spent in the
     /// parallelizable slice phase (measured, [`HostProfile`]).
     pub slice_fraction: f64,
@@ -125,6 +136,13 @@ impl ParallelRow {
     pub fn throughput_mcps_planned(&self) -> f64 {
         self.simulated_cycles as f64 / 1e3 / self.wall_ms_planned.max(1e-9)
     }
+
+    /// Recorded-over-plain wall-clock ratio at `threads = 1` — the cost
+    /// of streaming the nondeterministic surface into a log (1.0 =
+    /// free; `--emit-json` guards the geomean at 1.25x).
+    pub fn record_overhead(&self) -> f64 {
+        self.wall_ms_recorded / self.wall_ms_serial.max(1e-9)
+    }
 }
 
 /// The tracker's configuration: a 2 s paper timeslice (so each epoch
@@ -141,6 +159,7 @@ pub fn bench_config(scale: Scale) -> SuperPinConfig {
 /// the standard estimator for the noise-free cost of deterministic work.
 const TIMING_RUNS: usize = 3;
 
+#[allow(clippy::too_many_arguments)]
 fn timed_run(
     program: &superpin_isa::Program,
     scale: Scale,
@@ -148,6 +167,7 @@ fn timed_run(
     supervise: bool,
     mem_budget: Option<u64>,
     plan: Option<&ProgramAnalysis>,
+    record: bool,
     name: &str,
 ) -> (f64, SuperPinReport, HostProfile) {
     let mut best: Option<(f64, SuperPinReport, HostProfile)> = None;
@@ -165,7 +185,11 @@ fn timed_run(
             cfg = cfg.with_plan(Arc::new(analysis.plan(PlanKnobs::default())));
         }
         let start = Instant::now();
-        let (report, profile) = run_superpin_profiled(program, tool, &shared, cfg, name);
+        let (report, profile) = if record {
+            run_superpin_recorded(program, tool, &shared, cfg, name)
+        } else {
+            run_superpin_profiled(program, tool, &shared, cfg, name)
+        };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         if let Some((best_ms, best_report, _)) = &best {
             debug_assert_eq!(
@@ -201,8 +225,9 @@ pub fn run_parallel_bench(
             let program = spec.build(scale);
             let analysis = ProgramAnalysis::compute(&program)
                 .unwrap_or_else(|e| panic!("{name} whole-program analysis: {e}"));
-            let (wall_ms_serial, serial, profile) =
-                timed_run(&program, scale, 1, false, mem_budget, None, spec.name);
+            let (wall_ms_serial, serial, profile) = timed_run(
+                &program, scale, 1, false, mem_budget, None, false, spec.name,
+            );
             let (wall_ms_parallel, parallel, _) = timed_run(
                 &program,
                 scale,
@@ -210,10 +235,11 @@ pub fn run_parallel_bench(
                 false,
                 mem_budget,
                 None,
+                false,
                 spec.name,
             );
             let (wall_ms_supervised, supervised, _) =
-                timed_run(&program, scale, 1, true, mem_budget, None, spec.name);
+                timed_run(&program, scale, 1, true, mem_budget, None, false, spec.name);
             let (wall_ms_planned, planned, _) = timed_run(
                 &program,
                 scale,
@@ -221,8 +247,11 @@ pub fn run_parallel_bench(
                 false,
                 mem_budget,
                 Some(&analysis),
+                false,
                 spec.name,
             );
+            let (wall_ms_recorded, recorded, _) =
+                timed_run(&program, scale, 1, false, mem_budget, None, true, spec.name);
             ParallelRow {
                 name: spec.name,
                 slices: serial.slice_count(),
@@ -232,6 +261,7 @@ pub fn run_parallel_bench(
                 wall_ms_parallel,
                 wall_ms_supervised,
                 wall_ms_planned,
+                wall_ms_recorded,
                 slice_fraction: profile.slice_fraction(),
                 modeled_speedup: profile.modeled_speedup(PARALLEL_THREADS),
                 peak_resident_bytes: serial.peak_resident_bytes,
@@ -243,9 +273,10 @@ pub fn run_parallel_bench(
                 // because retained checkpoints are *charged* bytes and
                 // legitimately shift governed admission decisions. The
                 // plan is a pure accelerator, so plan-on must match
-                // unconditionally.
+                // unconditionally, as must recording (a pure observer).
                 identical: serial == parallel
                     && serial == planned
+                    && serial == recorded
                     && (mem_budget.is_some() || serial == supervised),
             }
         })
@@ -273,6 +304,12 @@ pub fn geomean_modeled_speedup(rows: &[ParallelRow]) -> f64 {
 /// Geometric-mean supervisor overhead ratio across rows (1.0 = free).
 pub fn geomean_supervisor_overhead(rows: &[ParallelRow]) -> f64 {
     geomean(rows.iter().map(ParallelRow::supervisor_overhead))
+}
+
+/// Geometric-mean record overhead ratio across rows (1.0 = free) — the
+/// `--emit-json` guard fails above 1.25x.
+pub fn geomean_record_overhead(rows: &[ParallelRow]) -> f64 {
+    geomean(rows.iter().map(ParallelRow::record_overhead))
 }
 
 /// Geometric-mean plan-on over plan-off wall-clock speedup at
@@ -314,6 +351,7 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             "{{\"name\":\"{}\",\"slices\":{},\"epochs\":{},\"simulated_cycles\":{},\
              \"wall_ms_threads1\":{:.2},\"wall_ms_threads{}\":{:.2},\
              \"wall_ms_supervised\":{:.2},\"supervisor_overhead\":{:.3},\
+             \"wall_ms_recorded\":{:.2},\"record_overhead\":{:.3},\
              \"wall_ms_planned\":{:.2},\"throughput_mcps\":{:.3},\
              \"throughput_mcps_planned\":{:.3},\
              \"speedup\":{:.3},\"slice_fraction\":{:.3},\
@@ -329,6 +367,8 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
             row.wall_ms_parallel,
             row.wall_ms_supervised,
             row.supervisor_overhead(),
+            row.wall_ms_recorded,
+            row.record_overhead(),
             row.wall_ms_planned,
             row.throughput_mcps(),
             row.throughput_mcps_planned(),
@@ -346,12 +386,14 @@ pub fn parallel_to_json(scale: Scale, rows: &[ParallelRow]) -> String {
     let _ = write!(
         out,
         "],\"geomean_speedup\":{:.3},\"max_speedup\":{:.3},\"geomean_modeled_speedup\":{:.3},\
-         \"geomean_supervisor_overhead\":{:.3},\"geomean_plan_speedup\":{:.3},\
+         \"geomean_supervisor_overhead\":{:.3},\"geomean_record_overhead\":{:.3},\
+         \"geomean_plan_speedup\":{:.3},\
          \"geomean_throughput_mcps\":{:.3},\"geomean_throughput_mcps_planned\":{:.3}}}",
         geomean_speedup(rows),
         rows.iter().map(ParallelRow::speedup).fold(0.0, f64::max),
         geomean_modeled_speedup(rows),
         geomean_supervisor_overhead(rows),
+        geomean_record_overhead(rows),
         geomean_plan_speedup(rows),
         geomean_throughput_mcps(rows),
         geomean_throughput_mcps_planned(rows),
@@ -406,88 +448,6 @@ pub fn parallel_to_json_with_history(
     out
 }
 
-/// Finds the raw text between the brackets of `"field":[...]` in
-/// `json`, honoring nesting and string literals. `None` when the field
-/// is absent (e.g. a pre-history tracking file).
-fn extract_array<'a>(json: &'a str, field: &str) -> Option<&'a str> {
-    let needle = format!("\"{field}\":[");
-    let start = json.find(&needle)? + needle.len();
-    let mut depth = 1usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    for (i, ch) in json[start..].char_indices() {
-        if in_string {
-            match ch {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match ch {
-            '"' => in_string = true,
-            '[' | '{' => depth += 1,
-            ']' | '}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(&json[start..start + i]);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Splits a JSON array body into its top-level elements (text slices),
-/// honoring nesting and string literals.
-fn split_top_level(body: &str) -> Vec<&str> {
-    let mut parts = Vec::new();
-    let mut depth = 0usize;
-    let mut in_string = false;
-    let mut escaped = false;
-    let mut from = 0usize;
-    for (i, ch) in body.char_indices() {
-        if in_string {
-            match ch {
-                _ if escaped => escaped = false,
-                '\\' => escaped = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match ch {
-            '"' => in_string = true,
-            '[' | '{' => depth += 1,
-            ']' | '}' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                parts.push(&body[from..i]);
-                from = i + 1;
-            }
-            _ => {}
-        }
-    }
-    if from < body.len() {
-        parts.push(&body[from..]);
-    }
-    parts
-}
-
-/// Reads the numeric value of a top-level `"field":<number>` pair from
-/// emitted JSON — enough parsing for the CI perf guard to compare a
-/// fresh run against the checked-in baseline without a JSON dependency.
-pub fn extract_number(json: &str, field: &str) -> Option<f64> {
-    let needle = format!("\"{field}\":");
-    let start = json.find(&needle)? + needle.len();
-    let rest = &json[start..];
-    let end = rest
-        .find(|ch: char| !matches!(ch, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// Renders the comparison as a text table for the terminal.
 pub fn render_parallel(rows: &[ParallelRow]) -> String {
     let cpus = host_cpus();
@@ -538,6 +498,11 @@ pub fn render_parallel(rows: &[ParallelRow]) -> String {
     );
     let _ = writeln!(
         out,
+        "record overhead (replay log capture, threads=1): {:.2}x geomean",
+        geomean_record_overhead(rows)
+    );
+    let _ = writeln!(
+        out,
         "superblock plan (threads=1): {:.2}x geomean wall-clock speedup; throughput {:.1} -> {:.1} Mcyc/s geomean",
         geomean_plan_speedup(rows),
         geomean(rows.iter().map(ParallelRow::throughput_mcps)),
@@ -569,6 +534,7 @@ mod tests {
                 wall_ms_parallel: 160.0,
                 wall_ms_supervised: 420.0,
                 wall_ms_planned: 380.0,
+                wall_ms_recorded: 440.0,
                 slice_fraction: 0.75,
                 modeled_speedup: 2.29,
                 peak_resident_bytes: 262_144,
@@ -586,6 +552,7 @@ mod tests {
                 wall_ms_parallel: 200.0,
                 wall_ms_supervised: 303.0,
                 wall_ms_planned: 250.0,
+                wall_ms_recorded: 306.0,
                 slice_fraction: 0.60,
                 modeled_speedup: 1.82,
                 peak_resident_bytes: 0,
@@ -614,6 +581,9 @@ mod tests {
         assert!(json.contains("\"wall_ms_supervised\":420.00"));
         assert!(json.contains("\"supervisor_overhead\":1.050"));
         assert!(json.contains("\"geomean_supervisor_overhead\":"));
+        assert!(json.contains("\"wall_ms_recorded\":440.00"));
+        assert!(json.contains("\"record_overhead\":1.100"));
+        assert!(json.contains("\"geomean_record_overhead\":"));
         assert!(json.contains("\"peak_resident_bytes\":262144"));
         assert!(json.contains("\"slices_deferred\":3"));
         assert!(json.contains("\"checkpoints_dropped\":2"));
@@ -664,15 +634,12 @@ mod tests {
     }
 
     #[test]
-    fn array_extraction_honors_strings_and_nesting() {
-        let json = "{\"history\":[{\"key\":\"a]b\",\"v\":[1,2]},{\"key\":\"c\"}],\"z\":1}";
-        let body = extract_array(json, "history").expect("array present");
-        assert_eq!(body, "{\"key\":\"a]b\",\"v\":[1,2]},{\"key\":\"c\"}");
-        let parts = split_top_level(body);
-        assert_eq!(parts.len(), 2);
-        assert_eq!(parts[0], "{\"key\":\"a]b\",\"v\":[1,2]}");
-        assert_eq!(parts[1], "{\"key\":\"c\"}");
-        assert_eq!(extract_array(json, "missing"), None);
+    fn record_overhead_is_the_recorded_ratio() {
+        let rows = sample_rows();
+        assert!((rows[0].record_overhead() - 1.10).abs() < 1e-9);
+        assert!((rows[1].record_overhead() - 1.02).abs() < 1e-9);
+        let geo = geomean_record_overhead(&rows);
+        assert!(geo > 1.02 && geo < 1.10, "geomean {geo}");
     }
 
     #[test]

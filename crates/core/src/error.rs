@@ -70,6 +70,17 @@ pub enum SpError {
         /// The slice whose checkpoint was reclaimed.
         slice: u32,
     },
+    /// A replaying run consulted its log and found the recorded decision
+    /// incompatible with the live state (wrong event kind, exhausted
+    /// log, or a syscall whose recorded number/arguments no longer match
+    /// the guest's registers). The run's trajectory has departed from
+    /// the recording.
+    ReplayDivergence {
+        /// The decision point that diverged (e.g. `"master syscall"`).
+        context: &'static str,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SpError {
@@ -102,6 +113,9 @@ impl fmt::Display for SpError {
             }
             SpError::CheckpointDropped { slice } => {
                 write!(f, "slice {slice} checkpoint was reclaimed under memory pressure")
+            }
+            SpError::ReplayDivergence { context, detail } => {
+                write!(f, "replay divergence at {context}: {detail}")
             }
         }
     }
@@ -169,6 +183,13 @@ mod tests {
         assert!(SpError::NoProgress.source().is_none());
         assert!(SpError::WorkerLost { worker: 2 }.source().is_none());
         assert!(SpError::CheckpointDropped { slice: 1 }.source().is_none());
+        let div = SpError::ReplayDivergence {
+            context: "master syscall",
+            detail: "log exhausted".into(),
+        };
+        assert!(div.source().is_none());
+        assert!(div.to_string().contains("master syscall"));
+        assert!(div.to_string().contains("log exhausted"));
     }
 
     #[test]

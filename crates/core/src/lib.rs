@@ -86,6 +86,7 @@ pub mod bubble;
 pub mod config;
 pub mod governor;
 pub mod master;
+pub mod record;
 pub mod report;
 pub mod runner;
 pub mod shared;
@@ -101,6 +102,9 @@ pub use api::SuperTool;
 pub use config::SuperPinConfig;
 pub use error::SpError;
 pub use governor::MemoryGovernor;
+pub use record::{
+    AdmissionDecision, NondetEvent, RunMode, RunProbe, RunRecorder, RunSource, SliceProbe,
+};
 pub use report::{SliceReport, SuperPinReport, TimeBreakdown};
 pub use runner::{HostProfile, SuperPinRunner};
 pub use shared::{AreaId, AutoMerge, SharedArea, SharedMem};

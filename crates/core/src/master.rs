@@ -8,6 +8,7 @@
 
 use crate::config::SuperPinConfig;
 use crate::error::SpError;
+use crate::record::{NondetEvent, RunMode};
 use crate::syscall_policy::{classify, SyscallAction};
 use superpin_dbi::cycles_to_ns;
 use superpin_isa::Reg;
@@ -106,6 +107,7 @@ impl MasterRuntime {
         budget: u64,
         now_cycles: u64,
         cfg: &SuperPinConfig,
+        mode: &mut RunMode,
     ) -> Result<(u64, MasterEvent), SpError> {
         if self.exited {
             return Ok((0, MasterEvent::Exited));
@@ -142,7 +144,7 @@ impl MasterRuntime {
                         self.pending_force = true;
                         return Ok((used, MasterEvent::NeedForkAtSyscall));
                     }
-                    used += self.service_syscall(now_cycles + used, action, cfg)?;
+                    used += self.service_syscall(now_cycles + used, action, cfg, mode)?;
                     if self.exited {
                         return Ok((used, MasterEvent::Exited));
                     }
@@ -171,15 +173,74 @@ impl MasterRuntime {
     /// Executes the syscall the master is parked at (used both inline and
     /// to resolve a pending forced fork once a slot frees up). Appends
     /// the record to the current span. Returns cycles charged.
+    ///
+    /// In [`RunMode::Record`] the record is streamed into the log after
+    /// live execution; in [`RunMode::Replay`] the next recorded syscall
+    /// is *applied* to the parked guest instead of re-executing the
+    /// kernel, after verifying that its number and arguments still match
+    /// the live registers (a mismatch is a typed divergence error). The
+    /// played-back record joins the span like a live one, so slices play
+    /// back the substituted effects too.
     fn service_syscall(
         &mut self,
         now_cycles: u64,
         action: SyscallAction,
         cfg: &SuperPinConfig,
+        mode: &mut RunMode,
     ) -> Result<u64, SpError> {
-        let record = self
-            .controller
-            .step_over_syscall(cycles_to_ns(now_cycles))?;
+        let record = match mode {
+            RunMode::Replay(source) => {
+                let pc = self.process().cpu.pc;
+                let record = match source.next_event() {
+                    Some(NondetEvent::Syscall(record)) => record,
+                    Some(other) => {
+                        return Err(SpError::ReplayDivergence {
+                            context: "master syscall",
+                            detail: format!(
+                                "expected a syscall record at pc {pc:#x}, log has a {} event",
+                                other.kind()
+                            ),
+                        })
+                    }
+                    None => {
+                        return Err(SpError::ReplayDivergence {
+                            context: "master syscall",
+                            detail: format!("log exhausted at pc {pc:#x}"),
+                        })
+                    }
+                };
+                let regs = &self.process().cpu.regs;
+                let live_number = regs.get(Reg::R0);
+                let live_args = [
+                    regs.get(Reg::R1),
+                    regs.get(Reg::R2),
+                    regs.get(Reg::R3),
+                    regs.get(Reg::R4),
+                    regs.get(Reg::R5),
+                ];
+                if record.number as u64 != live_number || record.args != live_args {
+                    return Err(SpError::ReplayDivergence {
+                        context: "master syscall",
+                        detail: format!(
+                            "at pc {pc:#x}: recorded syscall {}{:?}, guest is issuing \
+                             {live_number}{live_args:?}",
+                            record.number as u64, record.args
+                        ),
+                    });
+                }
+                self.controller.playback_syscall(&record)?;
+                record
+            }
+            _ => {
+                let record = self
+                    .controller
+                    .step_over_syscall(cycles_to_ns(now_cycles))?;
+                if let RunMode::Record(recorder) = mode {
+                    recorder.record(NondetEvent::Syscall(record.clone()));
+                }
+                record
+            }
+        };
         self.syscall_count += 1;
         if record.exited.is_some() {
             self.exited = true;
@@ -206,13 +267,14 @@ impl MasterRuntime {
         &mut self,
         now_cycles: u64,
         cfg: &SuperPinConfig,
+        mode: &mut RunMode,
     ) -> Result<u64, SpError> {
         assert!(self.pending_force, "no forced fork pending");
         self.pending_force = false;
         // The forced syscall is still recorded (our kernel records every
         // syscall's effects); what the *force* preserves from the paper
         // is the fork-at-syscall scheduling behaviour.
-        self.service_syscall(now_cycles, SyscallAction::RecordReplay, cfg)
+        self.service_syscall(now_cycles, SyscallAction::RecordReplay, cfg, mode)
     }
 }
 
@@ -243,7 +305,9 @@ mod tests {
     #[test]
     fn runs_and_records_syscalls() {
         let mut m = master("main:\n li r0, 9\n syscall\n li r0, 8\n syscall\n exit 0\n");
-        let (used, event) = m.advance(u64::MAX / 8, 0, &cfg()).expect("advance");
+        let (used, event) = m
+            .advance(u64::MAX / 8, 0, &cfg(), &mut RunMode::Live)
+            .expect("advance");
         assert_eq!(event, MasterEvent::Exited);
         assert!(used > 0);
         let records = m.take_span_records();
@@ -256,7 +320,9 @@ mod tests {
     fn budget_limits_progress() {
         let mut m =
             master("main:\n li r1, 1000\nloop:\n subi r1, r1, 1\n bne r1, r0, loop\n exit 0\n");
-        let (used, event) = m.advance(10, 0, &cfg()).expect("advance");
+        let (used, event) = m
+            .advance(10, 0, &cfg(), &mut RunMode::Live)
+            .expect("advance");
         assert_eq!(event, MasterEvent::None);
         assert_eq!(used, 10);
         assert_eq!(m.process().inst_count(), 10);
@@ -269,14 +335,19 @@ mod tests {
         let mut m = master(
             "main:\n li r0, 9\n syscall\n li r0, 9\n syscall\n li r0, 9\n syscall\n exit 0\n",
         );
-        let (_, event) = m.advance(u64::MAX / 8, 0, &config).expect("advance");
+        let (_, event) = m
+            .advance(u64::MAX / 8, 0, &config, &mut RunMode::Live)
+            .expect("advance");
         assert_eq!(event, MasterEvent::NeedForkAtSyscall);
         assert!(m.pending_force());
         assert_eq!(m.take_span_records().len(), 2);
         // Resolving executes the third getpid and starts a new span.
-        m.resolve_forced_syscall(0, &config).expect("resolve");
+        m.resolve_forced_syscall(0, &config, &mut RunMode::Live)
+            .expect("resolve");
         assert!(!m.pending_force());
-        let (_, event) = m.advance(u64::MAX / 8, 0, &config).expect("advance");
+        let (_, event) = m
+            .advance(u64::MAX / 8, 0, &config, &mut RunMode::Live)
+            .expect("advance");
         assert_eq!(event, MasterEvent::Exited);
         let records = m.take_span_records();
         // getpid (forced) + exit.
@@ -288,7 +359,9 @@ mod tests {
         let mut config = cfg();
         config.max_sysrecs = 0;
         let mut m = master("main:\n li r0, 9\n syscall\n exit 0\n");
-        let (_, event) = m.advance(u64::MAX / 8, 0, &config).expect("advance");
+        let (_, event) = m
+            .advance(u64::MAX / 8, 0, &config, &mut RunMode::Live)
+            .expect("advance");
         assert_eq!(event, MasterEvent::NeedForkAtSyscall);
     }
 
@@ -300,7 +373,9 @@ mod tests {
         let mut m = master(
             "main:\n li r0, 5\n li r1, 0x1000100\n syscall\n li r0, 5\n li r1, 0x1000200\n syscall\n li r0, 9\n syscall\n exit 0\n",
         );
-        let (_, event) = m.advance(u64::MAX / 8, 0, &config).expect("advance");
+        let (_, event) = m
+            .advance(u64::MAX / 8, 0, &config, &mut RunMode::Live)
+            .expect("advance");
         // brk+brk fit (no budget), getpid takes the 1 slot, exit passes.
         assert_eq!(event, MasterEvent::Exited);
         assert_eq!(m.take_span_records().len(), 4);
@@ -311,7 +386,9 @@ mod tests {
         let mut config = cfg();
         config.max_sysrecs = 1;
         let mut m = master("main:\n li r0, 8\n syscall\n exit 0\n");
-        let (_, event) = m.advance(u64::MAX / 8, 0, &config).expect("advance");
+        let (_, event) = m
+            .advance(u64::MAX / 8, 0, &config, &mut RunMode::Live)
+            .expect("advance");
         // gettime consumes the single slot; exit must still pass through.
         assert_eq!(event, MasterEvent::Exited);
     }

@@ -42,6 +42,10 @@ use crate::config::SuperPinConfig;
 use crate::error::SpError;
 use crate::governor::{MemoryGovernor, COMPILED_INST_BYTES, FORK_COST_BYTES, SNAPSHOT_ENTRY_BYTES};
 use crate::master::{MasterEvent, MasterRuntime};
+use crate::record::{
+    AdmissionDecision as Admission, NondetEvent, RunMode, RunProbe, RunRecorder, RunSource,
+    SliceProbe,
+};
 use crate::report::{SliceReport, SuperPinReport, TimeBreakdown};
 use crate::shared::SharedMem;
 use crate::signature::{Signature, SignatureStats};
@@ -61,23 +65,6 @@ use superpin_vm::VmError;
 enum PendingFork {
     Timer,
     Syscall,
-}
-
-/// Outcome of the memory governor's admission check for one fork.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Admission {
-    /// The fork fits the budget (possibly after walking the eviction
-    /// ladder).
-    Admit,
-    /// Over budget with nothing left to evict and nothing running that
-    /// could free memory by completing: admit the fork but pin the new
-    /// slice to inline serial execution (ladder rung 3). Deferring here
-    /// would deadlock — a slice only wakes when the *next* fork records
-    /// its boundary.
-    AdmitDegraded,
-    /// Over budget while live slices can still complete and free their
-    /// footprint: stall the master and re-check at a later barrier.
-    Defer,
 }
 
 /// One epoch's worth of work for one **worker**: its whole share of the
@@ -209,6 +196,12 @@ pub struct SuperPinRunner<T: SuperTool> {
     /// unchanged. Disabled under chaos: a clobber-bugged or
     /// fault-injected slice must compile exactly as it would alone.
     trace_templates: Option<superpin_dbi::engine::TraceTemplates<SpSliceTool<T>>>,
+    /// Record/replay mode for the run's nondeterministic surface (see
+    /// the [`record`](crate::record) module). `Live` costs nothing.
+    mode: RunMode,
+    /// Whether [`start`](SuperPinRunner::start) has forked the first
+    /// slice yet (the steppable API is idempotent about it).
+    started: bool,
 }
 
 impl<T: SuperTool> SuperPinRunner<T> {
@@ -274,7 +267,24 @@ impl<T: SuperTool> SuperPinRunner<T> {
             supervisor,
             governor,
             last_snapshot_entries: 0,
+            mode: RunMode::Live,
+            started: false,
         })
+    }
+
+    /// Arms record mode: every nondeterministic decision the run makes
+    /// is streamed into `recorder`, in decision order.
+    pub fn set_recorder(&mut self, recorder: Box<dyn RunRecorder>) {
+        self.mode = RunMode::Record(recorder);
+    }
+
+    /// Arms replay mode: nondeterministic decisions are substituted from
+    /// `source` instead of being made live. The runner must have been
+    /// constructed from the recorded run's recipe (same program, tool,
+    /// and config knobs); a mismatch surfaces as
+    /// [`SpError::ReplayDivergence`].
+    pub fn set_replay(&mut self, source: Box<dyn RunSource>) {
+        self.mode = RunMode::Replay(source);
     }
 
     fn running_count(&self) -> usize {
@@ -337,22 +347,114 @@ impl<T: SuperTool> SuperPinRunner<T> {
         FORK_COST_BYTES + checkpoint
     }
 
-    /// Memory-governed admission check for one fork, walking the
-    /// eviction ladder under pressure (see the `governor` module docs).
-    /// Called only when a slot is free; always [`Admission::Admit`]
-    /// without a budget. Deterministic: every input is simulated state
-    /// and the check runs at control steps on the supervisor thread.
-    fn admit_fork(&mut self) -> Admission {
+    /// Memory-governed admission check for one fork: dispatches on the
+    /// run mode. Without a governor every fork is a plain `Admit` and no
+    /// event is recorded (an ungoverned run has no admission
+    /// nondeterminism, so record and replay streams stay aligned).
+    fn admission_check(&mut self) -> Result<Admission, SpError> {
         if self.governor.is_none() {
-            return Admission::Admit;
+            return Ok(Admission::Admit);
         }
+        if self.mode.is_replay() {
+            return self.admission_replay();
+        }
+        let (decision, dropped, evicted) = self.admit_fork_live();
+        if let RunMode::Record(recorder) = &mut self.mode {
+            recorder.record(NondetEvent::Admission {
+                decision,
+                dropped,
+                evicted,
+            });
+        }
+        Ok(decision)
+    }
+
+    /// Replay-side admission: substitutes the recorded decision and
+    /// re-applies the recorded eviction-ladder actions (checkpoint drops
+    /// and cache flushes) with the same bookkeeping the live ladder
+    /// performs, instead of re-walking the ladder.
+    fn admission_replay(&mut self) -> Result<Admission, SpError> {
+        let event = match &mut self.mode {
+            RunMode::Replay(source) => source.next_event(),
+            _ => unreachable!("checked by caller"),
+        };
+        let (decision, dropped, evicted) = match event {
+            Some(NondetEvent::Admission {
+                decision,
+                dropped,
+                evicted,
+            }) => (decision, dropped, evicted),
+            Some(other) => {
+                return Err(SpError::ReplayDivergence {
+                    context: "fork admission",
+                    detail: format!(
+                        "expected an admission record for slice {}, log has a {} event",
+                        self.next_slice_num,
+                        other.kind()
+                    ),
+                })
+            }
+            None => {
+                return Err(SpError::ReplayDivergence {
+                    context: "fork admission",
+                    detail: format!("log exhausted at slice {} admission", self.next_slice_num),
+                })
+            }
+        };
+        let usage = self.resident_usage();
+        let gov = self.governor.as_mut().expect("governor present");
+        gov.observe(usage);
+        for num in dropped {
+            let Some(sup) = self.supervisor.as_mut() else {
+                break;
+            };
+            if sup.drop_checkpoint(num) > 0 {
+                self.governor
+                    .as_mut()
+                    .expect("governor present")
+                    .note_checkpoint_dropped();
+            }
+        }
+        for num in evicted {
+            let Some(slice) = self.live.iter_mut().find(|slice| slice.num() == num) else {
+                continue;
+            };
+            if slice.evict_code_cache() > 0 {
+                if let Some(sup) = &mut self.supervisor {
+                    sup.journal_evict(num);
+                }
+                self.governor
+                    .as_mut()
+                    .expect("governor present")
+                    .note_cache_evicted();
+            }
+        }
+        let gov = self.governor.as_mut().expect("governor present");
+        if decision == Admission::Defer {
+            gov.note_deferral();
+        } else {
+            gov.end_deferral();
+        }
+        Ok(decision)
+    }
+
+    /// Live memory-governed admission check for one fork, walking the
+    /// eviction ladder under pressure (see the `governor` module docs).
+    /// Called only when a slot is free and a governor is armed.
+    /// Deterministic: every input is simulated state and the check runs
+    /// at control steps on the supervisor thread. Returns the decision
+    /// plus the ladder's actions (checkpoints dropped, caches evicted)
+    /// so record mode can log them.
+    fn admit_fork_live(&mut self) -> (Admission, Vec<u32>, Vec<u32>) {
+        let mut dropped_log: Vec<u32> = Vec::new();
+        let mut evicted_log: Vec<u32> = Vec::new();
         let est = self.fork_estimate();
         let mut usage = self.resident_usage();
         let gov = self.governor.as_mut().expect("governor present");
         gov.observe(usage);
         if !gov.over_budget(usage, est) {
             gov.end_deferral();
-            return Admission::Admit;
+            return (Admission::Admit, dropped_log, evicted_log);
         }
         // Rung 1: drop retained checkpoints of committed slices. A
         // `Done` slice is never condemned, so its checkpoint is pure
@@ -381,6 +483,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             let freed = sup.drop_checkpoint(num);
             if freed > 0 {
                 usage = usage.saturating_sub(freed);
+                dropped_log.push(num);
                 self.governor
                     .as_mut()
                     .expect("governor present")
@@ -415,6 +518,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             let freed_insts = slice.evict_code_cache();
             if freed_insts > 0 {
                 usage = usage.saturating_sub(freed_insts as u64 * COMPILED_INST_BYTES);
+                evicted_log.push(num);
                 if let Some(sup) = &mut self.supervisor {
                     sup.journal_evict(num);
                 }
@@ -427,13 +531,13 @@ impl<T: SuperTool> SuperPinRunner<T> {
         let gov = self.governor.as_mut().expect("governor present");
         if !gov.over_budget(usage, est) {
             gov.end_deferral();
-            return Admission::Admit;
+            return (Admission::Admit, dropped_log, evicted_log);
         }
         // Rung 3: still over budget. Defer while anything non-sleeping
         // can free memory by completing; otherwise deferring deadlocks
         // (the back slice only wakes at the next fork), so admit the
         // fork degraded to inline serial execution.
-        if self
+        let decision = if self
             .live
             .iter()
             .any(|slice| slice.state() != SliceState::Sleeping)
@@ -443,7 +547,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
         } else {
             gov.end_deferral();
             Admission::AdmitDegraded
-        }
+        };
+        (decision, dropped_log, evicted_log)
     }
 
     /// Forks a new slice from the master's current state and wakes the
@@ -614,14 +719,16 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 self.stall_fork(PendingFork::Syscall);
                 return Ok(());
             }
-            match self.admit_fork() {
+            match self.admission_check()? {
                 Admission::Defer => self.stall_fork(PendingFork::Syscall),
                 admission => {
                     self.stalled = None;
                     if admission == Admission::AdmitDegraded {
                         self.pin_next_fork();
                     }
-                    let cycles = self.master.resolve_forced_syscall(self.now, &self.cfg)?;
+                    let cycles =
+                        self.master
+                            .resolve_forced_syscall(self.now, &self.cfg, &mut self.mode)?;
                     self.master_debt += cycles;
                     self.forks_on_syscall += 1;
                     self.fork_slice(Some(Boundary::SyscallEnd))?;
@@ -643,7 +750,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 self.stall_fork(PendingFork::Timer);
                 return Ok(());
             }
-            match self.admit_fork() {
+            match self.admission_check()? {
                 Admission::Defer => self.stall_fork(PendingFork::Timer),
                 admission => {
                     self.stalled = None;
@@ -698,7 +805,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
             if remaining == 0 {
                 continue;
             }
-            let (used, event) = self.master.advance(remaining, quantum_start, &self.cfg)?;
+            let (used, event) =
+                self.master
+                    .advance(remaining, quantum_start, &self.cfg, &mut self.mode)?;
             // Overshoot (a serviced syscall may exceed the budget) is
             // owed to future quanta.
             self.master_debt += used.saturating_sub(remaining);
@@ -1051,9 +1160,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
     ///
     /// Propagates guest errors and slice-divergence detections.
     pub fn run_profiled(mut self) -> Result<(SuperPinReport, HostProfile), SpError> {
-        // "At the start of execution, the application forks off its first
-        // instrumented timeslice" (paper §3).
-        self.fork_slice(None)?;
+        self.start()?;
 
         // More workers than the `-spmp` cap can never be fed.
         let workers = self.cfg.threads.min(self.cfg.max_slices);
@@ -1115,8 +1222,89 @@ impl<T: SuperTool> SuperPinRunner<T> {
 
     /// The epoch loop (see the module docs for the three-phase shape).
     fn run_epochs(&mut self, pool: &mut WorkerPool<T>) -> Result<SuperPinReport, SpError> {
+        while self.step_epoch(pool)? {}
+        self.finalize()
+    }
+
+    /// Begins the run: forks the first slice ("at the start of
+    /// execution, the application forks off its first instrumented
+    /// timeslice", paper §3). Idempotent — [`run`](SuperPinRunner::run)
+    /// and the steppable API both funnel through here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates slice-setup errors.
+    pub fn start(&mut self) -> Result<(), SpError> {
+        if !self.started {
+            self.started = true;
+            self.fork_slice(None)?;
+        }
+        Ok(())
+    }
+
+    /// Executes exactly one epoch inline on the calling thread (the
+    /// `threads = 1` backend), starting the run if needed. Returns
+    /// whether the run can make further progress; once it returns
+    /// `false`, [`finish`](SuperPinRunner::finish) renders the report.
+    ///
+    /// This is the lockstep surface the divergence differ drives: after
+    /// each step, [`probe`](SuperPinRunner::probe) exposes the
+    /// epoch-barrier state for comparison against a twin run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors and replay divergences.
+    pub fn step_serial(&mut self) -> Result<bool, SpError> {
+        self.start()?;
+        self.step_epoch(&mut WorkerPool::Inline)
+    }
+
+    /// Renders the final report once [`step_serial`](SuperPinRunner::step_serial)
+    /// has returned `false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay divergences surfaced at finalization.
+    pub fn finish(&mut self) -> Result<SuperPinReport, SpError> {
+        self.finalize()
+    }
+
+    /// Snapshots the run's observable state at the current epoch
+    /// barrier: virtual time, the master's architectural state, every
+    /// live slice's progress, and the reports of already-merged slices.
+    pub fn probe(&self) -> RunProbe {
+        let master = self.master.process();
+        RunProbe {
+            now: self.now,
+            epochs: self.epochs,
+            quantum: self.cfg.quantum_cycles.max(1),
+            master_exited: self.master.exited(),
+            master_insts: master.inst_count(),
+            master_pc: master.cpu.pc,
+            master_regs: master.cpu.regs.snapshot(),
+            master_mem_digest: master.mem.content_digest(),
+            slices: self
+                .live
+                .iter()
+                .map(|slice| {
+                    let process = slice.engine().process();
+                    SliceProbe {
+                        num: slice.num(),
+                        insts: process.inst_count(),
+                        pc: process.cpu.pc,
+                        mem_digest: process.mem.content_digest(),
+                    }
+                })
+                .collect(),
+            merged: self.finished.clone(),
+        }
+    }
+
+    /// One iteration of the epoch loop; `Ok(false)` means the run is
+    /// complete.
+    fn step_epoch(&mut self, pool: &mut WorkerPool<T>) -> Result<bool, SpError> {
         let quantum = self.cfg.quantum_cycles.max(1);
-        loop {
+        {
             // Host timing only — two `Instant` reads per epoch, no
             // effect on any simulated quantity.
             let supervisor_start = Instant::now();
@@ -1139,7 +1327,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
 
             if runnable.is_empty() {
                 if self.master.exited() && self.live.is_empty() {
-                    break;
+                    return Ok(false);
                 }
                 // Master stalled with zero running slices would be a
                 // logic error (a slot must be free then); a sleeping-only
@@ -1187,7 +1375,36 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     (slice.eta(), budget)
                 })
                 .collect();
-            let planned = self.planner.plan(deadline, etas);
+            let planned = match &mut self.mode {
+                RunMode::Live => self.planner.plan(deadline, etas),
+                RunMode::Record(recorder) => {
+                    let planned = self.planner.plan(deadline, etas);
+                    recorder.record(NondetEvent::EpochPlan { planned });
+                    planned
+                }
+                // Substituted verbatim: the planner's live answer would
+                // be identical on a faithful log, and taking the log's
+                // word is what lets divergence tests perturb it.
+                RunMode::Replay(source) => match source.next_event() {
+                    Some(NondetEvent::EpochPlan { planned }) => planned.max(1),
+                    Some(other) => {
+                        return Err(SpError::ReplayDivergence {
+                            context: "epoch plan",
+                            detail: format!(
+                                "expected an epoch-plan record at epoch {}, log has a {} event",
+                                self.epochs,
+                                other.kind()
+                            ),
+                        })
+                    }
+                    None => {
+                        return Err(SpError::ReplayDivergence {
+                            context: "epoch plan",
+                            detail: format!("log exhausted at epoch {}", self.epochs),
+                        })
+                    }
+                },
+            };
             self.epochs += 1;
 
             // Phase 1: master, serially; a master event truncates the
@@ -1248,7 +1465,15 @@ impl<T: SuperTool> SuperPinRunner<T> {
             self.merge_ready();
             self.host_profile.supervisor_ns += barrier_start.elapsed().as_nanos() as u64;
         }
+        Ok(true)
+    }
 
+    /// Renders the report after the epoch loop completes. The
+    /// supervision ledger (`slice_retries`, `slices_degraded`) is
+    /// recorded here as the log's final event, and substituted from the
+    /// log on replay — chaos recovery is re-*counted* rather than
+    /// re-*executed* (see the [`record`](crate::record) module docs).
+    fn finalize(&mut self) -> Result<SuperPinReport, SpError> {
         // All slices merged: render the final result.
         //
         // Soundness gate: if an oracle was installed, no engine may have
@@ -1265,6 +1490,34 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
         let mut fin = self.tool_template.clone();
         fin.fini_shared(&self.shared);
+
+        let mut sup_retries = self.supervisor.as_ref().map_or(0, |sup| sup.slice_retries);
+        let mut sup_degraded = self
+            .supervisor
+            .as_ref()
+            .map_or(0, |sup| sup.slices_degraded);
+        match &mut self.mode {
+            RunMode::Live => {}
+            RunMode::Record(recorder) => recorder.record(NondetEvent::FaultLedger {
+                slice_retries: sup_retries,
+                slices_degraded: sup_degraded,
+            }),
+            RunMode::Replay(source) => {
+                // The ledger is the log's final event; drain to it so a
+                // replay that legitimately consumed fewer decision
+                // points (injection is disarmed) still finds it.
+                while let Some(event) = source.next_event() {
+                    if let NondetEvent::FaultLedger {
+                        slice_retries,
+                        slices_degraded,
+                    } = event
+                    {
+                        sup_retries = slice_retries;
+                        sup_degraded = slices_degraded;
+                    }
+                }
+            }
+        }
 
         let master_exit_cycles = self.master_exit_cycles.unwrap_or(self.now);
         let native_cycles = self.master.process().inst_count() * self.cfg.cost.native_cpi;
@@ -1293,11 +1546,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
             stall_events: self.stall_events,
             master_cow_copies: self.master.process().mem.stats().cow_copies,
             epochs: self.epochs,
-            slice_retries: self.supervisor.as_ref().map_or(0, |sup| sup.slice_retries),
-            slices_degraded: self
-                .supervisor
-                .as_ref()
-                .map_or(0, |sup| sup.slices_degraded)
+            slice_retries: sup_retries,
+            slices_degraded: sup_degraded
                 + self
                     .governor
                     .as_ref()

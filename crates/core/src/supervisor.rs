@@ -292,22 +292,21 @@ impl<T: SuperTool> SliceSupervisor<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::SharedMem;
+    use superpin_dbi::{Inserter, Pintool, Trace};
+
+    #[derive(Clone, Default)]
+    struct Nop;
+    impl Pintool for Nop {
+        fn instrument_trace(&mut self, _: &Trace, _: &mut Inserter<Self>) {}
+    }
+    impl SuperTool for Nop {
+        fn reset(&mut self, _: u32) {}
+        fn on_slice_end(&mut self, _: u32, _: &SharedMem) {}
+    }
 
     #[test]
     fn condemn_ladder_retries_then_degrades_then_unrecoverable() {
-        use crate::shared::SharedMem;
-        use superpin_dbi::{Inserter, Pintool, Trace};
-
-        #[derive(Clone, Default)]
-        struct Nop;
-        impl Pintool for Nop {
-            fn instrument_trace(&mut self, _: &Trace, _: &mut Inserter<Self>) {}
-        }
-        impl SuperTool for Nop {
-            fn reset(&mut self, _: u32) {}
-            fn on_slice_end(&mut self, _: u32, _: &SharedMem) {}
-        }
-
         let program = superpin_isa::asm::assemble("main:\n exit 0\n").expect("assemble");
         let mut process = superpin_vm::process::Process::load(1, &program).expect("load");
         let bubble = crate::bubble::Bubble::reserve(&mut process.mem).expect("bubble");
@@ -335,5 +334,75 @@ mod tests {
             sup.rebuild(1),
             Err(SpError::CheckpointDropped { slice: 1 })
         ));
+    }
+
+    /// Architectural + accounting view of a slice for bit-identity
+    /// assertions.
+    fn probe(slice: &SliceRuntime<Nop>) -> (u64, u64, u64, usize, u64, u64) {
+        let process = slice.engine().process();
+        (
+            process.inst_count(),
+            process.cpu.pc,
+            process.mem.content_digest(),
+            slice.cache_resident_insts(),
+            slice.engine().stats().cycles.total(),
+            slice.records_played(),
+        )
+    }
+
+    #[test]
+    fn journaled_eviction_rebuilds_the_condemned_slice_bit_identically() {
+        use crate::slice::Boundary;
+
+        // A hot loop long enough to stay running across several epochs,
+        // so a mid-schedule eviction forces real recompilation after it.
+        let src = "main:\n li r1, 5000\n\
+                   loop:\n subi r1, r1, 1\n nop\n nop\n bne r1, r0, loop\n exit 0\n";
+        let program = superpin_isa::asm::assemble(src).expect("assemble");
+        let mut process = superpin_vm::process::Process::load(1, &program).expect("load");
+        let bubble = crate::bubble::Bubble::reserve(&mut process.mem).expect("bubble");
+        let cfg = crate::config::SuperPinConfig::paper_default();
+        let mut live = SliceRuntime::spawn(1, &process, &Nop, &bubble, &cfg, 0).expect("spawn");
+        live.wake(Boundary::ProgramExit, Vec::new(), 0);
+
+        // Two supervisors guard the same wake-time state; only `sup` is
+        // told about the governor's eviction (`blind` models a journal
+        // that dropped the EvictCache step).
+        let mut sup: SliceSupervisor<Nop> = SliceSupervisor::new(8, 2);
+        let mut blind: SliceSupervisor<Nop> = SliceSupervisor::new(8, 2);
+        sup.guard(&live);
+        blind.guard(&live);
+
+        const BUDGET: u64 = 800;
+        const QUANTA: u64 = 2;
+        const QUANTUM: u64 = 400;
+        for epoch in 0..4u64 {
+            if epoch == 2 {
+                // Governor pressure between barriers: flush the live
+                // slice's code cache and journal it (in `sup` only).
+                assert!(live.cache_resident_insts() > 0, "cache must be warm");
+                assert!(live.evict_code_cache() > 0, "eviction must free insts");
+                sup.journal_evict(1);
+            }
+            let eta = live.eta();
+            let epoch_start = epoch * QUANTA * QUANTUM;
+            live.advance_epoch(BUDGET, QUANTA, epoch_start, QUANTUM)
+                .expect("advance");
+            sup.journal_advance(1, BUDGET, QUANTA, epoch_start, QUANTUM, eta);
+            blind.journal_advance(1, BUDGET, QUANTA, epoch_start, QUANTUM, eta);
+        }
+
+        // The full-journal rebuild lands on exactly the condemned
+        // incarnation's state: same pc, instruction count, memory
+        // contents, resident cache, and cycle accounting.
+        let rebuilt = sup.rebuild(1).expect("rebuild");
+        assert_eq!(probe(&rebuilt), probe(&live));
+        assert_eq!(rebuilt.state(), live.state());
+
+        // The EvictCache step is load-bearing: a journal without it
+        // replays the same schedule but never repays the recompilation,
+        // so its accounting diverges from the live slice.
+        let blind_rebuilt = blind.rebuild(1).expect("rebuild");
+        assert_ne!(probe(&blind_rebuilt), probe(&live));
     }
 }

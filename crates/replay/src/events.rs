@@ -1,0 +1,113 @@
+//! In-memory endpoints for the runner's [`RunRecorder`]/[`RunSource`]
+//! traits: an [`EventSink`] that accumulates a recording, and an
+//! [`EventStream`] that feeds a recorded stream back in order.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use superpin::{NondetEvent, RunRecorder, RunSource};
+
+/// Collects the event stream of a recorded run.
+///
+/// Cloneable handle over shared storage: hand
+/// [`recorder`](EventSink::recorder) to the runner (which consumes a
+/// boxed recorder) and keep the sink to [`take`](EventSink::take) the
+/// events after the run. All recording happens on the supervisor
+/// thread; the mutex is uncontended.
+#[derive(Clone, Debug, Default)]
+pub struct EventSink {
+    events: Arc<Mutex<Vec<NondetEvent>>>,
+}
+
+struct SinkRecorder {
+    events: Arc<Mutex<Vec<NondetEvent>>>,
+}
+
+impl RunRecorder for SinkRecorder {
+    fn record(&mut self, event: NondetEvent) {
+        self.events.lock().expect("recorder mutex").push(event);
+    }
+}
+
+impl EventSink {
+    /// An empty sink.
+    pub fn new() -> EventSink {
+        EventSink::default()
+    }
+
+    /// A boxed recorder feeding this sink, for
+    /// [`SuperPinRunner::set_recorder`](superpin::SuperPinRunner::set_recorder).
+    pub fn recorder(&self) -> Box<dyn RunRecorder> {
+        Box::new(SinkRecorder {
+            events: Arc::clone(&self.events),
+        })
+    }
+
+    /// Takes the recorded events, leaving the sink empty.
+    pub fn take(&self) -> Vec<NondetEvent> {
+        std::mem::take(&mut self.events.lock().expect("sink mutex"))
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink mutex").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Feeds a recorded event stream back into a replaying run, in order.
+#[derive(Debug)]
+pub struct EventStream {
+    events: VecDeque<NondetEvent>,
+}
+
+impl EventStream {
+    /// Wraps a recorded stream.
+    pub fn new(events: Vec<NondetEvent>) -> EventStream {
+        EventStream {
+            events: events.into(),
+        }
+    }
+
+    /// Boxes the stream for
+    /// [`SuperPinRunner::set_replay`](superpin::SuperPinRunner::set_replay).
+    pub fn boxed(self) -> Box<dyn RunSource> {
+        Box::new(self)
+    }
+}
+
+impl RunSource for EventStream {
+    fn next_event(&mut self) -> Option<NondetEvent> {
+        self.events.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_records_in_order_and_stream_replays_in_order() {
+        let sink = EventSink::new();
+        let mut recorder = sink.recorder();
+        recorder.record(NondetEvent::EpochPlan { planned: 1 });
+        recorder.record(NondetEvent::EpochPlan { planned: 2 });
+        assert_eq!(sink.len(), 2);
+        let events = sink.take();
+        assert!(sink.is_empty());
+
+        let mut stream = EventStream::new(events);
+        assert_eq!(
+            stream.next_event(),
+            Some(NondetEvent::EpochPlan { planned: 1 })
+        );
+        assert_eq!(
+            stream.next_event(),
+            Some(NondetEvent::EpochPlan { planned: 2 })
+        );
+        assert_eq!(stream.next_event(), None);
+    }
+}

@@ -102,6 +102,19 @@ impl Controller {
     pub fn step_over_syscall(&mut self, now_ns: u64) -> Result<SyscallRecord, VmError> {
         self.process.do_syscall(now_ns)
     }
+
+    /// Applies a previously recorded syscall's effects to the parked
+    /// tracee instead of re-executing the kernel — the replay twin of
+    /// [`step_over_syscall`](Controller::step_over_syscall). The caller
+    /// is responsible for checking that the tracee is parked at the
+    /// matching syscall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory errors while applying the record.
+    pub fn playback_syscall(&mut self, record: &SyscallRecord) -> Result<(), VmError> {
+        self.process.playback_syscall(record)
+    }
 }
 
 #[cfg(test)]
