@@ -500,6 +500,11 @@ fn main() {
             options.mem_budget,
         );
         print!("{}", superpin_bench::parallel::render_parallel(&rows));
+        // Service-mode rows: the fixed two-tenant mix at a tight fleet
+        // budget. Always tiny scale — it tracks scheduler cost, not
+        // guest throughput.
+        let fleet = superpin_bench::fleet::run_fleet_bench();
+        print!("{}", superpin_bench::fleet::render_fleet(&fleet));
         // Appending (not clobbering) the history array keeps the perf
         // trajectory across PRs; same-key reruns replace their entry.
         let previous = std::fs::read_to_string(path).ok();
@@ -508,6 +513,10 @@ fn main() {
             &rows,
             &history_key(&options),
             previous.as_deref(),
+        );
+        let json = superpin_bench::fleet::splice_fleet_section(
+            &json,
+            &superpin_bench::fleet::fleet_to_json(&fleet),
         );
         std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
@@ -529,6 +538,18 @@ fn main() {
         let record_overhead = superpin_bench::parallel::geomean_record_overhead(&rows);
         if record_overhead > 1.25 {
             eprintln!("record overhead {record_overhead:.2}x exceeds the 1.25x bound");
+            std::process::exit(1);
+        }
+        // Fleet guards: the service scheduler must be deterministic
+        // across thread counts, and must not cost more than 1.5x the
+        // same jobs run serially.
+        if !fleet.identical {
+            eprintln!("determinism violation: fleet reports differed between 1 and 4 threads");
+            std::process::exit(1);
+        }
+        let fleet_overhead = fleet.fleet_overhead();
+        if fleet_overhead > 1.5 {
+            eprintln!("fleet overhead {fleet_overhead:.2}x vs serial jobs exceeds the 1.5x bound");
             std::process::exit(1);
         }
         return;

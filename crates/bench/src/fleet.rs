@@ -1,0 +1,292 @@
+//! Fleet (service-mode) wall-clock tracking.
+//!
+//! Runs a fixed two-tenant adversarial mix through `superpin-serve`
+//! at 1 and 4 worker threads, plus the same jobs **serially** (each in
+//! its own single-job fleet, back to back), and derives:
+//!
+//! * **jobs/sec** — host throughput of the 4-thread fleet;
+//! * **p50/p95 job turnaround** — in *simulated* fleet cycles, so the
+//!   percentiles are bit-stable across hosts;
+//! * **per-tenant deferral counts** — the mix runs under a deliberately
+//!   tight fleet budget so the admission ladder is exercised, not idle;
+//! * **fleet overhead** — fleet wall clock at 1 thread over the summed
+//!   serial wall clocks: what the scheduler itself costs. Guarded in
+//!   the `--emit-json` path.
+//!
+//! The mix always runs at `tiny` scale regardless of the tracker's
+//! `--scale`: the point is scheduler overhead and fairness accounting,
+//! not guest throughput, and CI pays for it on every push.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use superpin_serve::{parse_jobs, run_service, FleetConfig, JobFile, ServiceReport};
+
+/// The mix's tight fleet budget in bytes — small enough that admission
+/// walks the ladder (defer/degrade/evict), large enough that every job
+/// completes (see the serve determinism suite, which uses the same
+/// value).
+pub const FLEET_BENCH_BUDGET: u64 = 64 << 10;
+
+/// The fixed two-tenant mix: a heavy tenant (weight 3) and a light one
+/// (weight 1), staggered arrivals, varied tools.
+pub fn fleet_bench_file() -> JobFile {
+    let catalog = superpin_workloads::catalog();
+    let (w0, w1) = (catalog[0].name, catalog[1].name);
+    let text = format!(
+        "tenant alpha weight=3\n\
+         tenant beta weight=1\n\
+         job tenant=alpha workload={w0} scale=tiny tool=icount2 arrive=0\n\
+         job tenant=beta workload={w1} scale=tiny tool=icount1 arrive=0\n\
+         job tenant=alpha workload={w1} scale=tiny tool=bblcount arrive=2000\n\
+         job tenant=beta workload={w0} scale=tiny tool=branch arrive=4000\n\
+         job tenant=alpha workload={w0} scale=tiny tool=mem arrive=4000\n\
+         job tenant=beta workload={w1} scale=tiny tool=insmix arrive=6000\n"
+    );
+    parse_jobs(&text).expect("fleet bench spec parses")
+}
+
+fn config(threads: usize) -> FleetConfig {
+    FleetConfig {
+        threads,
+        slots: 2,
+        fleet_budget: Some(FLEET_BENCH_BUDGET),
+        chaos: None,
+        spmsec: 1000,
+    }
+}
+
+/// One fleet tracking measurement.
+#[derive(Clone, Debug)]
+pub struct FleetBenchResult {
+    /// Jobs in the mix.
+    pub jobs: usize,
+    /// Fleet wall clock at 1 worker thread, milliseconds.
+    pub wall_ms_threads1: f64,
+    /// Fleet wall clock at 4 worker threads, milliseconds.
+    pub wall_ms_threads4: f64,
+    /// Summed wall clock of the same jobs run serially, each in its own
+    /// single-job fleet, milliseconds.
+    pub wall_ms_serial_jobs: f64,
+    /// Median job turnaround in simulated fleet cycles (nearest rank).
+    pub turnaround_p50: u64,
+    /// 95th-percentile job turnaround in simulated fleet cycles.
+    pub turnaround_p95: u64,
+    /// `(tenant, deferral count)` pairs, tenant order.
+    pub deferrals: Vec<(String, u64)>,
+    /// Final fleet virtual time in cycles.
+    pub fleet_cycles: u64,
+    /// Whether the 1- and 4-thread runs were byte-identical (JSONL).
+    pub identical: bool,
+}
+
+impl FleetBenchResult {
+    /// Host job throughput of the 4-thread fleet.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / (self.wall_ms_threads4 / 1000.0).max(1e-9)
+    }
+
+    /// Scheduler cost: the 1-thread fleet's wall clock over the summed
+    /// serial runs. ~1.0 means the fleet adds nothing; the `--emit-json`
+    /// guard holds this under 1.5×.
+    pub fn fleet_overhead(&self) -> f64 {
+        self.wall_ms_threads1 / self.wall_ms_serial_jobs.max(1e-9)
+    }
+}
+
+/// Best-of-N wall clock, like the parallel tracker's `timed_run`: the
+/// minimum is the least-noisy estimate of the code's actual cost, and
+/// the run is deterministic so every repeat returns the same report.
+fn timed_ms<T>(mut run: impl FnMut() -> T) -> (T, f64) {
+    const REPEATS: usize = 3;
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let out = run();
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+        result = Some(out);
+    }
+    (result.expect("at least one repeat"), best)
+}
+
+/// Runs the fixed mix at 1 and 4 threads plus the serial baseline.
+///
+/// # Panics
+///
+/// Panics if any fleet run fails — harness code treats simulator
+/// errors as fatal.
+pub fn run_fleet_bench() -> FleetBenchResult {
+    let file = fleet_bench_file();
+
+    let (t1, wall_ms_threads1) = timed_ms(|| run_service(&file, &config(1)).expect("fleet t1"));
+    let (t4, wall_ms_threads4) = timed_ms(|| run_service(&file, &config(4)).expect("fleet t4"));
+
+    // Serial baseline: every job alone in its own fleet, back to back
+    // — same stack, no contention, no shared budget.
+    let ((), wall_ms_serial_jobs) = timed_ms(|| {
+        for job in 0..file.jobs.len() {
+            let solo = solo_file(&file, job);
+            run_service(&solo, &solo_config()).expect("serial job");
+        }
+    });
+
+    FleetBenchResult {
+        jobs: file.jobs.len(),
+        wall_ms_threads1,
+        wall_ms_threads4,
+        wall_ms_serial_jobs,
+        turnaround_p50: t1.turnaround_percentile(50.0),
+        turnaround_p95: t1.turnaround_percentile(95.0),
+        deferrals: t1
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.counters.deferred))
+            .collect(),
+        fleet_cycles: t1.fleet_cycles,
+        identical: t1.jsonl() == t4.jsonl() && identical_counters(&t1, &t4),
+    }
+}
+
+fn identical_counters(a: &ServiceReport, b: &ServiceReport) -> bool {
+    a.tenants.len() == b.tenants.len()
+        && a.tenants.iter().zip(&b.tenants).all(|(ta, tb)| {
+            ta.counters.admitted == tb.counters.admitted
+                && ta.counters.deferred == tb.counters.deferred
+                && ta.counters.degraded == tb.counters.degraded
+                && ta.counters.evicted == tb.counters.evicted
+        })
+}
+
+/// A single-job copy of `file` keeping only job `index` (arrival reset
+/// to 0) and its tenant.
+fn solo_file(file: &JobFile, index: usize) -> JobFile {
+    let spec = &file.jobs[index];
+    let mut job = spec.clone();
+    job.arrive = 0;
+    job.tenant = 0;
+    JobFile {
+        tenants: vec![file.tenants[spec.tenant as usize].clone()],
+        jobs: vec![job],
+    }
+}
+
+fn solo_config() -> FleetConfig {
+    FleetConfig {
+        threads: 1,
+        slots: 1,
+        fleet_budget: None,
+        chaos: None,
+        spmsec: 1000,
+    }
+}
+
+/// The fleet section for `BENCH_parallel.json` (hand-rolled, fixed
+/// field order, same emitter policy as [`crate::parallel`]).
+pub fn fleet_to_json(result: &FleetBenchResult) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"jobs\":{},\"jobs_per_sec\":{:.3},\"turnaround_p50_cycles\":{},\
+         \"turnaround_p95_cycles\":{},\"fleet_cycles\":{},\
+         \"wall_ms_threads1\":{:.2},\"wall_ms_threads4\":{:.2},\
+         \"wall_ms_serial_jobs\":{:.2},\"fleet_overhead\":{:.3},\"deferrals\":{{",
+        result.jobs,
+        result.jobs_per_sec(),
+        result.turnaround_p50,
+        result.turnaround_p95,
+        result.fleet_cycles,
+        result.wall_ms_threads1,
+        result.wall_ms_threads4,
+        result.wall_ms_serial_jobs,
+        result.fleet_overhead(),
+    );
+    for (i, (tenant, deferred)) in result.deferrals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{tenant}\":{deferred}");
+    }
+    let _ = write!(out, "}},\"identical\":{}}}", result.identical);
+    out
+}
+
+/// Splices a `"fleet":{…}` section into a top-level JSON object (the
+/// output of `parallel_to_json_with_history`), just before the closing
+/// brace.
+pub fn splice_fleet_section(json: &str, fleet_json: &str) -> String {
+    let trimmed = json.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("tracker JSON is a top-level object");
+    format!("{body},\"fleet\":{fleet_json}}}")
+}
+
+/// One-line text rendering for the tracker's terminal output.
+pub fn render_fleet(result: &FleetBenchResult) -> String {
+    let deferrals: Vec<String> = result
+        .deferrals
+        .iter()
+        .map(|(tenant, deferred)| format!("{tenant}={deferred}"))
+        .collect();
+    format!(
+        "fleet: {} jobs, {:.1} jobs/s (t4), turnaround p50 {} p95 {} cycles, \
+         overhead {:.2}x vs serial, deferrals {}, identical {}\n",
+        result.jobs,
+        result.jobs_per_sec(),
+        result.turnaround_p50,
+        result.turnaround_p95,
+        result.fleet_overhead(),
+        deferrals.join(" "),
+        result.identical,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_json_shape_and_splice() {
+        let result = FleetBenchResult {
+            jobs: 6,
+            wall_ms_threads1: 120.0,
+            wall_ms_threads4: 60.0,
+            wall_ms_serial_jobs: 100.0,
+            turnaround_p50: 5000,
+            turnaround_p95: 9000,
+            deferrals: vec![("alpha".to_owned(), 2), ("beta".to_owned(), 0)],
+            fleet_cycles: 12345,
+            identical: true,
+        };
+        let json = fleet_to_json(&result);
+        assert!(json.starts_with("{\"jobs\":6,"));
+        assert!(json.contains("\"deferrals\":{\"alpha\":2,\"beta\":0}"));
+        assert!(json.ends_with("\"identical\":true}"));
+        assert!((result.fleet_overhead() - 1.2).abs() < 1e-9);
+        assert!((result.jobs_per_sec() - 100.0).abs() < 1e-9);
+
+        let spliced = splice_fleet_section("{\"scale\":\"Tiny\"}", &json);
+        assert!(spliced.starts_with("{\"scale\":\"Tiny\",\"fleet\":{"));
+        assert!(spliced.ends_with("}}"));
+        assert_eq!(
+            crate::parallel::extract_number(&spliced, "turnaround_p95_cycles"),
+            Some(9000.0)
+        );
+    }
+
+    #[test]
+    fn the_mix_parses_and_solo_files_are_wellformed() {
+        let file = fleet_bench_file();
+        assert_eq!(file.tenants.len(), 2);
+        assert!(file.jobs.len() >= 5);
+        let solo = solo_file(&file, 3);
+        assert_eq!(solo.jobs.len(), 1);
+        assert_eq!(solo.jobs[0].tenant, 0);
+        assert_eq!(solo.jobs[0].arrive, 0);
+        assert_eq!(
+            solo.tenants[0].name,
+            file.tenants[file.jobs[3].tenant as usize].name
+        );
+    }
+}

@@ -30,6 +30,7 @@
 //! the paper's regime. Tables print paper-equivalent seconds.
 
 pub mod figures;
+pub mod fleet;
 pub mod json;
 pub mod parallel;
 pub mod render;

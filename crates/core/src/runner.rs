@@ -40,7 +40,9 @@ use crate::api::SuperTool;
 use crate::bubble::Bubble;
 use crate::config::SuperPinConfig;
 use crate::error::SpError;
-use crate::governor::{MemoryGovernor, COMPILED_INST_BYTES, FORK_COST_BYTES, SNAPSHOT_ENTRY_BYTES};
+use crate::governor::{
+    MemoryGovernor, ResidentLedger, COMPILED_INST_BYTES, FORK_COST_BYTES, SNAPSHOT_ENTRY_BYTES,
+};
 use crate::master::{MasterEvent, MasterRuntime};
 use crate::record::{
     AdmissionDecision as Admission, NondetEvent, RunMode, RunProbe, RunRecorder, RunSource,
@@ -190,6 +192,12 @@ pub struct SuperPinRunner<T: SuperTool> {
     /// Entry count of the last shared-index snapshot handed to slices,
     /// charged against the budget at `SNAPSHOT_ENTRY_BYTES` each.
     last_snapshot_entries: u64,
+    /// Incremental resident-byte ledger: per-slice footprints and the
+    /// checkpoint/snapshot terms are posted where they change, so
+    /// reading governed usage is O(1) in live slices instead of a
+    /// from-scratch walk per decision point. Debug builds cross-check
+    /// it against the full recompute at every read.
+    ledger: ResidentLedger,
     /// Host-side compiled-trace templates shared by every slice engine
     /// (see [`superpin_dbi::engine::Engine::set_trace_templates`]).
     /// Purely a wall-clock accelerator — simulated reports are
@@ -267,6 +275,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             supervisor,
             governor,
             last_snapshot_entries: 0,
+            ledger: ResidentLedger::new(),
             mode: RunMode::Live,
             started: false,
         })
@@ -300,17 +309,36 @@ impl<T: SuperTool> SuperPinRunner<T> {
         self.running_count() < self.cfg.max_slices
     }
 
-    /// The governed resident-byte ledger, recomputed from scratch at
-    /// every decision point (never incrementally, so there is no drift
-    /// to go non-deterministic): the master's full resident set, each
-    /// live slice's private pages and code cache, retained supervisor
-    /// checkpoints, the last shared-index snapshot, and the shared
-    /// merge segment. Every term is simulated state.
+    /// The governed resident-byte total: the master's full resident
+    /// set, each live slice's private pages and code cache, retained
+    /// supervisor checkpoints, the last shared-index snapshot, and the
+    /// shared merge segment. Every term is simulated state.
+    ///
+    /// The slice/checkpoint/snapshot terms come from the incremental
+    /// [`ResidentLedger`] (posted where they change), so this read is
+    /// O(1) in live slices; master and shared are O(1)-cheap live
+    /// reads. Debug builds cross-check the ledger against the
+    /// from-scratch recompute, so any missed posting site fails loudly
+    /// instead of drifting.
     fn resident_usage(&self) -> u64 {
+        let usage = self.ledger.total_with(
+            self.master.process().mem.resident_bytes(),
+            self.shared.resident_bytes(),
+        );
+        debug_assert_eq!(
+            usage,
+            self.resident_usage_full(),
+            "resident ledger drifted from the full recompute"
+        );
+        usage
+    }
+
+    /// The from-scratch O(live-slices) recompute of the governed total —
+    /// the debug-build cross-check for the incremental ledger.
+    fn resident_usage_full(&self) -> u64 {
         let mut usage = self.master.process().mem.resident_bytes();
         for slice in &self.live {
-            usage += slice.private_resident_bytes();
-            usage += slice.cache_resident_insts() as u64 * COMPILED_INST_BYTES;
+            usage += Self::slice_footprint(slice);
         }
         if let Some(sup) = &self.supervisor {
             usage += sup.retained_checkpoint_bytes();
@@ -318,6 +346,44 @@ impl<T: SuperTool> SuperPinRunner<T> {
         usage += self.last_snapshot_entries * SNAPSHOT_ENTRY_BYTES;
         usage += self.shared.resident_bytes();
         usage
+    }
+
+    /// One slice's governed footprint: private resident pages plus its
+    /// code cache at the flat per-instruction byte cost.
+    fn slice_footprint(slice: &SliceRuntime<T>) -> u64 {
+        slice.private_resident_bytes() + slice.cache_resident_insts() as u64 * COMPILED_INST_BYTES
+    }
+
+    /// Posts one slice's current footprint into the incremental ledger.
+    fn post_slice_footprint(&mut self, num: u32) {
+        if let Some(slice) = self.live.iter().find(|slice| slice.num() == num) {
+            let bytes = Self::slice_footprint(slice);
+            self.ledger.post_slice(num, bytes);
+        }
+    }
+
+    /// Re-posts every live slice's footprint and the checkpoint term —
+    /// the once-per-epoch settlement after the slice phase (footprints
+    /// grow inside workers, where the ledger cannot be touched).
+    fn settle_ledger(&mut self) {
+        let postings: Vec<(u32, u64)> = self
+            .live
+            .iter()
+            .map(|slice| (slice.num(), Self::slice_footprint(slice)))
+            .collect();
+        for (num, bytes) in postings {
+            self.ledger.post_slice(num, bytes);
+        }
+        self.post_checkpoint_bytes();
+    }
+
+    /// Posts the supervisor's current retained-checkpoint total.
+    fn post_checkpoint_bytes(&mut self) {
+        let bytes = self
+            .supervisor
+            .as_ref()
+            .map_or(0, SliceSupervisor::retained_checkpoint_bytes);
+        self.ledger.post_checkpoints(bytes);
     }
 
     /// Samples the ledger into the governor's high-water mark. A no-op
@@ -415,6 +481,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     .note_checkpoint_dropped();
             }
         }
+        self.post_checkpoint_bytes();
         for num in evicted {
             let Some(slice) = self.live.iter_mut().find(|slice| slice.num() == num) else {
                 continue;
@@ -427,6 +494,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     .as_mut()
                     .expect("governor present")
                     .note_cache_evicted();
+                self.post_slice_footprint(num);
             }
         }
         let gov = self.governor.as_mut().expect("governor present");
@@ -488,6 +556,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     .as_mut()
                     .expect("governor present")
                     .note_checkpoint_dropped();
+                self.post_checkpoint_bytes();
             }
         }
         // Rung 2: flush cold code caches, coldest first (LRU by the
@@ -526,6 +595,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                     .as_mut()
                     .expect("governor present")
                     .note_cache_evicted();
+                self.post_slice_footprint(num);
             }
         }
         let gov = self.governor.as_mut().expect("governor present");
@@ -629,6 +699,16 @@ impl<T: SuperTool> SuperPinRunner<T> {
             }
         }
         self.live.push_back(slice);
+        let newest = self
+            .live
+            .back()
+            .map(SliceRuntime::num)
+            .expect("just pushed");
+        self.post_slice_footprint(newest);
+        // Waking the previous slice materializes its supervisor
+        // checkpoint; settle the checkpoint term immediately so the
+        // admission check that follows this fork sees it.
+        self.post_checkpoint_bytes();
         self.last_fork = self.now;
         self.master_insts_at_last_fork = self.master.process().inst_count();
         self.master_debt += self.cfg.cost.fork_base;
@@ -652,6 +732,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 }
             }
         }
+        self.post_checkpoint_bytes();
     }
 
     /// Merges completed slices in slice order, reaping their runtimes.
@@ -662,6 +743,7 @@ impl<T: SuperTool> SuperPinRunner<T> {
             }
             let mut slice = self.live.pop_front().expect("front exists");
             let num = slice.num();
+            self.ledger.retire_slice(num);
             if let Some(sup) = &mut self.supervisor {
                 sup.release(num);
             }
@@ -684,6 +766,9 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 cow_copies: slice.engine().process().mem.stats().cow_copies,
             });
         }
+        // `release` lets go of merged slices' guards (checkpoints
+        // included), so settle the checkpoint term once per sweep.
+        self.post_checkpoint_bytes();
     }
 
     /// Stalls the master on a fork it cannot take yet (no free slot, or
@@ -1132,6 +1217,8 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
         let snapshot = index.snapshot();
         self.last_snapshot_entries = snapshot.len() as u64;
+        self.ledger
+            .post_snapshot(self.last_snapshot_entries * SNAPSHOT_ENTRY_BYTES);
         for slice in self.live.iter_mut() {
             slice.enter_shared_epoch(Arc::clone(&snapshot));
             if let Some(sup) = &mut self.supervisor {
@@ -1300,6 +1387,75 @@ impl<T: SuperTool> SuperPinRunner<T> {
         }
     }
 
+    /// The run's virtual clock in cycles — how much simulated time this
+    /// run has consumed so far. O(1), unlike the full
+    /// [`probe`](SuperPinRunner::probe) snapshot, so a fleet scheduler
+    /// can charge fair-share virtual time after every epoch.
+    pub fn now_cycles(&self) -> u64 {
+        self.now
+    }
+
+    /// The run's current governed resident-byte total (master, slices,
+    /// checkpoints, snapshot, shared areas), valid at epoch barriers —
+    /// the sample a fleet scheduler feeds its per-tenant ledger. Works
+    /// with or without a per-run governor; O(1) in live slices via the
+    /// incremental ledger.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_usage()
+    }
+
+    /// Fleet-ladder rung 1, driven from outside: evicts this run's
+    /// code caches coldest-first (LRU by last-active virtual time,
+    /// slice number on ties) until at least `target_bytes` are freed or
+    /// nothing evictable remains. Returns the simulated bytes freed.
+    ///
+    /// Bookkeeping matches the in-run ladder exactly — evictions are
+    /// journaled for supervised rebuilds and counted by the per-run
+    /// governor when one is armed — so a fleet-squeezed run stays
+    /// bit-replayable. Call only at epoch barriers (between
+    /// [`step_serial`](SuperPinRunner::step_serial) calls).
+    pub fn fleet_evict_caches(&mut self, target_bytes: u64) -> u64 {
+        let mut cold: Vec<(u64, u32)> = self
+            .live
+            .iter()
+            .filter(|slice| slice.cache_resident_insts() > 0)
+            .map(|slice| (slice.last_active_cycles(), slice.num()))
+            .collect();
+        cold.sort_unstable();
+        let mut freed = 0u64;
+        for (_, num) in cold {
+            if freed >= target_bytes {
+                break;
+            }
+            let slice = self
+                .live
+                .iter_mut()
+                .find(|slice| slice.num() == num)
+                .expect("eviction candidate is live");
+            let freed_insts = slice.evict_code_cache();
+            if freed_insts > 0 {
+                freed += freed_insts as u64 * COMPILED_INST_BYTES;
+                if let Some(sup) = &mut self.supervisor {
+                    sup.journal_evict(num);
+                }
+                if let Some(gov) = &mut self.governor {
+                    gov.note_cache_evicted();
+                }
+                self.post_slice_footprint(num);
+            }
+        }
+        freed
+    }
+
+    /// Whether any live slice still holds an evictable code cache —
+    /// `true` means [`fleet_evict_caches`](SuperPinRunner::fleet_evict_caches)
+    /// can free memory without degrading anyone.
+    pub fn has_evictable_cache(&self) -> bool {
+        self.live
+            .iter()
+            .any(|slice| slice.cache_resident_insts() > 0)
+    }
+
     /// One iteration of the epoch loop; `Ok(false)` means the run is
     /// complete.
     fn step_epoch(&mut self, pool: &mut WorkerPool<T>) -> Result<bool, SpError> {
@@ -1461,6 +1617,11 @@ impl<T: SuperTool> SuperPinRunner<T> {
             self.supervise_barrier(failures)?;
             self.now += epoch_len * quantum;
             self.sync_shared_cache();
+            // Footprints grew inside the slice phase (on worker
+            // threads, where the ledger cannot be touched) and repairs
+            // may have swapped slices: settle every posting once, here
+            // at the barrier.
+            self.settle_ledger();
             self.observe_usage();
             self.merge_ready();
             self.host_profile.supervisor_ns += barrier_start.elapsed().as_nanos() as u64;
@@ -1563,6 +1724,38 @@ impl<T: SuperTool> SuperPinRunner<T> {
                 .map_or(0, |gov| gov.checkpoints_dropped),
             caches_evicted: self.governor.as_ref().map_or(0, |gov| gov.caches_evicted),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The service front end (`superpin-serve`) moves whole runners —
+    /// not just slices — onto shared pool workers between fleet rounds,
+    /// so the runner must be `Send` for any `Send` tool. Compile-time
+    /// audit in the spirit of `superpin-tools`' send_audit module.
+    #[derive(Clone)]
+    struct NullTool;
+
+    impl superpin_dbi::Pintool for NullTool {
+        fn instrument_trace(
+            &mut self,
+            _trace: &superpin_dbi::Trace,
+            _inserter: &mut superpin_dbi::Inserter<Self>,
+        ) {
+        }
+    }
+
+    impl SuperTool for NullTool {
+        fn reset(&mut self, _slice: u32) {}
+        fn on_slice_end(&mut self, _slice: u32, _shared: &SharedMem) {}
+    }
+
+    #[test]
+    fn runner_is_send_for_send_tools() {
+        fn assert_send<S: Send>() {}
+        assert_send::<SuperPinRunner<NullTool>>();
     }
 }
 

@@ -141,6 +141,26 @@ impl FailPlan {
         self
     }
 
+    /// Derives tenant `id`'s **fault domain** from a fleet-level plan:
+    /// the same rate and per-site modes, but a sub-seed mixed from the
+    /// fleet seed and the tenant id through the splitmix64 finalizer.
+    ///
+    /// The service front end gives every tenant its own registry built
+    /// from this derivation, so one `--chaos-seed` yields independent
+    /// per-tenant schedules — a fault firing in tenant A's jobs can
+    /// never perturb tenant B's report, and a tenant's schedule is
+    /// stable no matter which other tenants share the fleet. The
+    /// domain-separation constant keeps `for_tenant(0)` distinct from
+    /// the fleet plan itself.
+    #[must_use]
+    pub fn for_tenant(&self, id: u32) -> FailPlan {
+        const TENANT_DOMAIN: u64 = 0x7E4A_5EED_7E4A_5EED;
+        FailPlan {
+            seed: mix(self.seed ^ mix(TENANT_DOMAIN ^ id as u64)),
+            ..*self
+        }
+    }
+
     /// Appends the plan's wire encoding (little-endian, self-delimiting)
     /// to `out`. Because firing decisions are a pure function of
     /// `(plan, site, key)`, serializing the plan serializes the entire
@@ -400,6 +420,27 @@ mod tests {
         let reg = FailpointRegistry::new(plan);
         assert!(!reg.fire(Site::VmForkCow, 0));
         assert!(reg.fire(Site::DbiEngineDispatch, 0));
+    }
+
+    #[test]
+    fn tenant_domains_are_deterministic_and_independent() {
+        let fleet = FailPlan::new(3, 0.05).with_site(Site::VmForkCow, SiteMode::Off);
+        // Pure function of (fleet seed, tenant id).
+        assert_eq!(fleet.for_tenant(1), fleet.for_tenant(1));
+        // Distinct from the fleet plan and from every other tenant.
+        assert_ne!(fleet.for_tenant(0).seed, fleet.seed);
+        assert_ne!(fleet.for_tenant(1).seed, fleet.for_tenant(2).seed);
+        // Rate and site overrides carry over unchanged.
+        let derived = fleet.for_tenant(7);
+        assert_eq!(derived.rate, fleet.rate);
+        assert_eq!(derived.site_modes, fleet.site_modes);
+        // The derived schedules genuinely differ.
+        let a = FailpointRegistry::new(FailPlan::new(3, 0.3).for_tenant(1));
+        let b = FailpointRegistry::new(FailPlan::new(3, 0.3).for_tenant(2));
+        let differs = (0..1_000).any(|key| {
+            a.fire(Site::SharedIndexPublish, key) != b.fire(Site::SharedIndexPublish, key)
+        });
+        assert!(differs);
     }
 
     #[test]

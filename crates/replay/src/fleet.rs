@@ -1,0 +1,403 @@
+//! Record/replay for **fleet** (multi-tenant service) runs.
+//!
+//! A `spin-serve` run's nondeterministic surface is tiny by design:
+//! every scheduling decision — admission order, fair-share selection,
+//! eviction ladder walks, epoch interleaving — is a pure function of
+//! the job file and the fleet knobs. So the fleet log records exactly
+//! that: the verbatim job-spec text, the knobs, the decision event
+//! stream the scheduler emitted, and the final per-job outcome lines.
+//! Replay re-parses the stored spec, re-runs the fleet (at *any*
+//! `--threads`), and compares the fresh event stream and outcomes
+//! byte-for-byte against the log — the fleet analogue of the per-run
+//! `.splog` verification.
+
+use superpin_fault::FailPlan;
+
+use crate::wire::{
+    put_bool, put_opt_u64, put_str, put_u16, put_u32, put_u64, put_u8, CodecError, Reader,
+};
+
+/// Magic prefix of an encoded fleet log.
+pub const FLEET_MAGIC: &[u8; 4] = b"SPFL";
+
+/// Fleet log format version.
+pub const FLEET_VERSION: u16 = 1;
+
+/// Everything needed to rebuild a fleet run's inputs: the job-spec
+/// text verbatim plus the CLI knobs that shape scheduling. The
+/// recorded thread count is informational only — replay may run at a
+/// different `--threads` and must still match.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetRecipe {
+    /// The job file exactly as parsed (tenants + jobs + arrivals).
+    pub spec_text: String,
+    /// Worker threads the recording ran with (informational).
+    pub threads: u32,
+    /// Fleet round width (`--fleet-slots`).
+    pub slots: u32,
+    /// Shared fleet memory budget in bytes (`--fleet-budget`).
+    pub fleet_budget: Option<u64>,
+    /// Fleet-level chaos plan; tenants derive their domains from it.
+    pub chaos: Option<FailPlan>,
+    /// Paper-time timeslice in milliseconds (`--spmsec`).
+    pub spmsec: u64,
+}
+
+/// One scheduling decision at a fleet round barrier, stamped with the
+/// fleet virtual clock. The stream of these is the run's complete
+/// decision trace; two runs with equal traces and equal outcomes are
+/// the same run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FleetEvent {
+    /// A job was admitted; `budget` carries the clamp when the
+    /// admission was degraded (ladder rung 3), `None` for full-budget.
+    Admit {
+        /// Job index in spec order.
+        job: u32,
+        /// Fleet virtual time at the decision.
+        fleet_now: u64,
+        /// Degraded-admission budget clamp, if any.
+        budget: Option<u64>,
+    },
+    /// A job's first deferral (ladder rung 2); retries are not logged.
+    Defer {
+        /// Job index in spec order.
+        job: u32,
+        /// Fleet virtual time at the decision.
+        fleet_now: u64,
+    },
+    /// The fleet evicted code caches from a running job (ladder rung 1).
+    Evict {
+        /// Job index in spec order.
+        job: u32,
+        /// Simulated bytes freed.
+        bytes: u64,
+        /// Fleet virtual time at the decision.
+        fleet_now: u64,
+    },
+    /// A job completed and merged its final report.
+    Complete {
+        /// Job index in spec order.
+        job: u32,
+        /// Fleet virtual time at the round barrier observing completion.
+        fleet_now: u64,
+    },
+}
+
+/// A complete fleet log: recipe, decision trace, and the per-job
+/// outcome JSON lines in job order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetLog {
+    /// Inputs (see [`FleetRecipe`]).
+    pub recipe: FleetRecipe,
+    /// The scheduler's decision trace.
+    pub events: Vec<FleetEvent>,
+    /// Per-job outcome lines (deterministic JSON), job-id order.
+    pub outcomes: Vec<String>,
+}
+
+impl FleetLog {
+    /// Serializes the log to its wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(FLEET_MAGIC);
+        put_u16(&mut out, FLEET_VERSION);
+        put_str(&mut out, &self.recipe.spec_text);
+        put_u32(&mut out, self.recipe.threads);
+        put_u32(&mut out, self.recipe.slots);
+        put_opt_u64(&mut out, self.recipe.fleet_budget);
+        match &self.recipe.chaos {
+            Some(plan) => {
+                put_bool(&mut out, true);
+                plan.encode(&mut out);
+            }
+            None => put_bool(&mut out, false),
+        }
+        put_u64(&mut out, self.recipe.spmsec);
+        put_u32(&mut out, self.events.len() as u32);
+        for event in &self.events {
+            match *event {
+                FleetEvent::Admit {
+                    job,
+                    fleet_now,
+                    budget,
+                } => {
+                    put_u8(&mut out, 0);
+                    put_u32(&mut out, job);
+                    put_u64(&mut out, fleet_now);
+                    put_opt_u64(&mut out, budget);
+                }
+                FleetEvent::Defer { job, fleet_now } => {
+                    put_u8(&mut out, 1);
+                    put_u32(&mut out, job);
+                    put_u64(&mut out, fleet_now);
+                }
+                FleetEvent::Evict {
+                    job,
+                    bytes,
+                    fleet_now,
+                } => {
+                    put_u8(&mut out, 2);
+                    put_u32(&mut out, job);
+                    put_u64(&mut out, bytes);
+                    put_u64(&mut out, fleet_now);
+                }
+                FleetEvent::Complete { job, fleet_now } => {
+                    put_u8(&mut out, 3);
+                    put_u32(&mut out, job);
+                    put_u64(&mut out, fleet_now);
+                }
+            }
+        }
+        put_u32(&mut out, self.outcomes.len() as u32);
+        for line in &self.outcomes {
+            put_str(&mut out, line);
+        }
+        out
+    }
+
+    /// Decodes a log, rejecting unknown magic/version, bad tags, and
+    /// truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] describing the first malformed field.
+    pub fn decode(bytes: &[u8]) -> Result<FleetLog, CodecError> {
+        let mut reader = Reader::new(bytes);
+        let magic = [
+            reader.u8("magic")?,
+            reader.u8("magic")?,
+            reader.u8("magic")?,
+            reader.u8("magic")?,
+        ];
+        if &magic != FLEET_MAGIC {
+            return Err(CodecError::BadHeader {
+                detail: format!("magic {magic:?} is not a fleet log"),
+            });
+        }
+        let version = reader.u16("version")?;
+        if version != FLEET_VERSION {
+            return Err(CodecError::BadHeader {
+                detail: format!("fleet log version {version}, this build reads {FLEET_VERSION}"),
+            });
+        }
+        let spec_text = reader.str("spec text")?;
+        let threads = reader.u32("threads")?;
+        let slots = reader.u32("slots")?;
+        let fleet_budget = reader.opt_u64("fleet budget")?;
+        let chaos = if reader.bool("chaos presence")? {
+            let tail = reader.tail();
+            let mut pos = 0usize;
+            let plan = FailPlan::decode(tail, &mut pos)
+                .ok_or(CodecError::Truncated { what: "chaos plan" })?;
+            reader.skip(pos, "chaos plan")?;
+            Some(plan)
+        } else {
+            None
+        };
+        let spmsec = reader.u64("spmsec")?;
+        let event_count = reader.u32("event count")?;
+        let mut events = Vec::with_capacity(event_count as usize);
+        for _ in 0..event_count {
+            let tag = reader.u8("event tag")?;
+            events.push(match tag {
+                0 => FleetEvent::Admit {
+                    job: reader.u32("admit job")?,
+                    fleet_now: reader.u64("admit time")?,
+                    budget: reader.opt_u64("admit budget")?,
+                },
+                1 => FleetEvent::Defer {
+                    job: reader.u32("defer job")?,
+                    fleet_now: reader.u64("defer time")?,
+                },
+                2 => FleetEvent::Evict {
+                    job: reader.u32("evict job")?,
+                    bytes: reader.u64("evict bytes")?,
+                    fleet_now: reader.u64("evict time")?,
+                },
+                3 => FleetEvent::Complete {
+                    job: reader.u32("complete job")?,
+                    fleet_now: reader.u64("complete time")?,
+                },
+                other => {
+                    return Err(CodecError::BadTag {
+                        what: "fleet event",
+                        tag: u64::from(other),
+                    })
+                }
+            });
+        }
+        let outcome_count = reader.u32("outcome count")?;
+        let mut outcomes = Vec::with_capacity(outcome_count as usize);
+        for _ in 0..outcome_count {
+            outcomes.push(reader.str("outcome line")?);
+        }
+        Ok(FleetLog {
+            recipe: FleetRecipe {
+                spec_text,
+                threads,
+                slots,
+                fleet_budget,
+                chaos,
+                spmsec,
+            },
+            events,
+            outcomes,
+        })
+    }
+}
+
+/// First divergence between a recorded fleet log and a fresh re-run's
+/// (events, outcomes); `None` means bit-identical. The description
+/// names the diverging event index or job line so a CI failure reads
+/// without opening the log.
+pub fn diff_fleet(
+    recorded: &FleetLog,
+    events: &[FleetEvent],
+    outcomes: &[String],
+) -> Option<String> {
+    for (index, (old, new)) in recorded.events.iter().zip(events.iter()).enumerate() {
+        if old != new {
+            return Some(format!(
+                "event {index}: recorded {old:?}, replay produced {new:?}"
+            ));
+        }
+    }
+    if recorded.events.len() != events.len() {
+        return Some(format!(
+            "event count: recorded {}, replay produced {}",
+            recorded.events.len(),
+            events.len()
+        ));
+    }
+    for (index, (old, new)) in recorded.outcomes.iter().zip(outcomes.iter()).enumerate() {
+        if old != new {
+            let width = old
+                .chars()
+                .zip(new.chars())
+                .take_while(|(a, b)| a == b)
+                .count();
+            return Some(format!(
+                "job {index} outcome diverges at byte {width}: recorded `{}`, replay `{}`",
+                &old[width.min(old.len())..(width + 40).min(old.len())],
+                &new[width.min(new.len())..(width + 40).min(new.len())],
+            ));
+        }
+    }
+    if recorded.outcomes.len() != outcomes.len() {
+        return Some(format!(
+            "outcome count: recorded {}, replay produced {}",
+            recorded.outcomes.len(),
+            outcomes.len()
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FleetLog {
+        FleetLog {
+            recipe: FleetRecipe {
+                spec_text: "tenant a weight=3\njob tenant=a workload=gcc\n".to_owned(),
+                threads: 4,
+                slots: 2,
+                fleet_budget: Some(1 << 20),
+                chaos: Some(FailPlan::new(3, 0.02)),
+                spmsec: 1000,
+            },
+            events: vec![
+                FleetEvent::Admit {
+                    job: 0,
+                    fleet_now: 0,
+                    budget: None,
+                },
+                FleetEvent::Defer {
+                    job: 1,
+                    fleet_now: 500,
+                },
+                FleetEvent::Evict {
+                    job: 0,
+                    bytes: 4096,
+                    fleet_now: 600,
+                },
+                FleetEvent::Admit {
+                    job: 1,
+                    fleet_now: 700,
+                    budget: Some(65536),
+                },
+                FleetEvent::Complete {
+                    job: 0,
+                    fleet_now: 9000,
+                },
+            ],
+            outcomes: vec!["{\"job\":0}".to_owned(), "{\"job\":1}".to_owned()],
+        }
+    }
+
+    #[test]
+    fn roundtrips() {
+        let log = sample();
+        let decoded = FleetLog::decode(&log.encode()).expect("decode");
+        assert_eq!(decoded, log);
+    }
+
+    #[test]
+    fn roundtrips_minimal() {
+        let log = FleetLog {
+            recipe: FleetRecipe {
+                spec_text: String::new(),
+                threads: 1,
+                slots: 1,
+                fleet_budget: None,
+                chaos: None,
+                spmsec: 1000,
+            },
+            events: Vec::new(),
+            outcomes: Vec::new(),
+        };
+        assert_eq!(FleetLog::decode(&log.encode()).expect("decode"), log);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let bytes = sample().encode();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            FleetLog::decode(&bad),
+            Err(CodecError::BadHeader { .. })
+        ));
+        for len in 0..bytes.len() {
+            assert!(
+                FleetLog::decode(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergence() {
+        let log = sample();
+        assert_eq!(diff_fleet(&log, &log.events, &log.outcomes), None);
+
+        let mut events = log.events.clone();
+        events[1] = FleetEvent::Defer {
+            job: 1,
+            fleet_now: 501,
+        };
+        let report = diff_fleet(&log, &events, &log.outcomes).expect("diverges");
+        assert!(report.starts_with("event 1:"), "{report}");
+
+        let mut outcomes = log.outcomes.clone();
+        outcomes[1] = "{\"job\":9}".to_owned();
+        let report = diff_fleet(&log, &log.events, &outcomes).expect("diverges");
+        assert!(report.starts_with("job 1 outcome"), "{report}");
+
+        let short = &log.events[..3];
+        let report = diff_fleet(&log, short, &log.outcomes).expect("diverges");
+        assert!(report.starts_with("event count"), "{report}");
+    }
+}

@@ -28,6 +28,7 @@ pub mod codec;
 pub mod differ;
 pub mod drive;
 pub mod events;
+pub mod fleet;
 pub mod json;
 pub mod log;
 pub mod recipe;
@@ -40,6 +41,7 @@ pub use differ::{diff_logs, diff_runners};
 pub use differ::{DiffOutcome, DivergenceReport, RegDelta};
 pub use drive::{build_runner, record_run, replay_run, verify_replay, ReplayError};
 pub use events::{EventSink, EventStream};
+pub use fleet::{diff_fleet, FleetEvent, FleetLog, FleetRecipe};
 pub use log::{ReplayLog, MAGIC, VERSION};
 pub use recipe::RunRecipe;
 pub use wire::CodecError;

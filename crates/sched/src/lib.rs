@@ -23,8 +23,12 @@
 //! * [`Timeline`] — labelled time-segment recording, used to produce the
 //!   run-time breakdown of Figure 6 (native / fork&others / sleep /
 //!   pipeline).
+//! * [`FleetQueue`] — weighted-fair virtual-time scheduling of whole
+//!   *jobs* for the multi-tenant service front end (`superpin-serve`),
+//!   with [`fair_shares`] for deterministic proportional budget splits.
 
 mod epoch;
+mod fleet;
 mod machine;
 mod scheduler;
 mod timeline;
@@ -33,6 +37,7 @@ pub use epoch::{
     predict_completion_quanta, watchdog_deadline_quanta, EpochPlanner, SliceEta,
     DEFAULT_TICKS_PER_INST, DEFERRAL_REVIEW_QUANTA,
 };
+pub use fleet::{fair_shares, FleetQueue, WFQ_SCALE};
 pub use machine::Machine;
 pub use scheduler::{Policy, QuantumScheduler, Share};
 pub use timeline::Timeline;

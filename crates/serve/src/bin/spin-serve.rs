@@ -1,0 +1,447 @@
+//! `spin-serve` — the multi-tenant service front end.
+//!
+//! Reads a job file (tenants + jobs + arrival schedule), runs the
+//! whole mix over one governed fleet, and prints the deterministic
+//! summary. `--emit-reports` streams per-job outcome JSON lines;
+//! `--record` writes a fleet log; `--replay` re-runs a recorded fleet
+//! (at any `--threads`) and byte-verifies the decision trace and every
+//! outcome line against the log.
+
+use std::io::Read;
+
+use superpin_replay::fleet::{diff_fleet, FleetLog, FleetRecipe};
+use superpin_serve::spec::parse_bytes;
+use superpin_serve::{parse_jobs, run_service, FleetConfig, SpecError};
+
+/// Typed command-line rejection. Each variant renders a specific
+/// message; `main` prints it with a usage hint and exits 2.
+#[derive(Clone, Debug, PartialEq)]
+enum ArgError {
+    /// A flag was given without its required value.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse as the expected shape.
+    InvalidValue {
+        flag: &'static str,
+        value: String,
+        expected: &'static str,
+    },
+    /// `--threads 0` has no meaning; the minimum is 1 (serial).
+    ZeroThreads,
+    /// `--fleet-slots 0` would select no jobs and the fleet could
+    /// never advance.
+    ZeroSlots,
+    /// `--chaos-rate` is a probability and must lie in [0, 1].
+    ChaosRateOutOfRange(f64),
+    /// An unrecognized flag.
+    UnknownFlag(String),
+    /// No `--jobs FILE` (or `--replay LOG`) was given.
+    MissingJobs,
+    /// `--record` and `--replay` are mutually exclusive.
+    RecordAndReplay,
+    /// The job file itself was rejected (weights, duplicates, budgets…).
+    Spec(SpecError),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingValue(flag) => write!(f, "`{flag}` requires a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "`{flag}` got `{value}`; expected {expected}"),
+            ArgError::ZeroThreads => {
+                write!(f, "`--threads` must be at least 1 (1 = serial execution)")
+            }
+            ArgError::ZeroSlots => write!(
+                f,
+                "`--fleet-slots` must be at least 1 — a zero-wide round can never \
+                 advance any job"
+            ),
+            ArgError::ChaosRateOutOfRange(value) => write!(
+                f,
+                "`--chaos-rate` is a probability and must be within [0, 1] (got {value})"
+            ),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ArgError::MissingJobs => write!(
+                f,
+                "a job file is required: `--jobs FILE` (or `-` for stdin), or `--replay LOG`"
+            ),
+            ArgError::RecordAndReplay => {
+                write!(f, "`--record` and `--replay` are mutually exclusive")
+            }
+            ArgError::Spec(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+#[derive(Debug, PartialEq)]
+struct Options {
+    jobs: Option<String>,
+    threads: usize,
+    slots: usize,
+    fleet_budget: Option<u64>,
+    chaos_seed: Option<u64>,
+    chaos_rate: Option<f64>,
+    spmsec: u64,
+    emit_reports: Option<String>,
+    record: Option<String>,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spin-serve --jobs FILE|- [--threads N] [--fleet-slots N] \
+         [--fleet-budget BYTES[k|m|g]] [--chaos-seed N] [--chaos-rate F] [--spmsec MSEC] \
+         [--emit-reports PATH] [--record LOG]\n\
+         \x20      spin-serve --replay LOG [--threads N]\n\
+         job file lines: `tenant NAME weight=N [budget=BYTES]` and\n\
+         `job tenant=NAME workload=NAME [scale=S] [tool=T] [arrive=CYCLES] \
+         [mem-budget=BYTES] [chaos-rate=F] [plan=on|off]`"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Result<Options, ArgError> {
+    let mut options = Options {
+        jobs: None,
+        threads: 1,
+        slots: 4,
+        fleet_budget: None,
+        chaos_seed: None,
+        chaos_rate: None,
+        spmsec: 1000,
+        emit_reports: None,
+        record: None,
+        replay: None,
+    };
+    let mut iter = args.iter();
+    fn value<'a, I: Iterator<Item = &'a String>, V: std::str::FromStr>(
+        iter: &mut I,
+        flag: &'static str,
+        expected: &'static str,
+    ) -> Result<V, ArgError> {
+        let text = iter.next().ok_or(ArgError::MissingValue(flag))?;
+        text.parse().map_err(|_| ArgError::InvalidValue {
+            flag,
+            value: text.clone(),
+            expected,
+        })
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                options.jobs = Some(iter.next().ok_or(ArgError::MissingValue("--jobs"))?.clone());
+            }
+            "--threads" => {
+                let threads: usize = value(&mut iter, "--threads", "a thread count")?;
+                if threads == 0 {
+                    return Err(ArgError::ZeroThreads);
+                }
+                options.threads = threads;
+            }
+            "--fleet-slots" => {
+                let slots: usize = value(&mut iter, "--fleet-slots", "a round width")?;
+                if slots == 0 {
+                    return Err(ArgError::ZeroSlots);
+                }
+                options.slots = slots;
+            }
+            "--fleet-budget" => {
+                let text = iter
+                    .next()
+                    .ok_or(ArgError::MissingValue("--fleet-budget"))?;
+                let bytes = parse_bytes(text).ok_or_else(|| ArgError::InvalidValue {
+                    flag: "--fleet-budget",
+                    value: text.clone(),
+                    expected: "a byte count with optional k/m/g suffix (e.g. 64m)",
+                })?;
+                options.fleet_budget = Some(bytes);
+            }
+            "--chaos-seed" => {
+                options.chaos_seed = Some(value(&mut iter, "--chaos-seed", "a seed integer")?);
+            }
+            "--chaos-rate" => {
+                let rate: f64 = value(&mut iter, "--chaos-rate", "a probability in [0, 1]")?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(ArgError::ChaosRateOutOfRange(rate));
+                }
+                options.chaos_rate = Some(rate);
+            }
+            "--spmsec" => options.spmsec = value(&mut iter, "--spmsec", "milliseconds")?,
+            "--emit-reports" => {
+                options.emit_reports = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue("--emit-reports"))?
+                        .clone(),
+                );
+            }
+            "--record" => {
+                options.record = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue("--record"))?
+                        .clone(),
+                );
+            }
+            "--replay" => {
+                options.replay = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue("--replay"))?
+                        .clone(),
+                );
+            }
+            other => return Err(ArgError::UnknownFlag(other.to_owned())),
+        }
+    }
+    if options.record.is_some() && options.replay.is_some() {
+        return Err(ArgError::RecordAndReplay);
+    }
+    if options.jobs.is_none() && options.replay.is_none() {
+        return Err(ArgError::MissingJobs);
+    }
+    Ok(options)
+}
+
+/// The fleet chaos plan the CLI knobs describe (`--chaos-rate` without
+/// `--chaos-seed` defaults the seed to 1, and vice versa the rate to
+/// 0.01 — matching the `superpin` CLI).
+fn chaos_plan(options: &Options) -> Option<superpin::FailPlan> {
+    if options.chaos_seed.is_none() && options.chaos_rate.is_none() {
+        return None;
+    }
+    Some(superpin::FailPlan::new(
+        options.chaos_seed.unwrap_or(1),
+        options.chaos_rate.unwrap_or(0.01),
+    ))
+}
+
+fn read_jobs(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("spin-serve: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_options(&args) {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("spin-serve: {err}");
+            usage();
+        }
+    };
+
+    if let Some(log_path) = &options.replay {
+        let bytes = std::fs::read(log_path)
+            .unwrap_or_else(|err| fail(format_args!("reading {log_path}: {err}")));
+        let log = FleetLog::decode(&bytes)
+            .unwrap_or_else(|err| fail(format_args!("decoding {log_path}: {err}")));
+        let file = parse_jobs(&log.recipe.spec_text)
+            .unwrap_or_else(|err| fail(format_args!("recorded spec: {err}")));
+        let cfg = FleetConfig {
+            threads: options.threads,
+            slots: log.recipe.slots as usize,
+            fleet_budget: log.recipe.fleet_budget,
+            chaos: log.recipe.chaos,
+            spmsec: log.recipe.spmsec,
+        };
+        let report = run_service(&file, &cfg).unwrap_or_else(|err| fail(err));
+        let outcomes: Vec<String> = report.outcomes.iter().map(|o| o.to_json()).collect();
+        match diff_fleet(&log, &report.events, &outcomes) {
+            None => println!(
+                "replay OK: {} events, {} jobs byte-identical (recorded at {} threads, \
+                 replayed at {})",
+                log.events.len(),
+                log.outcomes.len(),
+                log.recipe.threads,
+                options.threads,
+            ),
+            Some(divergence) => fail(format_args!("replay diverged: {divergence}")),
+        }
+        return;
+    }
+
+    let jobs_path = options.jobs.as_deref().expect("checked by parse_options");
+    let spec_text =
+        read_jobs(jobs_path).unwrap_or_else(|err| fail(format_args!("reading {jobs_path}: {err}")));
+    let file = match parse_jobs(&spec_text) {
+        Ok(file) => file,
+        Err(err) => {
+            eprintln!("spin-serve: {}", ArgError::Spec(err));
+            usage();
+        }
+    };
+    if let Some(budget) = options.fleet_budget {
+        if let Err(err) = file.check_fleet_budget(budget) {
+            eprintln!("spin-serve: {}", ArgError::Spec(err));
+            usage();
+        }
+    }
+
+    let cfg = FleetConfig {
+        threads: options.threads,
+        slots: options.slots,
+        fleet_budget: options.fleet_budget,
+        chaos: chaos_plan(&options),
+        spmsec: options.spmsec,
+    };
+    let report = run_service(&file, &cfg).unwrap_or_else(|err| fail(err));
+    print!("{}", report.render_text());
+
+    if let Some(path) = &options.emit_reports {
+        std::fs::write(path, report.jsonl())
+            .unwrap_or_else(|err| fail(format_args!("writing {path}: {err}")));
+        println!("reports: {} job lines -> {path}", report.outcomes.len());
+    }
+    if let Some(path) = &options.record {
+        let log = FleetLog {
+            recipe: FleetRecipe {
+                spec_text,
+                threads: cfg.threads as u32,
+                slots: cfg.slots as u32,
+                fleet_budget: cfg.fleet_budget,
+                chaos: cfg.chaos,
+                spmsec: cfg.spmsec,
+            },
+            events: report.events.clone(),
+            outcomes: report.outcomes.iter().map(|o| o.to_json()).collect(),
+        };
+        std::fs::write(path, log.encode())
+            .unwrap_or_else(|err| fail(format_args!("writing {path}: {err}")));
+        println!("recorded: {} events -> {path}", report.events.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, ArgError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn parses_the_full_surface() {
+        let options = parse(&[
+            "--jobs",
+            "fleet.jobs",
+            "--threads",
+            "4",
+            "--fleet-slots",
+            "3",
+            "--fleet-budget",
+            "2m",
+            "--chaos-seed",
+            "3",
+            "--chaos-rate",
+            "0.05",
+            "--spmsec",
+            "500",
+            "--emit-reports",
+            "out.jsonl",
+            "--record",
+            "fleet.spflog",
+        ])
+        .expect("parses");
+        assert_eq!(options.jobs.as_deref(), Some("fleet.jobs"));
+        assert_eq!(options.threads, 4);
+        assert_eq!(options.slots, 3);
+        assert_eq!(options.fleet_budget, Some(2 << 20));
+        assert_eq!(options.chaos_seed, Some(3));
+        assert_eq!(options.chaos_rate, Some(0.05));
+        assert_eq!(options.spmsec, 500);
+        assert_eq!(options.emit_reports.as_deref(), Some("out.jsonl"));
+        assert_eq!(options.record.as_deref(), Some("fleet.spflog"));
+    }
+
+    #[test]
+    fn defaults_are_serial_four_slots() {
+        let options = parse(&["--jobs", "-"]).expect("parses");
+        assert_eq!(options.threads, 1);
+        assert_eq!(options.slots, 4);
+        assert_eq!(options.fleet_budget, None);
+        assert_eq!(options.record, None);
+    }
+
+    #[test]
+    fn rejects_zero_threads_and_slots() {
+        assert_eq!(
+            parse(&["--jobs", "f", "--threads", "0"]),
+            Err(ArgError::ZeroThreads)
+        );
+        assert_eq!(
+            parse(&["--jobs", "f", "--fleet-slots", "0"]),
+            Err(ArgError::ZeroSlots)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_values_with_typed_errors() {
+        assert_eq!(
+            parse(&["--jobs", "f", "--chaos-rate", "1.5"]),
+            Err(ArgError::ChaosRateOutOfRange(1.5))
+        );
+        assert_eq!(
+            parse(&["--jobs", "f", "--fleet-budget", "banana"]),
+            Err(ArgError::InvalidValue {
+                flag: "--fleet-budget",
+                value: "banana".to_owned(),
+                expected: "a byte count with optional k/m/g suffix (e.g. 64m)",
+            })
+        );
+        assert_eq!(
+            parse(&["--jobs", "f", "--threads"]),
+            Err(ArgError::MissingValue("--threads"))
+        );
+        assert_eq!(
+            parse(&["--frobnicate"]),
+            Err(ArgError::UnknownFlag("--frobnicate".to_owned()))
+        );
+    }
+
+    #[test]
+    fn rejects_contradictory_modes() {
+        assert_eq!(parse(&["--threads", "2"]), Err(ArgError::MissingJobs));
+        assert_eq!(
+            parse(&["--jobs", "f", "--record", "a", "--replay", "b"]),
+            Err(ArgError::RecordAndReplay)
+        );
+    }
+
+    #[test]
+    fn spec_rejections_surface_as_arg_errors() {
+        // The satellite contract: weight 0, duplicate tenants, and
+        // tenant-budget-over-fleet all reject with typed errors.
+        let workload = superpin_workloads::catalog()[0].name;
+        let zero = format!("tenant a weight=0\njob tenant=a workload={workload}\n");
+        assert!(matches!(
+            parse_jobs(&zero).map_err(ArgError::Spec),
+            Err(ArgError::Spec(SpecError::ZeroWeight { .. }))
+        ));
+        let dup =
+            format!("tenant a weight=1\ntenant a weight=2\njob tenant=a workload={workload}\n");
+        assert!(matches!(
+            parse_jobs(&dup).map_err(ArgError::Spec),
+            Err(ArgError::Spec(SpecError::DuplicateTenant { .. }))
+        ));
+        let capped = format!("tenant a weight=1 budget=4m\njob tenant=a workload={workload}\n");
+        let file = parse_jobs(&capped).expect("parses");
+        assert!(matches!(
+            file.check_fleet_budget(1 << 20).map_err(ArgError::Spec),
+            Err(ArgError::Spec(SpecError::TenantBudgetExceedsFleet { .. }))
+        ));
+    }
+}

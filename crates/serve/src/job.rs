@@ -1,0 +1,152 @@
+//! One fleet job: a typed [`SuperPinRunner`] erased behind an
+//! object-safe driver.
+//!
+//! The runner is generic over its tool, but a job queue holds jobs of
+//! many tool types at once, so the type is erased exactly once — at
+//! admission — through the rank-2 registry dispatch
+//! ([`superpin_tools::with_tool`]). From then on the fleet only sees
+//! `Box<dyn JobDriver>`: step one epoch, read the virtual clock and
+//! resident footprint, evict caches, finish. Every method maps 1:1 to
+//! a runner method, so a fleet-driven job behaves identically to a
+//! standalone `step_serial` loop.
+
+use superpin::{SharedMem, SpError, SuperPinConfig, SuperPinReport, SuperPinRunner, SuperTool};
+use superpin_isa::Program;
+use superpin_tools::ToolVisitor;
+use superpin_vm::process::Process;
+
+/// The object-safe surface the fleet drives a job through.
+pub trait JobDriver: Send {
+    /// Executes exactly one epoch inline on the calling thread;
+    /// `Ok(false)` means the run is complete.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest errors.
+    fn step(&mut self) -> Result<bool, SpError>;
+
+    /// Renders the final report once [`step`](JobDriver::step) has
+    /// returned `false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors surfaced at finalization.
+    fn finish(&mut self) -> Result<SuperPinReport, SpError>;
+
+    /// The job's virtual clock in cycles.
+    fn now_cycles(&self) -> u64;
+
+    /// The job's governed resident footprint in simulated bytes.
+    fn resident_bytes(&self) -> u64;
+
+    /// Evicts the job's code caches coldest-first until `target` bytes
+    /// are freed or nothing remains; returns bytes freed.
+    fn evict_caches(&mut self, target: u64) -> u64;
+
+    /// Whether an eviction could free anything.
+    fn has_evictable_cache(&self) -> bool;
+}
+
+struct Job<T: SuperTool> {
+    runner: SuperPinRunner<T>,
+}
+
+impl<T: SuperTool> JobDriver for Job<T> {
+    fn step(&mut self) -> Result<bool, SpError> {
+        self.runner.step_serial()
+    }
+
+    fn finish(&mut self) -> Result<SuperPinReport, SpError> {
+        self.runner.finish()
+    }
+
+    fn now_cycles(&self) -> u64 {
+        self.runner.now_cycles()
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.runner.resident_bytes()
+    }
+
+    fn evict_caches(&mut self, target: u64) -> u64 {
+        self.runner.fleet_evict_caches(target)
+    }
+
+    fn has_evictable_cache(&self) -> bool {
+        self.runner.has_evictable_cache()
+    }
+}
+
+struct BuildJob {
+    process: Process,
+    shared: SharedMem,
+    cfg: SuperPinConfig,
+}
+
+impl ToolVisitor for BuildJob {
+    type Out = Result<Box<dyn JobDriver>, SpError>;
+
+    fn visit<T: SuperTool>(self, tool: T) -> Self::Out {
+        let runner = SuperPinRunner::new(self.process, tool, self.shared, self.cfg)?;
+        Ok(Box::new(Job { runner }))
+    }
+}
+
+/// Loads `program` and builds a boxed job running `tool_name` under
+/// `cfg`. The job owns a fresh [`SharedMem`] — fleet jobs never share
+/// merge areas. `None` if the tool name is outside the serve registry
+/// (callers validate names at parse time, so this is defensive).
+///
+/// # Errors
+///
+/// Propagates process-load and runner-setup errors.
+pub fn build_job(
+    program: &Program,
+    cfg: SuperPinConfig,
+    tool_name: &str,
+) -> Result<Option<Box<dyn JobDriver>>, SpError> {
+    let shared = SharedMem::new();
+    let process = Process::load(1, program)?;
+    let build = BuildJob {
+        process,
+        shared: shared.clone(),
+        cfg,
+    };
+    superpin_tools::with_tool(tool_name, &shared, build).transpose()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use superpin_workloads::Scale;
+
+    fn tiny_config() -> SuperPinConfig {
+        SuperPinConfig::scaled(1000, 500_000.0)
+    }
+
+    #[test]
+    fn a_built_job_steps_to_completion() {
+        let spec = &superpin_workloads::catalog()[0];
+        let program = spec.build(Scale::Tiny);
+        let mut job = build_job(&program, tiny_config(), "icount2")
+            .expect("builds")
+            .expect("registered tool");
+        let mut epochs = 0u32;
+        while job.step().expect("epoch") {
+            epochs += 1;
+            assert!(epochs < 100_000, "job never completed");
+        }
+        let report = job.finish().expect("report");
+        assert!(report.total_cycles > 0);
+        assert!(job.now_cycles() >= report.total_cycles);
+    }
+
+    #[test]
+    fn unknown_tools_yield_none() {
+        let spec = &superpin_workloads::catalog()[0];
+        let program = spec.build(Scale::Tiny);
+        assert!(build_job(&program, tiny_config(), "dcache")
+            .expect("no setup error")
+            .is_none());
+    }
+}

@@ -1,0 +1,97 @@
+//! The fleet's shared worker pool.
+//!
+//! One persistent pool serves every tenant's jobs for the whole
+//! service run — the tentpole's "one shared worker pool". Each round
+//! the scheduler moves the selected jobs into the pool by value, the
+//! workers each step their jobs one epoch, and the results come back
+//! keyed by *slot* (the job's index within the round's selection).
+//! The scheduler re-applies results in slot order, so wall-clock
+//! completion order — the only nondeterminism threads introduce —
+//! never reaches a scheduling decision. That is the same epoch-barrier
+//! argument the per-run worker pool makes, lifted one level up.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use superpin::SpError;
+
+use crate::job::JobDriver;
+
+type Task = (usize, Box<dyn JobDriver>);
+type Outcome = (usize, Box<dyn JobDriver>, Result<bool, SpError>);
+type SteppedJob = (Box<dyn JobDriver>, Result<bool, SpError>);
+
+/// A persistent pool of `threads` workers stepping job epochs.
+pub(crate) struct JobPool {
+    senders: Vec<mpsc::Sender<Task>>,
+    results: mpsc::Receiver<Outcome>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl JobPool {
+    /// Spawns `threads` workers (min 1).
+    pub(crate) fn new(threads: usize) -> JobPool {
+        let threads = threads.max(1);
+        let (result_tx, results) = mpsc::channel::<Outcome>();
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (task_tx, task_rx) = mpsc::channel::<Task>();
+            let result_tx = result_tx.clone();
+            senders.push(task_tx);
+            handles.push(std::thread::spawn(move || {
+                while let Ok((slot, mut job)) = task_rx.recv() {
+                    let stepped = job.step();
+                    if result_tx.send((slot, job, stepped)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        JobPool {
+            senders,
+            results,
+            handles,
+        }
+    }
+
+    /// Steps every job one epoch across the pool and returns the jobs
+    /// in their original slot order. Tasks are dealt round-robin; the
+    /// slot key restores order no matter which worker finishes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panicked (a simulator bug, not
+    /// a guest fault — guest faults come back as `Err` values).
+    pub(crate) fn step_round(&mut self, round: Vec<Box<dyn JobDriver>>) -> Vec<SteppedJob> {
+        let count = round.len();
+        for (slot, job) in round.into_iter().enumerate() {
+            self.senders[slot % self.senders.len()]
+                .send((slot, job))
+                .expect("pool workers outlive the scheduler");
+        }
+        let mut slots: Vec<Option<SteppedJob>> = (0..count).map(|_| None).collect();
+        for _ in 0..count {
+            let (slot, job, stepped) = self
+                .results
+                .recv()
+                .expect("a pool worker panicked mid-epoch");
+            slots[slot] = Some((job, stepped));
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot reported"))
+            .collect()
+    }
+}
+
+impl Drop for JobPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already surfaced via the recv
+            // expect above; at teardown we only care that they exit.
+            let _ = handle.join();
+        }
+    }
+}

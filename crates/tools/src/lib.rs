@@ -33,6 +33,8 @@ mod itrace;
 mod mem_profile;
 mod sampler;
 
+mod registry;
+
 pub use bbl_count::BblCount;
 pub use branch_profile::{BranchProfile, BranchSiteStats};
 pub use dcache::{DCache, DCacheConfig, DCacheResult};
@@ -42,6 +44,7 @@ pub use icount::{ICount1, ICount2};
 pub use insmix::{InsMix, MixCategory, MixCounts};
 pub use itrace::ITrace;
 pub use mem_profile::{MemProfile, MemProfileTotals};
+pub use registry::{with_tool, ToolVisitor, SERVE_TOOL_NAMES};
 pub use sampler::{Sampler, BUCKET_BYTES};
 
 #[cfg(test)]
