@@ -518,7 +518,8 @@ fn main() {
             &json,
             &superpin_bench::fleet::fleet_to_json(&fleet),
         );
-        std::fs::write(path, json + "\n").unwrap_or_else(|e| panic!("write {path}: {e}"));
+        superpin_replay::atomic_write(path, (json + "\n").as_bytes())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
         if rows.iter().any(|row| !row.identical) {
             eprintln!("determinism violation: parallel or supervised report differed from serial");
@@ -550,6 +551,14 @@ fn main() {
         let fleet_overhead = fleet.fleet_overhead();
         if fleet_overhead > 1.5 {
             eprintln!("fleet overhead {fleet_overhead:.2}x vs serial jobs exceeds the 1.5x bound");
+            std::process::exit(1);
+        }
+        // Crash durability must stay cheap: journaling every settled
+        // round (commit markers on, fsync off) may not slow the fleet
+        // more than 1.15x.
+        let wal_overhead = fleet.wal_overhead();
+        if wal_overhead > 1.15 {
+            eprintln!("wal overhead {wal_overhead:.2}x vs bare fleet exceeds the 1.15x bound");
             std::process::exit(1);
         }
         return;

@@ -12,6 +12,9 @@
 //! * **fleet overhead** — fleet wall clock at 1 thread over the summed
 //!   serial wall clocks: what the scheduler itself costs. Guarded in
 //!   the `--emit-json` path.
+//! * **WAL overhead** — the 1-thread fleet with a per-round journal
+//!   (commit markers on, fsync off) over the bare 1-thread fleet: what
+//!   crash durability costs. Guarded at 1.15× in `--emit-json`.
 //!
 //! The mix always runs at `tiny` scale regardless of the tracker's
 //! `--scale`: the point is scheduler overhead and fairness accounting,
@@ -20,7 +23,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use superpin_serve::{parse_jobs, run_service, FleetConfig, JobFile, ServiceReport};
+use superpin_replay::fleet::FleetRecipe;
+use superpin_replay::wal::FsyncPolicy;
+use superpin_serve::durable::{Durability, FleetWal};
+use superpin_serve::{
+    parse_jobs, run_service, run_service_durable, FleetConfig, JobFile, ServiceReport,
+};
 
 /// The mix's tight fleet budget in bytes — small enough that admission
 /// walks the ladder (defer/degrade/evict), large enough that every job
@@ -28,12 +36,11 @@ use superpin_serve::{parse_jobs, run_service, FleetConfig, JobFile, ServiceRepor
 /// value).
 pub const FLEET_BENCH_BUDGET: u64 = 64 << 10;
 
-/// The fixed two-tenant mix: a heavy tenant (weight 3) and a light one
-/// (weight 1), staggered arrivals, varied tools.
-pub fn fleet_bench_file() -> JobFile {
+/// The fixed mix's job-file text (the WAL header journals it).
+pub fn fleet_bench_text() -> String {
     let catalog = superpin_workloads::catalog();
     let (w0, w1) = (catalog[0].name, catalog[1].name);
-    let text = format!(
+    format!(
         "tenant alpha weight=3\n\
          tenant beta weight=1\n\
          job tenant=alpha workload={w0} scale=tiny tool=icount2 arrive=0\n\
@@ -42,8 +49,13 @@ pub fn fleet_bench_file() -> JobFile {
          job tenant=beta workload={w0} scale=tiny tool=branch arrive=4000\n\
          job tenant=alpha workload={w0} scale=tiny tool=mem arrive=4000\n\
          job tenant=beta workload={w1} scale=tiny tool=insmix arrive=6000\n"
-    );
-    parse_jobs(&text).expect("fleet bench spec parses")
+    )
+}
+
+/// The fixed two-tenant mix: a heavy tenant (weight 3) and a light one
+/// (weight 1), staggered arrivals, varied tools.
+pub fn fleet_bench_file() -> JobFile {
+    parse_jobs(&fleet_bench_text()).expect("fleet bench spec parses")
 }
 
 fn config(threads: usize) -> FleetConfig {
@@ -68,6 +80,9 @@ pub struct FleetBenchResult {
     /// Summed wall clock of the same jobs run serially, each in its own
     /// single-job fleet, milliseconds.
     pub wall_ms_serial_jobs: f64,
+    /// Fleet wall clock at 1 worker thread with a per-round WAL
+    /// (commit markers on, fsync off), milliseconds.
+    pub wall_ms_wal: f64,
     /// Median job turnaround in simulated fleet cycles (nearest rank).
     pub turnaround_p50: u64,
     /// 95th-percentile job turnaround in simulated fleet cycles.
@@ -91,6 +106,13 @@ impl FleetBenchResult {
     /// guard holds this under 1.5×.
     pub fn fleet_overhead(&self) -> f64 {
         self.wall_ms_threads1 / self.wall_ms_serial_jobs.max(1e-9)
+    }
+
+    /// Durability cost: the WAL-on 1-thread fleet over the WAL-off one.
+    /// Journaling is one encode + two buffered appends per settled
+    /// round; the `--emit-json` guard holds this under 1.15×.
+    pub fn wal_overhead(&self) -> f64 {
+        self.wall_ms_wal / self.wall_ms_threads1.max(1e-9)
     }
 }
 
@@ -131,11 +153,40 @@ pub fn run_fleet_bench() -> FleetBenchResult {
         }
     });
 
+    // Durable run: same 1-thread fleet, journaling every settled round
+    // to a real file with commit markers but fsync off — the cost of
+    // the WAL encode/append path itself, not of the disk.
+    let wal_path =
+        std::env::temp_dir().join(format!("superpin-fleet-bench-{}.spwal", std::process::id()));
+    let cfg1 = config(1);
+    let recipe = FleetRecipe {
+        spec_text: fleet_bench_text(),
+        threads: 1,
+        slots: cfg1.slots as u32,
+        fleet_budget: cfg1.fleet_budget,
+        chaos: None,
+        spmsec: cfg1.spmsec,
+    };
+    let (degraded, wall_ms_wal) = timed_ms(|| {
+        let sink = std::fs::File::create(&wal_path).expect("bench wal file");
+        let wal = FleetWal::create(Box::new(sink), &recipe, FsyncPolicy::Off, None)
+            .expect("bench wal opens");
+        let mut dur = Durability {
+            wal: Some(wal),
+            resume: Default::default(),
+        };
+        run_service_durable(&file, &cfg1, &mut dur).expect("fleet t1 + wal");
+        dur.status().expect("wal attached").degraded
+    });
+    let _ = std::fs::remove_file(&wal_path);
+    assert!(!degraded, "bench WAL degraded without fault injection");
+
     FleetBenchResult {
         jobs: file.jobs.len(),
         wall_ms_threads1,
         wall_ms_threads4,
         wall_ms_serial_jobs,
+        wall_ms_wal,
         turnaround_p50: t1.turnaround_percentile(50.0),
         turnaround_p95: t1.turnaround_percentile(95.0),
         deferrals: t1
@@ -190,7 +241,8 @@ pub fn fleet_to_json(result: &FleetBenchResult) -> String {
         "\"jobs\":{},\"jobs_per_sec\":{:.3},\"turnaround_p50_cycles\":{},\
          \"turnaround_p95_cycles\":{},\"fleet_cycles\":{},\
          \"wall_ms_threads1\":{:.2},\"wall_ms_threads4\":{:.2},\
-         \"wall_ms_serial_jobs\":{:.2},\"fleet_overhead\":{:.3},\"deferrals\":{{",
+         \"wall_ms_serial_jobs\":{:.2},\"fleet_overhead\":{:.3},\
+         \"wall_ms_wal\":{:.2},\"wal_overhead\":{:.3},\"deferrals\":{{",
         result.jobs,
         result.jobs_per_sec(),
         result.turnaround_p50,
@@ -200,6 +252,8 @@ pub fn fleet_to_json(result: &FleetBenchResult) -> String {
         result.wall_ms_threads4,
         result.wall_ms_serial_jobs,
         result.fleet_overhead(),
+        result.wall_ms_wal,
+        result.wal_overhead(),
     );
     for (i, (tenant, deferred)) in result.deferrals.iter().enumerate() {
         if i > 0 {
@@ -231,12 +285,13 @@ pub fn render_fleet(result: &FleetBenchResult) -> String {
         .collect();
     format!(
         "fleet: {} jobs, {:.1} jobs/s (t4), turnaround p50 {} p95 {} cycles, \
-         overhead {:.2}x vs serial, deferrals {}, identical {}\n",
+         overhead {:.2}x vs serial, wal {:.2}x, deferrals {}, identical {}\n",
         result.jobs,
         result.jobs_per_sec(),
         result.turnaround_p50,
         result.turnaround_p95,
         result.fleet_overhead(),
+        result.wal_overhead(),
         deferrals.join(" "),
         result.identical,
     )
@@ -253,6 +308,7 @@ mod tests {
             wall_ms_threads1: 120.0,
             wall_ms_threads4: 60.0,
             wall_ms_serial_jobs: 100.0,
+            wall_ms_wal: 126.0,
             turnaround_p50: 5000,
             turnaround_p95: 9000,
             deferrals: vec![("alpha".to_owned(), 2), ("beta".to_owned(), 0)],
@@ -262,8 +318,10 @@ mod tests {
         let json = fleet_to_json(&result);
         assert!(json.starts_with("{\"jobs\":6,"));
         assert!(json.contains("\"deferrals\":{\"alpha\":2,\"beta\":0}"));
+        assert!(json.contains("\"wall_ms_wal\":126.00,\"wal_overhead\":1.050"));
         assert!(json.ends_with("\"identical\":true}"));
         assert!((result.fleet_overhead() - 1.2).abs() < 1e-9);
+        assert!((result.wal_overhead() - 1.05).abs() < 1e-9);
         assert!((result.jobs_per_sec() - 100.0).abs() < 1e-9);
 
         let spliced = splice_fleet_section("{\"scale\":\"Tiny\"}", &json);

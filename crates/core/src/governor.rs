@@ -358,6 +358,17 @@ impl TenantLedger {
             .unwrap_or(0)
     }
 
+    /// A tenant's last posted usage (0 for unknown tenants). The WAL
+    /// journals this per round so recovery can verify the ledger state
+    /// it rebuilt.
+    pub fn usage(&self, id: u32) -> u64 {
+        self.tenants
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| t.usage)
+            .unwrap_or(0)
+    }
+
     /// Total posted usage across all tenants.
     pub fn fleet_usage(&self) -> u64 {
         self.tenants.iter().map(|t| t.usage).sum()

@@ -40,10 +40,21 @@ pub enum Site {
     /// (page tables, kernel structures) — an ENOMEM the runner absorbs
     /// through the transient retry ladder, like a failed COW fork.
     VmMemAlloc = 6,
+    /// A WAL frame append tears: only a prefix of the frame reaches the
+    /// host file before the write errors, leaving a torn tail the
+    /// salvage reader must truncate. The fleet degrades to non-durable.
+    IoWalAppend = 7,
+    /// The fsync after a WAL round commit fails — the commit may not be
+    /// durable, so the fleet degrades to non-durable.
+    IoWalFsync = 8,
+    /// The host disk is full: the WAL append fails cleanly before any
+    /// byte is written (a clean frame boundary, unlike the torn
+    /// [`Site::IoWalAppend`]).
+    IoDiskFull = 9,
 }
 
 /// Number of defined sites.
-pub const SITE_COUNT: usize = 7;
+pub const SITE_COUNT: usize = 10;
 
 impl Site {
     /// Every site, in stable order (indexable by `site as usize`).
@@ -55,6 +66,9 @@ impl Site {
         Site::SharedIndexPublish,
         Site::ParallelWorkerChannel,
         Site::VmMemAlloc,
+        Site::IoWalAppend,
+        Site::IoWalFsync,
+        Site::IoDiskFull,
     ];
 
     /// The site's stable dotted name (used in CLI/errors/logs).
@@ -67,6 +81,9 @@ impl Site {
             Site::SharedIndexPublish => "shared_index.publish",
             Site::ParallelWorkerChannel => "parallel.worker.channel",
             Site::VmMemAlloc => "vm.mem.alloc",
+            Site::IoWalAppend => "io.wal.append",
+            Site::IoWalFsync => "io.wal.fsync",
+            Site::IoDiskFull => "io.disk.full",
         }
     }
 

@@ -32,6 +32,7 @@ pub mod fleet;
 pub mod json;
 pub mod log;
 pub mod recipe;
+pub mod wal;
 pub mod wire;
 
 #[cfg(test)]
@@ -41,7 +42,14 @@ pub use differ::{diff_logs, diff_runners};
 pub use differ::{DiffOutcome, DivergenceReport, RegDelta};
 pub use drive::{build_runner, record_run, replay_run, verify_replay, ReplayError};
 pub use events::{EventSink, EventStream};
-pub use fleet::{diff_fleet, FleetEvent, FleetLog, FleetRecipe};
+pub use fleet::{
+    diff_fleet, diff_round, recover_fleet_wal, FleetEvent, FleetLog, FleetRecipe, FleetRecovery,
+    RoundFrame,
+};
 pub use log::{ReplayLog, MAGIC, VERSION};
 pub use recipe::RunRecipe;
+pub use wal::{
+    atomic_write, crc32, salvage, FrameDamage, FsyncPolicy, MemSink, WalCause, WalIoError, WalOp,
+    WalSink, WalWriter,
+};
 pub use wire::CodecError;

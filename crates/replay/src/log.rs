@@ -17,6 +17,7 @@
 
 use crate::codec::{get_event, get_report, put_event, put_report};
 use crate::recipe::RunRecipe;
+use crate::wal::FrameDamage;
 use crate::wire::{put_u16, put_u32, put_u8, CodecError, Reader};
 use superpin::{NondetEvent, SuperPinReport};
 
@@ -138,6 +139,150 @@ impl ReplayLog {
                 detail: "log has no report frame".to_string(),
             })?,
         })
+    }
+}
+
+/// A structural census of a `.splog` byte stream, tolerant of damage.
+///
+/// Unlike [`ReplayLog::decode`], the scan never fails past the
+/// preamble: it counts what is structurally intact and reports where
+/// (and how) the stream stops being readable. Frame *payloads* are not
+/// decoded — a payload-level fault still fails `decode` on a
+/// scan-clean log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplogScan {
+    /// Header frames seen (a well-formed log has exactly one).
+    pub header_frames: usize,
+    /// Event frames seen.
+    pub event_frames: usize,
+    /// Report frames seen (a well-formed log has exactly one).
+    pub report_frames: usize,
+    /// The end frame is present.
+    pub has_end: bool,
+    /// Byte offset just past the last structurally intact frame.
+    pub valid_len: usize,
+    /// The first damage found, if any.
+    pub damage: Option<FrameDamage>,
+}
+
+/// Walks a `.splog` frame by frame without decoding payloads, stopping
+/// at the first structural damage instead of hard-failing. Never
+/// panics on arbitrary input.
+///
+/// # Errors
+///
+/// [`CodecError::BadHeader`] only when the magic/version preamble is
+/// unusable.
+pub fn scan(bytes: &[u8]) -> Result<SplogScan, CodecError> {
+    const PREAMBLE: usize = 7; // 5-byte magic + u16 version
+    if bytes.len() < PREAMBLE {
+        return Err(CodecError::BadHeader {
+            detail: format!(
+                "{} bytes is shorter than the {PREAMBLE}-byte preamble",
+                bytes.len()
+            ),
+        });
+    }
+    if &bytes[..5] != MAGIC {
+        return Err(CodecError::BadHeader {
+            detail: format!("magic {:?} is not SPLOG", &bytes[..5]),
+        });
+    }
+    let version = u16::from_le_bytes([bytes[5], bytes[6]]);
+    if version != VERSION {
+        return Err(CodecError::BadHeader {
+            detail: format!("log version {version}, this build reads {VERSION}"),
+        });
+    }
+    let mut out = SplogScan {
+        header_frames: 0,
+        event_frames: 0,
+        report_frames: 0,
+        has_end: false,
+        valid_len: PREAMBLE,
+        damage: None,
+    };
+    let mut pos = PREAMBLE;
+    while pos < bytes.len() {
+        if out.has_end {
+            out.damage = Some(FrameDamage::Corrupt {
+                offset: pos,
+                detail: "bytes after the end frame".to_owned(),
+            });
+            break;
+        }
+        let remaining = bytes.len() - pos;
+        if remaining < 5 {
+            out.damage = Some(FrameDamage::Torn { offset: pos });
+            break;
+        }
+        let frame_type = bytes[pos];
+        if !(FRAME_HEADER..=FRAME_END).contains(&frame_type) {
+            out.damage = Some(FrameDamage::Corrupt {
+                offset: pos,
+                detail: format!("unknown frame type 0x{frame_type:02x}"),
+            });
+            break;
+        }
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
+        let Some(total) = len.checked_add(5) else {
+            out.damage = Some(FrameDamage::Corrupt {
+                offset: pos,
+                detail: format!("frame length {len} overflows"),
+            });
+            break;
+        };
+        if remaining < total {
+            out.damage = Some(FrameDamage::Torn { offset: pos });
+            break;
+        }
+        match frame_type {
+            FRAME_HEADER => out.header_frames += 1,
+            FRAME_EVENT => out.event_frames += 1,
+            FRAME_REPORT => out.report_frames += 1,
+            _ => out.has_end = true,
+        }
+        pos += total;
+        out.valid_len = pos;
+    }
+    Ok(out)
+}
+
+/// Turns a [`ReplayLog::decode`] failure into an actionable message by
+/// re-scanning the bytes: "truncated (salvageable …)" when the log is
+/// a clean prefix that simply stops (kill mid-write), "corrupt at byte
+/// X" when a frame is structurally wrong, and the raw codec error when
+/// the structure is fine but a payload is not.
+pub fn explain_decode_failure(bytes: &[u8], err: &CodecError) -> String {
+    let Ok(scanned) = scan(bytes) else {
+        // Preamble-level: the codec error already says it all.
+        return err.to_string();
+    };
+    let census = format!(
+        "{} event frame(s) intact, report frame {}",
+        scanned.event_frames,
+        if scanned.report_frames > 0 {
+            "present"
+        } else {
+            "missing"
+        }
+    );
+    match &scanned.damage {
+        Some(FrameDamage::Torn { offset }) => format!(
+            "truncated mid-frame at byte {offset} (salvageable: {census}, \
+             last good frame ends at byte {})",
+            scanned.valid_len
+        ),
+        Some(corrupt @ FrameDamage::Corrupt { .. }) => format!("{corrupt} ({census})"),
+        None if !scanned.has_end => {
+            format!("truncated (salvageable: {census}, end frame missing)")
+        }
+        None => format!("{err} (frames are structurally intact: {census})"),
     }
 }
 

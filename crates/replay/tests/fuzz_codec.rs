@@ -1,0 +1,293 @@
+//! Adversarial-input suite for every on-disk container this crate
+//! reads: `SPWAL` fleet journals, `.splog` recordings, and `SPFL`
+//! fleet logs.
+//!
+//! The contract under fuzz: arbitrary byte flips and truncations may
+//! make a file undecodable, but they must **never panic a reader** —
+//! every path returns a typed error or a salvage that stops at the
+//! damage. Plus the salvage invariants recovery leans on: the durable
+//! prefix is always structurally clean, and truncating a journal can
+//! only shorten (never change) the committed round sequence.
+
+use proptest::prelude::*;
+use superpin::FailPlan;
+use superpin_replay::fleet::{recover_fleet_wal, FleetEvent, FleetLog, FleetRecipe, RoundFrame};
+use superpin_replay::log::{explain_decode_failure, scan};
+use superpin_replay::wal::{salvage, FsyncPolicy, MemSink, WalWriter, WAL_FRAME_RECORD};
+use superpin_replay::{CodecError, ReplayLog, RunRecipe};
+use superpin_workloads::Scale;
+
+fn sample_recipe() -> FleetRecipe {
+    FleetRecipe {
+        spec_text: "tenant a weight=1\njob tenant=a workload=x\n".to_owned(),
+        threads: 2,
+        slots: 2,
+        fleet_budget: Some(1 << 20),
+        chaos: Some(FailPlan::new(3, 0.02)),
+        spmsec: 1000,
+    }
+}
+
+fn sample_round(round: u64) -> RoundFrame {
+    RoundFrame {
+        round,
+        fleet_now: round * 1717,
+        selected: vec![0, round as u32 % 3],
+        deltas: vec![1500 + round, 900],
+        events: vec![
+            FleetEvent::Admit {
+                job: round as u32,
+                fleet_now: round * 1717,
+                budget: (round % 2 == 0).then_some(4096),
+            },
+            FleetEvent::Complete {
+                job: round as u32,
+                fleet_now: round * 1717 + 3,
+            },
+        ],
+        usages: vec![round * 64, 128],
+    }
+}
+
+/// A well-formed 12-round WAL, sealed with an end frame.
+fn sample_wal() -> Vec<u8> {
+    let sink = MemSink::new();
+    let mut writer =
+        WalWriter::create(Box::new(sink.clone()), FsyncPolicy::Off, None).expect("wal opens");
+    let mut header = Vec::new();
+    sample_recipe().encode_into(&mut header);
+    writer.append(0x01, &header).expect("header");
+    for round in 1..=12u64 {
+        writer
+            .append(WAL_FRAME_RECORD, &sample_round(round).encode())
+            .expect("record");
+        writer.commit(round).expect("commit");
+    }
+    writer.end().expect("end");
+    sink.bytes()
+}
+
+fn sample_splog() -> Vec<u8> {
+    use superpin::{AdmissionDecision, NondetEvent, SuperPinReport, TimeBreakdown};
+    use superpin_vm::ptrace::PtraceStats;
+    let report = SuperPinReport {
+        total_cycles: 10,
+        master_exit_cycles: 8,
+        breakdown: TimeBreakdown::default(),
+        master_insts: 5,
+        master_syscalls: 1,
+        ptrace: PtraceStats::default(),
+        slices: Vec::new(),
+        sig_stats: Default::default(),
+        forks_on_timeout: 0,
+        forks_on_syscall: 0,
+        stall_events: 0,
+        master_cow_copies: 0,
+        epochs: 2,
+        slice_retries: 0,
+        slices_degraded: 0,
+        peak_resident_bytes: 0,
+        slices_deferred: 0,
+        checkpoints_dropped: 0,
+        caches_evicted: 0,
+    };
+    ReplayLog {
+        recipe: RunRecipe::standard("gcc", Scale::Tiny),
+        events: vec![
+            NondetEvent::EpochPlan { planned: 4 },
+            NondetEvent::Admission {
+                decision: AdmissionDecision::Admit,
+                dropped: vec![],
+                evicted: vec![3],
+            },
+        ],
+        report,
+    }
+    .encode()
+}
+
+fn sample_fleet_log() -> Vec<u8> {
+    FleetLog {
+        recipe: sample_recipe(),
+        events: vec![
+            FleetEvent::Admit {
+                job: 0,
+                fleet_now: 0,
+                budget: None,
+            },
+            FleetEvent::Complete {
+                job: 0,
+                fleet_now: 900,
+            },
+        ],
+        outcomes: vec!["{\"job\":0}".to_owned()],
+    }
+    .encode()
+}
+
+/// Exhaustive truncation: a WAL cut at *every* byte offset — every
+/// frame boundary and every mid-frame position — either salvages to a
+/// clean prefix of the original round sequence or reports a bad
+/// preamble; no cut panics.
+#[test]
+fn wal_truncated_at_every_offset_salvages_or_rejects() {
+    let wal = sample_wal();
+    let full = recover_fleet_wal(&wal).expect("intact wal recovers");
+    assert_eq!(full.rounds.len(), 12);
+    assert!(full.clean_end);
+    for cut in 0..=wal.len() {
+        let prefix = &wal[..cut];
+        match salvage(prefix) {
+            Err(CodecError::BadHeader { .. }) => {
+                assert!(cut < 7, "preamble rejection past the preamble (cut {cut})");
+                continue;
+            }
+            Err(other) => panic!("cut {cut}: unexpected error class {other}"),
+            Ok(scanned) => {
+                assert!(scanned.committed_len <= scanned.valid_len);
+                assert!(scanned.valid_len <= cut);
+                // The durable prefix must itself scan clean: salvage is
+                // idempotent, so resume never chases its own tail.
+                let again = salvage(&prefix[..scanned.committed_len]).expect("prefix scans");
+                assert!(again.damage.is_none(), "durable prefix damaged (cut {cut})");
+                assert_eq!(again.commits, scanned.commits);
+            }
+        }
+        match recover_fleet_wal(prefix) {
+            Err(_) => {} // no intact header frame yet — typed, not a panic
+            Ok(recovered) => {
+                assert!(
+                    recovered.rounds.len() <= full.rounds.len(),
+                    "cut {cut}: salvage invented rounds"
+                );
+                assert_eq!(
+                    recovered.rounds[..],
+                    full.rounds[..recovered.rounds.len()],
+                    "cut {cut}: salvage changed committed history"
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive truncation of a `.splog`: every cut either decodes (only
+/// the full file) or yields a typed error whose explanation names
+/// truncation or corruption; `scan` stays within bounds.
+#[test]
+fn splog_truncated_at_every_offset_explains_itself() {
+    let log = sample_splog();
+    for cut in 0..log.len() {
+        let prefix = &log[..cut];
+        let err = ReplayLog::decode(prefix).expect_err("a cut log cannot decode whole");
+        let explained = explain_decode_failure(prefix, &err);
+        assert!(!explained.is_empty());
+        if cut >= 7 {
+            let scanned = scan(prefix).expect("preamble intact");
+            assert!(scanned.valid_len <= cut);
+            assert!(
+                explained.contains("truncated") || explained.contains("corrupt"),
+                "cut {cut}: unhelpful explanation `{explained}`"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+    /// Any single bit flip in a WAL: readers return typed results,
+    /// and whatever salvage reports committed is a clean prefix.
+    #[test]
+    fn prop_wal_survives_bit_flips(pos in 0usize..8192, bit in 0u32..8) {
+        let mut wal = sample_wal();
+        let index = pos % wal.len();
+        wal[index] ^= 1 << bit;
+        if let Ok(scanned) = salvage(&wal) {
+            prop_assert!(scanned.committed_len <= scanned.valid_len);
+            prop_assert!(scanned.valid_len <= wal.len());
+        }
+        let _ = recover_fleet_wal(&wal); // must not panic
+    }
+
+    /// Multi-byte stomp: overwrite a window with arbitrary bytes.
+    #[test]
+    fn prop_wal_survives_stomps(
+        pos in 0usize..8192,
+        len in 1usize..64,
+        fill in 0u32..256,
+    ) {
+        let mut wal = sample_wal();
+        let start = pos % wal.len();
+        let end = (start + len).min(wal.len());
+        for byte in &mut wal[start..end] {
+            *byte = fill as u8;
+        }
+        let _ = salvage(&wal);
+        let _ = recover_fleet_wal(&wal);
+    }
+
+    /// Any single bit flip in a `.splog`: decode returns Ok or a typed
+    /// error, and the error's explanation never panics either.
+    #[test]
+    fn prop_splog_survives_bit_flips(pos in 0usize..8192, bit in 0u32..8) {
+        let mut log = sample_splog();
+        let index = pos % log.len();
+        log[index] ^= 1 << bit;
+        if let Err(err) = ReplayLog::decode(&log) {
+            let explained = explain_decode_failure(&log, &err);
+            prop_assert!(!explained.is_empty());
+        }
+        let _ = scan(&log);
+    }
+
+    /// Any single bit flip or truncation of an `SPFL` fleet log:
+    /// typed error or success, never a panic.
+    #[test]
+    fn prop_fleet_log_survives_damage(
+        pos in 0usize..8192,
+        bit in 0u32..8,
+        cut in 0usize..8192,
+    ) {
+        let mut log = sample_fleet_log();
+        let index = pos % log.len();
+        log[index] ^= 1 << bit;
+        let _ = FleetLog::decode(&log);
+        let log = sample_fleet_log();
+        let _ = FleetLog::decode(&log[..cut % (log.len() + 1)]);
+    }
+
+    /// WAL frame payloads of arbitrary junk round-trip through the
+    /// writer and salvage cleanly (the container is content-agnostic).
+    #[test]
+    fn prop_wal_roundtrips_arbitrary_payloads(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(0u32..256, 0..96),
+            1..12,
+        ),
+    ) {
+        let sink = MemSink::new();
+        let mut writer = WalWriter::create(Box::new(sink.clone()), FsyncPolicy::Off, None)
+            .expect("wal opens");
+        for (seq, payload) in payloads.iter().enumerate() {
+            let bytes: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+            writer.append(WAL_FRAME_RECORD, &bytes).expect("append");
+            writer.commit(seq as u64 + 1).expect("commit");
+        }
+        writer.end().expect("end");
+        let scanned = salvage(&sink.bytes()).expect("scans");
+        prop_assert!(scanned.damage.is_none());
+        prop_assert!(scanned.clean_end);
+        prop_assert_eq!(scanned.commits, payloads.len() as u64);
+        let recovered: Vec<Vec<u8>> = scanned
+            .frames
+            .iter()
+            .filter(|frame| frame.kind == WAL_FRAME_RECORD)
+            .map(|frame| frame.payload.clone())
+            .collect();
+        let expected: Vec<Vec<u8>> = payloads
+            .iter()
+            .map(|payload| payload.iter().map(|&b| b as u8).collect())
+            .collect();
+        prop_assert_eq!(recovered, expected);
+    }
+}

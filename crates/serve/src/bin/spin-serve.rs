@@ -6,12 +6,21 @@
 //! `--record` writes a fleet log; `--replay` re-runs a recorded fleet
 //! (at any `--threads`) and byte-verifies the decision trace and every
 //! outcome line against the log.
+//!
+//! `--wal PATH` journals every settled round to a crash-durable
+//! write-ahead log; after a crash, `--resume PATH` salvages the
+//! committed prefix, re-executes it with verification, and continues
+//! the run live — the final output is byte-identical to an
+//! uninterrupted run. WAL and recovery status lines go to stderr so
+//! stdout stays deterministic.
 
 use std::io::Read;
 
-use superpin_replay::fleet::{diff_fleet, FleetLog, FleetRecipe};
+use superpin_replay::fleet::{diff_fleet, recover_fleet_wal, FleetLog, FleetRecipe};
+use superpin_replay::wal::{atomic_write, FrameDamage, FsyncPolicy, WalCause, WalIoError, WalOp};
+use superpin_serve::durable::{Durability, FleetWal};
 use superpin_serve::spec::parse_bytes;
-use superpin_serve::{parse_jobs, run_service, FleetConfig, SpecError};
+use superpin_serve::{parse_jobs, run_service, run_service_durable, FleetConfig, SpecError};
 
 /// Typed command-line rejection. Each variant renders a specific
 /// message; `main` prints it with a usage hint and exits 2.
@@ -34,10 +43,13 @@ enum ArgError {
     ChaosRateOutOfRange(f64),
     /// An unrecognized flag.
     UnknownFlag(String),
-    /// No `--jobs FILE` (or `--replay LOG`) was given.
+    /// No `--jobs FILE` (or `--replay LOG` / `--resume WAL`) was given.
     MissingJobs,
     /// `--record` and `--replay` are mutually exclusive.
     RecordAndReplay,
+    /// `--resume` rebuilds every fleet knob from the WAL header; the
+    /// named flag would contradict the journalled run.
+    ResumeConflict(&'static str),
     /// The job file itself was rejected (weights, duplicates, budgets…).
     Spec(SpecError),
 }
@@ -71,6 +83,12 @@ impl std::fmt::Display for ArgError {
             ArgError::RecordAndReplay => {
                 write!(f, "`--record` and `--replay` are mutually exclusive")
             }
+            ArgError::ResumeConflict(flag) => write!(
+                f,
+                "`{flag}` cannot accompany `--resume`: the WAL header already \
+                 fixes that knob (only `--threads`, `--emit-reports`, and \
+                 `--wal-fsync` may vary on resume)"
+            ),
             ArgError::Spec(err) => write!(f, "{err}"),
         }
     }
@@ -90,14 +108,21 @@ struct Options {
     emit_reports: Option<String>,
     record: Option<String>,
     replay: Option<String>,
+    wal: Option<String>,
+    resume: Option<String>,
+    wal_fsync: FsyncPolicy,
+    /// Flags seen that `--resume` refuses (the WAL header fixes them).
+    resume_conflicts: Vec<&'static str>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spin-serve --jobs FILE|- [--threads N] [--fleet-slots N] \
          [--fleet-budget BYTES[k|m|g]] [--chaos-seed N] [--chaos-rate F] [--spmsec MSEC] \
-         [--emit-reports PATH] [--record LOG]\n\
+         [--emit-reports PATH] [--record LOG] [--wal PATH] [--wal-fsync commit|off|every=N]\n\
          \x20      spin-serve --replay LOG [--threads N]\n\
+         \x20      spin-serve --resume WAL [--threads N] [--emit-reports PATH] \
+         [--wal-fsync commit|off|every=N]\n\
          job file lines: `tenant NAME weight=N [budget=BYTES]` and\n\
          `job tenant=NAME workload=NAME [scale=S] [tool=T] [arrive=CYCLES] \
          [mem-budget=BYTES] [chaos-rate=F] [plan=on|off]`"
@@ -117,6 +142,10 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
         emit_reports: None,
         record: None,
         replay: None,
+        wal: None,
+        resume: None,
+        wal_fsync: FsyncPolicy::EveryCommit,
+        resume_conflicts: Vec::new(),
     };
     let mut iter = args.iter();
     fn value<'a, I: Iterator<Item = &'a String>, V: std::str::FromStr>(
@@ -131,7 +160,22 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
             expected,
         })
     }
+    // Flags the WAL header fixes; `--resume` rejects them on sight.
+    const FIXED_BY_WAL_HEADER: &[&str] = &[
+        "--jobs",
+        "--fleet-slots",
+        "--fleet-budget",
+        "--chaos-seed",
+        "--chaos-rate",
+        "--spmsec",
+        "--record",
+        "--replay",
+        "--wal",
+    ];
     while let Some(arg) = iter.next() {
+        if let Some(&flag) = FIXED_BY_WAL_HEADER.iter().find(|&&flag| flag == arg) {
+            options.resume_conflicts.push(flag);
+        }
         match arg.as_str() {
             "--jobs" => {
                 options.jobs = Some(iter.next().ok_or(ArgError::MissingValue("--jobs"))?.clone());
@@ -193,13 +237,37 @@ fn parse_options(args: &[String]) -> Result<Options, ArgError> {
                         .clone(),
                 );
             }
+            "--wal" => {
+                options.wal = Some(iter.next().ok_or(ArgError::MissingValue("--wal"))?.clone());
+            }
+            "--resume" => {
+                options.resume = Some(
+                    iter.next()
+                        .ok_or(ArgError::MissingValue("--resume"))?
+                        .clone(),
+                );
+            }
+            "--wal-fsync" => {
+                let text = iter.next().ok_or(ArgError::MissingValue("--wal-fsync"))?;
+                options.wal_fsync =
+                    FsyncPolicy::parse(text).ok_or_else(|| ArgError::InvalidValue {
+                        flag: "--wal-fsync",
+                        value: text.clone(),
+                        expected: "`commit`, `off`, or `every=N`",
+                    })?;
+            }
             other => return Err(ArgError::UnknownFlag(other.to_owned())),
         }
     }
     if options.record.is_some() && options.replay.is_some() {
         return Err(ArgError::RecordAndReplay);
     }
-    if options.jobs.is_none() && options.replay.is_none() {
+    if options.resume.is_some() {
+        if let Some(flag) = options.resume_conflicts.first() {
+            return Err(ArgError::ResumeConflict(flag));
+        }
+    }
+    if options.jobs.is_none() && options.replay.is_none() && options.resume.is_none() {
         return Err(ArgError::MissingJobs);
     }
     Ok(options)
@@ -231,6 +299,39 @@ fn read_jobs(path: &str) -> std::io::Result<String> {
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("spin-serve: {message}");
     std::process::exit(1);
+}
+
+/// Post-run WAL status, on stderr: stdout must stay byte-identical
+/// between an uninterrupted run and a kill-then-resume run, and the
+/// two commit different round counts.
+fn report_wal_status(dur: &Durability) {
+    let Some(status) = dur.status() else {
+        return;
+    };
+    if status.degraded {
+        eprintln!(
+            "spin-serve: warning: wal degraded to non-durable after {} append / {} fsync \
+             failure(s) ({}); {} round(s) were committed before that",
+            status.append_failures,
+            status.fsync_failures,
+            status.last_error.as_deref().unwrap_or("no error recorded"),
+            status.rounds_committed,
+        );
+    } else {
+        eprintln!(
+            "spin-serve: wal: {} round(s) committed",
+            status.rounds_committed
+        );
+    }
+}
+
+/// Streams per-job outcome JSON lines to `path`, atomically: a crash
+/// mid-write leaves either the old file or the new one, never a torn
+/// half.
+fn emit_reports(path: &str, report: &superpin_serve::ServiceReport) {
+    atomic_write(path, report.jsonl().as_bytes())
+        .unwrap_or_else(|err| fail(format_args!("writing {path}: {err}")));
+    println!("reports: {} job lines -> {path}", report.outcomes.len());
 }
 
 fn main() {
@@ -273,6 +374,87 @@ fn main() {
         return;
     }
 
+    if let Some(wal_path) = &options.resume {
+        let bytes = std::fs::read(wal_path)
+            .unwrap_or_else(|err| fail(format_args!("reading {wal_path}: {err}")));
+        let recovery = recover_fleet_wal(&bytes)
+            .unwrap_or_else(|err| fail(format_args!("recovering {wal_path}: {err}")));
+        match &recovery.damage {
+            Some(FrameDamage::Torn { offset }) => eprintln!(
+                "spin-serve: recovery: {wal_path}: truncated (salvageable, last committed \
+                 round {}); torn frame at byte {offset}",
+                recovery.rounds.len()
+            ),
+            Some(FrameDamage::Corrupt { offset, detail }) => eprintln!(
+                "spin-serve: recovery: {wal_path}: corrupt at offset {offset} ({detail}); \
+                 salvaging {} committed round(s)",
+                recovery.rounds.len()
+            ),
+            None if recovery.clean_end => eprintln!(
+                "spin-serve: recovery: {wal_path}: clean end frame; re-verifying {} \
+                 committed round(s)",
+                recovery.rounds.len()
+            ),
+            None => eprintln!(
+                "spin-serve: recovery: {wal_path}: in-progress log (no end frame), last \
+                 committed round {}",
+                recovery.rounds.len()
+            ),
+        }
+        if recovery.committed_len < bytes.len() {
+            eprintln!(
+                "spin-serve: recovery: discarding {} uncommitted frame(s), truncating \
+                 {} -> {} bytes",
+                recovery.discarded,
+                bytes.len(),
+                recovery.committed_len
+            );
+        }
+        let file = parse_jobs(&recovery.recipe.spec_text)
+            .unwrap_or_else(|err| fail(format_args!("journalled spec: {err}")));
+        let cfg = FleetConfig {
+            threads: options.threads,
+            slots: recovery.recipe.slots as usize,
+            fleet_budget: recovery.recipe.fleet_budget,
+            chaos: recovery.recipe.chaos,
+            spmsec: recovery.recipe.spmsec,
+        };
+        // Truncate the file to the durable prefix, then reopen it for
+        // appending: frames past the last commit marker are
+        // unterminated transactions and must not survive.
+        let rounds = recovery.rounds.len() as u64;
+        let sink = std::fs::OpenOptions::new()
+            .write(true)
+            .open(wal_path)
+            .and_then(|file| {
+                file.set_len(recovery.committed_len as u64)?;
+                file.sync_data()?;
+                std::fs::OpenOptions::new().append(true).open(wal_path)
+            })
+            .unwrap_or_else(|err| fail(format_args!("truncating {wal_path}: {err}")));
+        // Frame/commit counters resume where the durable prefix ends
+        // (header + record/commit pair per round), so rate-mode I/O
+        // chaos keyed on them continues the interrupted schedule.
+        let wal = FleetWal::resume(
+            Box::new(sink),
+            options.wal_fsync,
+            cfg.chaos,
+            1 + 2 * rounds,
+            rounds,
+        );
+        let mut dur = Durability {
+            wal: Some(wal),
+            resume: recovery.rounds.into(),
+        };
+        let report = run_service_durable(&file, &cfg, &mut dur).unwrap_or_else(|err| fail(err));
+        print!("{}", report.render_text());
+        report_wal_status(&dur);
+        if let Some(path) = &options.emit_reports {
+            emit_reports(path, &report);
+        }
+        return;
+    }
+
     let jobs_path = options.jobs.as_deref().expect("checked by parse_options");
     let spec_text =
         read_jobs(jobs_path).unwrap_or_else(|err| fail(format_args!("reading {jobs_path}: {err}")));
@@ -297,28 +479,49 @@ fn main() {
         chaos: chaos_plan(&options),
         spmsec: options.spmsec,
     };
-    let report = run_service(&file, &cfg).unwrap_or_else(|err| fail(err));
+    let recipe = FleetRecipe {
+        spec_text,
+        threads: cfg.threads as u32,
+        slots: cfg.slots as u32,
+        fleet_budget: cfg.fleet_budget,
+        chaos: cfg.chaos,
+        spmsec: cfg.spmsec,
+    };
+    let mut dur = match &options.wal {
+        Some(path) => {
+            // A WAL that cannot even open degrades the run to
+            // non-durable with a counted warning — durability is
+            // best-effort, jobs are not.
+            let wal = match std::fs::File::create(path) {
+                Ok(sink) => FleetWal::create(Box::new(sink), &recipe, options.wal_fsync, cfg.chaos)
+                    .unwrap_or_else(FleetWal::degraded_from),
+                Err(err) => FleetWal::degraded_from(WalIoError {
+                    op: WalOp::Append,
+                    at: 0,
+                    cause: WalCause::Io(err),
+                }),
+            };
+            Durability {
+                wal: Some(wal),
+                resume: Default::default(),
+            }
+        }
+        None => Durability::none(),
+    };
+    let report = run_service_durable(&file, &cfg, &mut dur).unwrap_or_else(|err| fail(err));
     print!("{}", report.render_text());
+    report_wal_status(&dur);
 
     if let Some(path) = &options.emit_reports {
-        std::fs::write(path, report.jsonl())
-            .unwrap_or_else(|err| fail(format_args!("writing {path}: {err}")));
-        println!("reports: {} job lines -> {path}", report.outcomes.len());
+        emit_reports(path, &report);
     }
     if let Some(path) = &options.record {
         let log = FleetLog {
-            recipe: FleetRecipe {
-                spec_text,
-                threads: cfg.threads as u32,
-                slots: cfg.slots as u32,
-                fleet_budget: cfg.fleet_budget,
-                chaos: cfg.chaos,
-                spmsec: cfg.spmsec,
-            },
+            recipe,
             events: report.events.clone(),
             outcomes: report.outcomes.iter().map(|o| o.to_json()).collect(),
         };
-        std::fs::write(path, log.encode())
+        atomic_write(path, &log.encode())
             .unwrap_or_else(|err| fail(format_args!("writing {path}: {err}")));
         println!("recorded: {} events -> {path}", report.events.len());
     }
@@ -419,6 +622,57 @@ mod tests {
             parse(&["--jobs", "f", "--record", "a", "--replay", "b"]),
             Err(ArgError::RecordAndReplay)
         );
+    }
+
+    #[test]
+    fn parses_the_durability_surface() {
+        let options = parse(&[
+            "--jobs",
+            "fleet.jobs",
+            "--wal",
+            "fleet.spwal",
+            "--wal-fsync",
+            "every=8",
+        ])
+        .expect("parses");
+        assert_eq!(options.wal.as_deref(), Some("fleet.spwal"));
+        assert_eq!(options.wal_fsync, FsyncPolicy::EveryN(8));
+        // The default policy is the safe one.
+        let defaults = parse(&["--jobs", "f"]).expect("parses");
+        assert_eq!(defaults.wal_fsync, FsyncPolicy::EveryCommit);
+        assert_eq!(
+            parse(&["--jobs", "f", "--wal-fsync", "sometimes"]),
+            Err(ArgError::InvalidValue {
+                flag: "--wal-fsync",
+                value: "sometimes".to_owned(),
+                expected: "`commit`, `off`, or `every=N`",
+            })
+        );
+    }
+
+    #[test]
+    fn resume_stands_alone() {
+        // Resume satisfies the job-file requirement by itself...
+        let options = parse(&["--resume", "cut.spwal", "--threads", "4"]).expect("parses");
+        assert_eq!(options.resume.as_deref(), Some("cut.spwal"));
+        // ...and refuses every knob the WAL header already fixes.
+        for (flag, value) in [
+            ("--jobs", "f"),
+            ("--fleet-slots", "2"),
+            ("--fleet-budget", "1m"),
+            ("--chaos-seed", "3"),
+            ("--chaos-rate", "0.1"),
+            ("--spmsec", "500"),
+            ("--record", "a"),
+            ("--replay", "b"),
+            ("--wal", "w"),
+        ] {
+            assert_eq!(
+                parse(&["--resume", "cut.spwal", flag, value]),
+                Err(ArgError::ResumeConflict(flag)),
+                "{flag} must conflict with --resume"
+            );
+        }
     }
 
     #[test]

@@ -44,10 +44,11 @@ use std::fmt;
 use superpin::governor::FORK_COST_BYTES;
 use superpin::{FailPlan, ProgramAnalysis, SpError, SuperPinConfig, TenantAdmission, TenantLedger};
 use superpin_dbi::CYCLES_PER_SEC;
-use superpin_replay::FleetEvent;
+use superpin_replay::{diff_round, FleetEvent, RoundFrame};
 use superpin_sched::FleetQueue;
 use superpin_workloads::Scale;
 
+use crate::durable::Durability;
 use crate::job::{build_job, JobDriver};
 use crate::pool::JobPool;
 use crate::report::{JobOutcome, ServiceReport, TenantSummary};
@@ -94,7 +95,8 @@ impl Default for FleetConfig {
     }
 }
 
-/// A fleet run failed: some job's simulator surfaced an error.
+/// A fleet run failed: some job's simulator surfaced an error, or a
+/// resumed run diverged from its own committed journal.
 #[derive(Debug)]
 pub enum FleetError {
     /// The named job's runner failed.
@@ -104,12 +106,25 @@ pub enum FleetError {
         /// The underlying simulator error.
         source: SpError,
     },
+    /// Re-execution during `--resume` did not reproduce a round the
+    /// WAL holds as committed. The journal and the build disagree —
+    /// continuing would silently fork history, so this aborts.
+    WalDivergence {
+        /// The 1-based round that failed verification.
+        round: u64,
+        /// What differed, from [`diff_round`].
+        detail: String,
+    },
 }
 
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FleetError::Job { job, source } => write!(f, "job {job}: {source}"),
+            FleetError::WalDivergence { round, detail } => write!(
+                f,
+                "resume diverged from the committed WAL at round {round}: {detail}"
+            ),
         }
     }
 }
@@ -126,6 +141,7 @@ struct ActiveJob {
 struct Fleet<'a> {
     file: &'a JobFile,
     cfg: &'a FleetConfig,
+    dur: &'a mut Durability,
     ledger: TenantLedger,
     queue: FleetQueue,
     active: Vec<ActiveJob>,
@@ -133,6 +149,9 @@ struct Fleet<'a> {
     pending: VecDeque<u32>,
     pool: Option<JobPool>,
     events: Vec<FleetEvent>,
+    /// Events up to this index are already journalled; the next round
+    /// frame carries `events[events_mark..]`.
+    events_mark: usize,
     fleet_now: u64,
     rounds: u64,
     outcomes: Vec<Option<JobOutcome>>,
@@ -333,12 +352,14 @@ impl Fleet<'_> {
         };
 
         let mut max_delta = 0u64;
+        let mut deltas = Vec::with_capacity(ids.len());
         let mut finished = Vec::new();
         for (slot, (driver, more)) in stepped.into_iter().enumerate() {
             let id = ids[slot];
             let more = more.map_err(|source| FleetError::Job { job: id, source })?;
             let delta = driver.now_cycles().saturating_sub(befores[slot]);
             self.queue.charge(id, delta);
+            deltas.push(delta);
             max_delta = max_delta.max(delta);
             let job = self
                 .active
@@ -389,6 +410,39 @@ impl Fleet<'_> {
             });
         }
         self.post_usages();
+        self.settle_durability(&ids, deltas)
+    }
+
+    /// The round's durability step, after settlement: build the
+    /// [`RoundFrame`] for everything that happened since the last one,
+    /// then either verify it against the resume prefix (re-execution
+    /// of already-committed rounds) or journal it to the WAL.
+    fn settle_durability(&mut self, ids: &[u32], deltas: Vec<u64>) -> Result<(), FleetError> {
+        if self.dur.resume.is_empty() && self.dur.wal.is_none() {
+            self.events_mark = self.events.len();
+            return Ok(());
+        }
+        let frame = RoundFrame {
+            round: self.rounds,
+            fleet_now: self.fleet_now,
+            selected: ids.to_vec(),
+            deltas,
+            events: self.events[self.events_mark..].to_vec(),
+            usages: (0..self.file.tenants.len() as u32)
+                .map(|tenant| self.ledger.usage(tenant))
+                .collect(),
+        };
+        self.events_mark = self.events.len();
+        if let Some(expected) = self.dur.resume.pop_front() {
+            if let Some(detail) = diff_round(&expected, &frame) {
+                return Err(FleetError::WalDivergence {
+                    round: self.rounds,
+                    detail,
+                });
+            }
+        } else if let Some(wal) = self.dur.wal.as_mut() {
+            wal.append_round(&frame);
+        }
         Ok(())
     }
 }
@@ -407,6 +461,28 @@ impl Fleet<'_> {
 /// driver, a finished job not in the active set) — simulator bugs, not
 /// input errors.
 pub fn run_service(file: &JobFile, cfg: &FleetConfig) -> Result<ServiceReport, FleetError> {
+    let mut dur = Durability::none();
+    run_service_durable(file, cfg, &mut dur)
+}
+
+/// [`run_service`] under a [`Durability`] context: while `dur.resume`
+/// holds committed rounds, re-execution verifies each settled round
+/// against its frame (any mismatch is [`FleetError::WalDivergence`]);
+/// once past the prefix — or from round 1 when there is no prefix —
+/// settled rounds are journalled to `dur.wal`, and a naturally
+/// completed run is sealed with the WAL's end frame. WAL write
+/// failures never fail the run; they degrade it to non-durable (see
+/// [`crate::durable::WalStatus`]).
+///
+/// # Errors
+///
+/// [`FleetError`] for the first failing job, or a WAL divergence on
+/// resume.
+pub fn run_service_durable(
+    file: &JobFile,
+    cfg: &FleetConfig,
+    dur: &mut Durability,
+) -> Result<ServiceReport, FleetError> {
     let mut ledger = TenantLedger::new(cfg.fleet_budget.unwrap_or(u64::MAX));
     for (id, tenant) in file.tenants.iter().enumerate() {
         ledger.add_tenant(id as u32, tenant.weight, tenant.budget);
@@ -417,6 +493,7 @@ pub fn run_service(file: &JobFile, cfg: &FleetConfig) -> Result<ServiceReport, F
     let mut fleet = Fleet {
         file,
         cfg,
+        dur,
         ledger,
         queue: FleetQueue::new(),
         active: Vec::new(),
@@ -424,6 +501,7 @@ pub fn run_service(file: &JobFile, cfg: &FleetConfig) -> Result<ServiceReport, F
         pending: order.into(),
         pool: (cfg.threads > 1).then(|| JobPool::new(cfg.threads)),
         events: Vec::new(),
+        events_mark: 0,
         fleet_now: 0,
         rounds: 0,
         outcomes: (0..file.jobs.len()).map(|_| None).collect(),
@@ -451,6 +529,22 @@ pub fn run_service(file: &JobFile, cfg: &FleetConfig) -> Result<ServiceReport, F
             continue;
         }
         fleet.round()?;
+    }
+
+    if let Some(expected) = fleet.dur.resume.front() {
+        return Err(FleetError::WalDivergence {
+            round: fleet.rounds,
+            detail: format!(
+                "run completed after round {} but the WAL holds {} more \
+                 committed round(s), next is round {}",
+                fleet.rounds,
+                fleet.dur.resume.len(),
+                expected.round
+            ),
+        });
+    }
+    if let Some(wal) = fleet.dur.wal.as_mut() {
+        wal.finish();
     }
 
     Ok(ServiceReport {

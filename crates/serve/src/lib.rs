@@ -19,11 +19,14 @@
 //! * [`spec`] — the job-file grammar and typed validation.
 //! * [`job`] — jobs as type-erased [`SuperPinRunner`](superpin::SuperPinRunner)s.
 //! * [`fleet`] — the round-based weighted-fair scheduler.
+//! * [`durable`] — crash durability: the WAL handle and resume prefix.
 //! * [`report`] — deterministic outcome rendering (text + JSONL).
 //!
 //! The `spin-serve` CLI fronts all of this, including `--record` /
-//! `--replay` of fleet logs (see [`superpin_replay::fleet`]).
+//! `--replay` of fleet logs (see [`superpin_replay::fleet`]) and
+//! `--wal` / `--resume` crash-durable runs.
 
+pub mod durable;
 pub mod fleet;
 pub mod job;
 pub mod report;
@@ -31,7 +34,8 @@ pub mod spec;
 
 mod pool;
 
-pub use fleet::{run_service, time_scale_for, FleetConfig, FleetError};
+pub use durable::{Durability, FleetWal, WalStatus};
+pub use fleet::{run_service, run_service_durable, time_scale_for, FleetConfig, FleetError};
 pub use job::{build_job, JobDriver};
 pub use report::{JobOutcome, ServiceReport, TenantSummary};
 pub use spec::{parse_jobs, JobFile, JobSpec, SpecError, TenantSpec};

@@ -278,7 +278,7 @@ fn main() -> ExitCode {
         let json = reports_to_json(&reports, options.whole_program);
         if path == "-" {
             println!("{json}");
-        } else if let Err(e) = std::fs::write(path, json) {
+        } else if let Err(e) = superpin_replay::atomic_write(path, json.as_bytes()) {
             eprintln!("spinlint: {path}: {e}");
             return ExitCode::from(2);
         }
